@@ -1,0 +1,180 @@
+// Ablation benchmarks for the design choices the paper argues for:
+//   1. Shared-memory padding (32x33 vs 32x32 tiles, §III) — bank
+//      conflicts and their cost.
+//   2. FVI-Match-Small buffer padding (Fig. 4).
+//   3. Thread coarsening (§IV-A) — special-instruction (mod/div) cost.
+//   4. Model-driven slice choice (Alg. 3) vs naive minimal slices vs
+//      the oracle (exhaustive actual best).
+//
+// Flags: --csv
+#include <iostream>
+
+#include "benchlib/runner.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/launch_helpers.hpp"
+#include "core/measure_plan.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv");
+  sim::Device dev;
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(8);
+  bench::print_machine_header(std::cout, dev.props());
+  std::cout << "# Ablations of TTLG design choices\n";
+
+  Table t({"ablation", "variant", "kernel_ms", "bw_GBps", "conflicts",
+           "special_ops"});
+  auto add = [&](const std::string& what, const std::string& variant,
+                 Index volume, const sim::LaunchResult& run) {
+    t.add_row({what, variant, Table::num(run.time_s * 1e3, 4),
+               Table::num(achieved_bandwidth_gbps(volume, 8, run.time_s), 1),
+               Table::num(run.counters.smem_bank_conflicts),
+               Table::num(run.counters.special_ops)});
+  };
+
+  {  // 1. OD tile padding.
+    const auto p = TransposeProblem::make(Shape({256, 64, 256}),
+                                          Permutation({2, 1, 0}), 8);
+    OdSlice s{1, 1, 64, 64, 64, 64};
+    auto in = dev.alloc_virtual<double>(p.volume());
+    auto out = dev.alloc_virtual<double>(p.volume());
+    for (Index pitch : {Index{33}, Index{32}}) {
+      OdConfig cfg = build_od_config(p, s);
+      cfg.tile_pitch = pitch;
+      auto t0 = dev.alloc_copy<Index>(cfg.in_offset);
+      auto t1 = dev.alloc_copy<Index>(cfg.out_offset);
+      add("OD smem padding", pitch == 33 ? "padded 32x33" : "unpadded 32x32",
+          p.volume(), launch_od<double>(dev, cfg, in, out, t0, t1));
+      dev.free(t0);
+      dev.free(t1);
+    }
+    dev.free(in);
+    dev.free(out);
+  }
+
+  {  // 2. FVI-Match-Small buffer padding.
+    const auto p = TransposeProblem::make(Shape({16, 64, 64, 8}),
+                                          Permutation({0, 2, 1, 3}), 8);
+    auto in = dev.alloc_virtual<double>(p.volume());
+    auto out = dev.alloc_virtual<double>(p.volume());
+    for (bool padded : {true, false}) {
+      FviSmallConfig cfg = build_fvi_small_config(p, 4, false);
+      if (!padded) {
+        cfg.pad = 0;
+        cfg.row_pitch = cfg.b * cfg.n0;
+        cfg.smem_elems = cfg.b * cfg.row_pitch;
+      }
+      add("FVI-Small padding", padded ? "padded" : "unpadded", p.volume(),
+          launch_fvi_small<double>(dev, cfg, in, out));
+    }
+    dev.free(in);
+    dev.free(out);
+  }
+
+  {  // 3. Thread coarsening on the Orthogonal-Arbitrary kernel.
+    const auto p = TransposeProblem::make(
+        Shape({16, 16, 16, 16, 16, 16}), Permutation({4, 1, 2, 5, 3, 0}), 8);
+    auto in = dev.alloc_virtual<double>(p.volume());
+    auto out = dev.alloc_virtual<double>(p.volume());
+    const auto slices = enumerate_oa_slices(
+        p, dev.props().shared_mem_per_block_bytes / 8);
+    const PerfModel model(dev.props());
+    for (bool coarsen : {true, false}) {
+      // Best model-chosen slice under each setting.
+      double best_t = 1e30;
+      OaSlice best;
+      for (const auto& s : slices) {
+        const OaConfig g = build_oa_config(p, s, coarsen, false);
+        const double pt = model.predict_oa(p, g);
+        if (pt < best_t) {
+          best_t = pt;
+          best = s;
+        }
+      }
+      const OaConfig cfg = build_oa_config(p, best, coarsen);
+      auto t0 = dev.alloc_copy<Index>(cfg.input_offset);
+      auto t1 = dev.alloc_copy<Index>(cfg.output_offset);
+      auto t2 = dev.alloc_copy<Index>(cfg.sm_out_offset);
+      add("OA thread coarsening", coarsen ? "on" : "off", p.volume(),
+          launch_oa<double>(dev, cfg, in, out, t0, t1, t2));
+      dev.free(t0);
+      dev.free(t1);
+      dev.free(t2);
+    }
+    dev.free(in);
+    dev.free(out);
+  }
+
+  {  // 4. Slice choice policy: model vs minimal slice vs oracle.
+    const auto p = TransposeProblem::make(Shape({27, 27, 27, 27, 27}),
+                                          Permutation({4, 1, 2, 0, 3}), 8);
+    auto in = dev.alloc_virtual<double>(p.volume());
+    auto out = dev.alloc_virtual<double>(p.volume());
+    const auto slices =
+        enumerate_od_slices(p, od_max_slice_vol(p, dev.props(), 4));
+    const PerfModel model(dev.props());
+    double model_best_pred = 1e30, oracle_best = 1e30;
+    sim::LaunchResult model_run{}, oracle_run{}, minimal_run{};
+    bool first = true;
+    for (const auto& s : slices) {
+      const OdConfig cfg = build_od_config(p, s);
+      auto t0 = dev.alloc_copy<Index>(cfg.in_offset);
+      auto t1 = dev.alloc_copy<Index>(cfg.out_offset);
+      const auto run = launch_od<double>(dev, cfg, in, out, t0, t1);
+      dev.free(t0);
+      dev.free(t1);
+      if (first) {
+        minimal_run = run;  // enumeration starts at the minimal slice
+        first = false;
+      }
+      const double pred = model.predict_od(p, cfg);
+      if (pred < model_best_pred) {
+        model_best_pred = pred;
+        model_run = run;
+      }
+      if (run.time_s < oracle_best) {
+        oracle_best = run.time_s;
+        oracle_run = run;
+      }
+    }
+    add("OD slice choice", "minimal slice", p.volume(), minimal_run);
+    add("OD slice choice", "model-chosen (Alg. 3)", p.volume(), model_run);
+    add("OD slice choice", "oracle best", p.volume(), oracle_run);
+    dev.free(in);
+    dev.free(out);
+  }
+
+  {  // 5. Model-driven planning (TTLG) vs measurement-based planning
+     //    (cuTT-measure's strategy applied to TTLG's own kernel space).
+    for (const char* ptext : {"4,1,2,5,3,0", "5,4,3,2,1,0", "0,2,5,1,4,3"}) {
+      const Shape shape({16, 16, 16, 16, 16, 16});
+      const Permutation perm(parse_int_list(ptext));
+      auto in = dev.alloc_virtual<double>(shape.volume());
+      auto out = dev.alloc_virtual<double>(shape.volume());
+      Plan model_plan = make_plan(dev, shape, perm);
+      MeasuredPlanStats stats;
+      Plan measured_plan = make_plan_measured(dev, shape, perm, {}, &stats);
+      const auto rm = model_plan.execute<double>(in, out);
+      const auto rx = measured_plan.execute<double>(in, out);
+      add("plan: model " + perm.to_string(), to_string(model_plan.schema()),
+          shape.volume(), rm);
+      add("plan: measure " + perm.to_string(),
+          to_string(measured_plan.schema()) + " (" +
+              std::to_string(stats.candidates_executed) + " cands)",
+          shape.volume(), rx);
+      dev.free(in);
+      dev.free(out);
+    }
+  }
+
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces paper Fig. 5: predicted vs. actual execution time over the
+// admissible Orthogonal-Distinct slice variants for a 5D tensor with
+// dims {27,27,27,27,27} and permutation '4 1 2 0 3'. The model should
+// track the trend of the actual (simulated) times and its argmin should
+// be at or near the true best slice.
+//
+// Flags: --csv, --dims a,b,c,..., --perm p0,p1,...
+#include <algorithm>
+#include <iostream>
+
+#include "benchlib/runner.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/launch_helpers.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Shape shape(parse_int_list(cli.get("dims", "27,27,27,27,27")));
+  const Permutation perm(parse_int_list(cli.get("perm", "4,1,2,0,3")));
+  const bool csv = cli.get_bool("csv");
+
+  sim::Device dev;
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(static_cast<int>(cli.get_int("sampling", 8)));
+  bench::print_machine_header(std::cout, dev.props());
+  std::cout << "# Fig. 5: OD slice variants for " << shape.to_string()
+            << " perm " << perm.to_string() << "\n";
+
+  const auto problem = TransposeProblem::make(shape, perm, 8);
+  const PerfModel model(dev.props());
+  const Index max_vol = od_max_slice_vol(problem, dev.props(), 4);
+  const auto slices = enumerate_od_slices(problem, max_vol);
+  TTLG_CHECK(!slices.empty(), "no admissible OD slices for this case");
+
+  auto in = dev.alloc_virtual<double>(shape.volume());
+  auto out = dev.alloc_virtual<double>(shape.volume());
+
+  struct Row {
+    Index slice_vol, a, b;
+    double atime, ptime;
+  };
+  std::vector<Row> rows;
+  for (const auto& s : slices) {
+    const OdConfig cfg = build_od_config(problem, s);
+    const double ptime = model.predict_od(problem, cfg);
+    auto t0 = dev.alloc_copy<Index>(cfg.in_offset);
+    auto t1 = dev.alloc_copy<Index>(cfg.out_offset);
+    const auto launch = launch_od<double>(dev, cfg, in, out, t0, t1);
+    dev.free(t0);
+    dev.free(t1);
+    rows.push_back({s.a_vol * s.b_vol, s.a_vol, s.b_vol, launch.time_s,
+                    ptime});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.slice_vol < b.slice_vol; });
+
+  const auto best_actual = std::min_element(
+      rows.begin(), rows.end(),
+      [](const Row& a, const Row& b) { return a.atime < b.atime; });
+  const auto best_pred = std::min_element(
+      rows.begin(), rows.end(),
+      [](const Row& a, const Row& b) { return a.ptime < b.ptime; });
+
+  Table t({"slice_vol", "input_slice", "output_slice", "ATIME_ms", "PTIME_ms",
+           "choice"});
+  for (const auto& r : rows) {
+    std::string mark;
+    if (&r == &*best_pred) mark += "CHOICE";
+    if (&r == &*best_actual) mark += mark.empty() ? "BEST" : "+BEST";
+    t.add_row({Table::num(r.slice_vol), Table::num(r.a), Table::num(r.b),
+               Table::num(r.atime * 1e3, 4), Table::num(r.ptime * 1e3, 4),
+               mark});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\nslice variants: " << rows.size()
+            << "\nmodel choice:  input_slice=" << best_pred->a
+            << " output_slice=" << best_pred->b
+            << " actual=" << best_pred->atime * 1e3 << " ms"
+            << "\ntrue best:     input_slice=" << best_actual->a
+            << " output_slice=" << best_actual->b
+            << " actual=" << best_actual->atime * 1e3 << " ms"
+            << "\nchoice penalty: "
+            << Table::num((best_pred->atime / best_actual->atime - 1.0) * 100,
+                          2)
+            << "% above true best\n";
+  return 0;
+}

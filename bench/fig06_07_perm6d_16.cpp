@@ -1,0 +1,24 @@
+// Reproduces paper Fig. 6 (repeated use) and Fig. 7 (single use):
+// transposition of a 6D tensor with all extents 16, across all 720
+// permutations, for TTLG / cuTT-heuristic / cuTT-measure / TTC.
+//
+// Flags: --stride N (default 4; use --full for every permutation),
+//        --size N, --csv, --sampling K, --no-ttc
+#include <iostream>
+
+#include "benchlib/perm_sweep.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ttlg::Cli cli(argc, argv);
+  ttlg::bench::PermSweepOptions opts;
+  opts.dim_size = cli.get_int("size", 16);
+  opts.stride = cli.get_bool("full") ? 1 : cli.get_int("stride", 1);
+  opts.csv = cli.get_bool("csv");
+  opts.sampling = static_cast<int>(cli.get_int("sampling", 6));
+  opts.include_ttc = !cli.get_bool("no-ttc");
+  std::cout << "# Fig. 6/7: 6D all-" << opts.dim_size
+            << " permutation sweep (stride " << opts.stride << ")\n";
+  ttlg::bench::run_perm_sweep(std::cout, opts);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Fig. 8 (repeated use) and Fig. 9 (single use):
+// 6D all-15 permutation sweep. Flags as in fig06_07_perm6d_16.
+#include <iostream>
+
+#include "benchlib/perm_sweep.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  const ttlg::Cli cli(argc, argv);
+  ttlg::bench::PermSweepOptions opts;
+  opts.dim_size = cli.get_int("size", 15);
+  opts.stride = cli.get_bool("full") ? 1 : cli.get_int("stride", 1);
+  opts.csv = cli.get_bool("csv");
+  opts.sampling = static_cast<int>(cli.get_int("sampling", 6));
+  opts.include_ttc = !cli.get_bool("no-ttc");
+  std::cout << "# Fig. 8/9: 6D all-" << opts.dim_size
+            << " permutation sweep (stride " << opts.stride << ")\n";
+  ttlg::bench::run_perm_sweep(std::cout, opts);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces paper Fig. 12: effective bandwidth as a function of the
+// number of repeated calls, amortizing each library's one-time plan
+// cost. 6D tensor, all extents 16; permutations '0 2 5 1 4 3' (matching
+// FVI, Fig. 12a) and '4 1 2 5 3 0' (non-matching FVI, Fig. 12b).
+//
+// Flags: --csv, --size N
+#include <iostream>
+
+#include "benchlib/runner.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Index n = cli.get_int("size", 16);
+  const bool csv = cli.get_bool("csv");
+  const Shape shape({n, n, n, n, n, n});
+
+  bench::RunnerOptions ropts;
+  bench::Runner runner(ropts);
+  bench::print_machine_header(std::cout, runner.props());
+
+  std::vector<std::unique_ptr<baselines::Backend>> owned;
+  owned.push_back(baselines::make_ttlg_backend());
+  owned.push_back(
+      baselines::make_cutt_backend(baselines::CuttMode::kHeuristic));
+  owned.push_back(baselines::make_cutt_backend(baselines::CuttMode::kMeasure));
+  std::vector<baselines::Backend*> backends;
+  for (auto& b : owned) backends.push_back(b.get());
+
+  for (const char* perm_text : {"0,2,5,1,4,3", "4,1,2,5,3,0"}) {
+    bench::Case c;
+    c.id = perm_text;
+    c.shape = shape;
+    c.perm = Permutation(parse_int_list(perm_text));
+    std::cout << "\n# Fig. 12 permutation " << c.perm.to_string() << " ("
+              << (c.perm.fvi_matches() ? "matching" : "non-matching")
+              << " FVI)\n";
+    const auto results = runner.run_case(c, backends);
+
+    Table t([&] {
+      std::vector<std::string> h{"calls"};
+      for (const auto& r : results) h.push_back(r.backend + "_GBps");
+      return h;
+    }());
+    for (Index calls = 1; calls <= 4096; calls *= 2) {
+      std::vector<std::string> row{Table::num(calls)};
+      for (const auto& r : results) {
+        const double total =
+            r.plan_s + static_cast<double>(calls) * r.kernel_s;
+        const double bw = 2.0 * static_cast<double>(shape.volume()) * 8.0 *
+                          static_cast<double>(calls) / (total * 1e9);
+        row.push_back(Table::num(bw, 1));
+      }
+      t.add_row(std::move(row));
+    }
+    if (csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print(std::cout);
+    }
+    for (const auto& r : results) {
+      std::cout << "# " << r.backend << ": plan " << r.plan_s * 1e3
+                << " ms, kernel " << r.kernel_s * 1e3 << " ms (" << r.detail
+                << ")\n";
+    }
+  }
+  return 0;
+}

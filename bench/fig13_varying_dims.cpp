@@ -1,0 +1,49 @@
+// Reproduces paper Fig. 13: bandwidth vs. tensor size for permutation
+// '0 2 1 3' over cubic 4D tensors n^4, n in {15,16,31,32,63,64,127,128}
+// — volumes from ~400 KB to ~2 GB.
+//
+// Flags: --csv
+#include <iostream>
+
+#include "benchlib/runner.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv");
+
+  bench::Runner runner{bench::RunnerOptions{}};
+  bench::print_machine_header(std::cout, runner.props());
+  std::cout << "# Fig. 13: varying dimension sizes, permutation 0 2 1 3\n";
+
+  std::vector<std::unique_ptr<baselines::Backend>> owned;
+  owned.push_back(baselines::make_ttlg_backend());
+  owned.push_back(
+      baselines::make_cutt_backend(baselines::CuttMode::kHeuristic));
+  owned.push_back(baselines::make_cutt_backend(baselines::CuttMode::kMeasure));
+  std::vector<baselines::Backend*> backends;
+  for (auto& b : owned) backends.push_back(b.get());
+
+  Table t([&] {
+    std::vector<std::string> h{"dims", "volume_MB"};
+    for (auto* b : backends) h.push_back(b->name() + "_rep_GBps");
+    return h;
+  }());
+  for (const auto& c : bench::varying_dims_cases()) {
+    const auto results = runner.run_case(c, backends);
+    std::vector<std::string> row{
+        c.id, Table::num(static_cast<double>(c.shape.volume()) * 8 / 1e6, 1)};
+    for (const auto& r : results)
+      row.push_back(Table::num(r.bw_repeated_gbps, 1));
+    t.add_row(std::move(row));
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper Fig. 14: the TTC benchmark suite (57 tensors, ranks
+// 2-6, ~200 MB, no fusible indices — synthesized to the published
+// structural spec, see DESIGN.md §2) across all four libraries.
+//
+// Flags: --csv, --sampling K
+#include <iostream>
+#include <map>
+
+#include "benchlib/runner.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool csv = cli.get_bool("csv");
+
+  bench::RunnerOptions ropts;
+  ropts.sampling = static_cast<int>(cli.get_int("sampling", 6));
+  bench::Runner runner(ropts);
+  bench::print_machine_header(std::cout, runner.props());
+  std::cout << "# Fig. 14: TTC benchmark suite (57 synthesized cases)\n";
+
+  std::vector<std::unique_ptr<baselines::Backend>> owned;
+  owned.push_back(baselines::make_ttlg_backend());
+  owned.push_back(
+      baselines::make_cutt_backend(baselines::CuttMode::kHeuristic));
+  owned.push_back(baselines::make_cutt_backend(baselines::CuttMode::kMeasure));
+  owned.push_back(baselines::make_ttc_backend());
+  std::vector<baselines::Backend*> backends;
+  for (auto& b : owned) backends.push_back(b.get());
+
+  Table t([&] {
+    std::vector<std::string> h{"case", "rank", "dims", "perm"};
+    for (auto* b : backends) h.push_back(b->name() + "_rep_GBps");
+    return h;
+  }());
+  std::map<std::string, double> mean;
+  int n = 0;
+  for (const auto& c : bench::ttc_suite()) {
+    const auto results = runner.run_case(c, backends);
+    std::vector<std::string> row{c.id, std::to_string(c.shape.rank()),
+                                 c.shape.to_string(), c.perm.to_string()};
+    for (const auto& r : results) {
+      row.push_back(Table::num(r.bw_repeated_gbps, 1));
+      mean[r.backend] += r.bw_repeated_gbps;
+    }
+    ++n;
+    t.add_row(std::move(row));
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\n== Mean repeated-use bandwidth over the suite ==\n";
+  for (auto* b : backends)
+    std::cout << "  " << b->name() << ": "
+              << Table::num(mean[b->name()] / n, 1) << " GBps\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Host-side microbenchmarks (google-benchmark): planning cost (the
+// single-use overhead of Figs. 7/9/11), index fusion, the host reference
+// transpose, and raw simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/ttlg.hpp"
+
+namespace {
+
+using namespace ttlg;
+
+void BM_IndexFusion(benchmark::State& state) {
+  const Shape shape({16, 16, 16, 16, 16, 16});
+  const Permutation perm({0, 2, 5, 1, 4, 3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuse_indices(shape, perm));
+  }
+}
+BENCHMARK(BM_IndexFusion);
+
+void BM_MakePlan6D(benchmark::State& state) {
+  const Shape shape({16, 16, 16, 16, 16, 16});
+  const Permutation perm({4, 1, 2, 5, 3, 0});
+  sim::Device dev;
+  for (auto _ : state) {
+    Plan plan = make_plan(dev, shape, perm);
+    benchmark::DoNotOptimize(plan.predicted_time_s());
+  }
+}
+BENCHMARK(BM_MakePlan6D);
+
+void BM_PredictTransposeTime(benchmark::State& state) {
+  const Shape shape({32, 32, 32, 32});
+  const Permutation perm({3, 1, 0, 2});
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict_transpose_time(props, shape, perm));
+  }
+}
+BENCHMARK(BM_PredictTransposeTime);
+
+void BM_HostTranspose(benchmark::State& state) {
+  const Index n = state.range(0);
+  const Shape shape({n, n, n});
+  const Permutation perm({2, 0, 1});
+  Tensor<double> in(shape), out(perm.apply(shape));
+  in.fill_iota();
+  for (auto _ : state) {
+    host_transpose(std::span<const double>(in.vec()),
+                   std::span<double>(out.vec()), shape, perm);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          shape.volume() * 16);
+}
+BENCHMARK(BM_HostTranspose)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SimulatorFunctional(benchmark::State& state) {
+  const Shape shape({64, 32, 64});
+  const Permutation perm({2, 1, 0});
+  sim::Device dev;
+  auto in = dev.alloc<double>(shape.volume());
+  auto out = dev.alloc<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.execute<double>(in, out).time_s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          shape.volume() * 16);
+}
+BENCHMARK(BM_SimulatorFunctional);
+
+void BM_SimulatorCountSampled(benchmark::State& state) {
+  const Shape shape({64, 32, 64});
+  const Permutation perm({2, 1, 0});
+  sim::Device dev;
+  auto in = dev.alloc_virtual<double>(shape.volume());
+  auto out = dev.alloc_virtual<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.execute<double>(in, out).time_s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          shape.volume() * 16);
+}
+BENCHMARK(BM_SimulatorCountSampled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+// Reproduces paper Table II: linear-regression performance models for
+// the Orthogonal-Distinct and Orthogonal-Arbitrary kernels.
+//
+// Training mirrors §V's methodology against our substrate: a diverse
+// set of transpositions (ranks 3-6, random permutations, the paper's
+// five extent-ordering families), many slice-size configurations each,
+// ground-truth times measured on the simulator (the paper measures on a
+// K40c), a random 80/20 train/test split, and an OLS fit per kernel.
+// Volumes are scaled to 8-64 MB (paper: 16 MB-2 GB) to keep the
+// single-core trainer fast; the timing model is volume-linear so the
+// fit transfers.
+//
+// Flags: --problems N (default 120), --csv, --print-coefficients,
+//        --seed S
+#include <cmath>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+
+#include "benchlib/runner.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/launch_helpers.hpp"
+#include "mlr/ols.hpp"
+
+using namespace ttlg;
+
+namespace {
+
+/// Paper §V extent-ordering families.
+enum class Ordering { kAllSame, kIncreasing, kDecreasing, kUpDown, kDownUp };
+
+Extents make_extents(Index rank, Index target_vol, Ordering ord, Rng& rng) {
+  const double g =
+      std::pow(static_cast<double>(target_vol), 1.0 / static_cast<double>(rank));
+  std::vector<double> factors(static_cast<std::size_t>(rank), 1.0);
+  const double spread = 1.6 + rng.uniform01();
+  for (Index d = 0; d < rank; ++d) {
+    const double t =
+        rank == 1 ? 0.0
+                  : static_cast<double>(d) / static_cast<double>(rank - 1);
+    double f = 1.0;
+    switch (ord) {
+      case Ordering::kAllSame:
+        f = 1.0;
+        break;
+      case Ordering::kIncreasing:
+        f = std::pow(spread, t - 0.5);
+        break;
+      case Ordering::kDecreasing:
+        f = std::pow(spread, 0.5 - t);
+        break;
+      case Ordering::kUpDown:
+        f = std::pow(spread, 0.5 - std::fabs(2 * t - 1));
+        break;
+      case Ordering::kDownUp:
+        f = std::pow(spread, std::fabs(2 * t - 1) - 0.5);
+        break;
+    }
+    factors[static_cast<std::size_t>(d)] = f;
+  }
+  Extents ext;
+  for (double f : factors)
+    ext.push_back(std::max<Index>(2, static_cast<Index>(g * f + 0.5)));
+  return ext;
+}
+
+std::vector<Index> random_perm(Index rank, Rng& rng) {
+  std::vector<Index> p(static_cast<std::size_t>(rank));
+  std::iota(p.begin(), p.end(), Index{0});
+  do {
+    for (std::size_t i = p.size(); i > 1; --i)
+      std::swap(p[i - 1], p[rng.uniform(0, i - 1)]);
+  } while (std::is_sorted(p.begin(), p.end()));
+  return p;
+}
+
+void print_fit(std::ostream& os, const std::string& kernel,
+               const mlr::FitResult& fit, double train_err, double test_err,
+               std::size_t train_rows, std::size_t test_rows, bool csv) {
+  os << "\n== " << kernel << " model (" << train_rows << " train / "
+     << test_rows << " test rows) ==\n";
+  Table t({"Feature", "Estimate", "Std. Error", "t value", "Pr(>|t|)"});
+  for (const auto& c : fit.coefficients) {
+    std::ostringstream est, se, tv, pv;
+    est.precision(4);
+    est << std::scientific << c.estimate;
+    se.precision(4);
+    se << std::scientific << c.std_error;
+    tv.precision(2);
+    tv << std::fixed << c.t_value;
+    pv.precision(3);
+    pv << std::scientific << std::max(c.p_value, 1e-300);
+    t.add_row({c.name, est.str(), se.str(), tv.str(), pv.str()});
+  }
+  if (csv) {
+    t.print_csv(os);
+  } else {
+    t.print(os);
+  }
+  os << "R^2 = " << Table::num(fit.r_squared, 4)
+     << ", train error = " << Table::num(train_err, 3)
+     << "% , test error = " << Table::num(test_err, 3)
+     << "%  (paper: OD 4.16/4.16, OA 11.08/10.75)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int problems = static_cast<int>(cli.get_int("problems", 120));
+  const bool csv = cli.get_bool("csv");
+  Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 20180521)));
+
+  sim::Device dev;
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(4);
+  bench::print_machine_header(std::cout, dev.props());
+  std::cout << "# Table II: regression model training\n";
+
+  mlr::Dataset od_data(PerfModel::od_feature_names());
+  mlr::Dataset oa_data(PerfModel::oa_feature_names());
+  const Index max_smem = dev.props().shared_mem_per_block_bytes / 8;
+
+  const Ordering orderings[] = {Ordering::kAllSame, Ordering::kIncreasing,
+                                Ordering::kDecreasing, Ordering::kUpDown,
+                                Ordering::kDownUp};
+  for (int pi = 0; pi < problems; ++pi) {
+    const Index rank = 3 + static_cast<Index>(pi) % 4;
+    const Ordering ord = orderings[(pi / 4) % 5];
+    const Index target_vol = Index{1}
+                             << rng.uniform(21, 24);  // 16-128 MB doubles (paper: 16 MB-2 GB)
+    const Shape shape(make_extents(rank, target_vol, ord, rng));
+    const Permutation perm(random_perm(rank, rng));
+    const auto problem = TransposeProblem::make(shape, perm, 8);
+
+    auto in = dev.alloc_virtual<double>(shape.volume());
+    auto out = dev.alloc_virtual<double>(shape.volume());
+
+    // Orthogonal-Distinct rows.
+    if (!problem.fused.perm.fvi_matches()) {
+      auto slices = enumerate_od_slices(
+          problem, od_max_slice_vol(problem, dev.props(), 4));
+      const std::size_t take = 16;
+      for (std::size_t k = 0; k < slices.size() && k < take; ++k) {
+        const auto& s = slices[k * std::max<std::size_t>(
+                                       1, slices.size() / take)];
+        const OdConfig cfg = build_od_config(problem, s);
+        auto t0 = dev.alloc_copy<Index>(cfg.in_offset);
+        auto t1 = dev.alloc_copy<Index>(cfg.out_offset);
+        const auto run = launch_od<double>(dev, cfg, in, out, t0, t1);
+        dev.free(t0);
+        dev.free(t1);
+        od_data.add_row(PerfModel::od_features(problem, cfg), run.time_s);
+      }
+    }
+
+    // Orthogonal-Arbitrary rows (fewer feasible configs — paper §V).
+    {
+      auto slices = enumerate_oa_slices(problem, max_smem);
+      const std::size_t take = 8;
+      for (std::size_t k = 0; k < slices.size() && k < take; ++k) {
+        const auto& s = slices[k * std::max<std::size_t>(
+                                       1, slices.size() / take)];
+        const OaConfig cfg = build_oa_config(problem, s, true);
+        auto t0 = dev.alloc_copy<Index>(cfg.input_offset);
+        auto t1 = dev.alloc_copy<Index>(cfg.output_offset);
+        auto t2 = dev.alloc_copy<Index>(cfg.sm_out_offset);
+        const auto run = launch_oa<double>(dev, cfg, in, out, t0, t1, t2);
+        dev.free(t0);
+        dev.free(t1);
+        dev.free(t2);
+        oa_data.add_row(PerfModel::oa_features(problem, cfg), run.time_s);
+      }
+    }
+    dev.free(in);
+    dev.free(out);
+  }
+
+  for (auto [name, data] :
+       {std::pair<const char*, mlr::Dataset*>{"Orthogonal-Distinct", &od_data},
+        std::pair<const char*, mlr::Dataset*>{"Orthogonal-Arbitrary",
+                                              &oa_data}}) {
+    mlr::Dataset train(data->feature_names()), test(data->feature_names());
+    data->split(0.2, 42, train, test);
+    const auto fit = mlr::fit_ols(train, /*relative_weights=*/true);
+    print_fit(std::cout, name, fit, fit.error_percent(train),
+              fit.error_percent(test), train.num_rows(), test.num_rows(),
+              csv);
+    if (cli.get_bool("print-coefficients")) {
+      std::cout << "  // " << name << " coefficients for "
+                << "PerfModel::default_coefficients():\n  c."
+                << (std::string(name) == "Orthogonal-Distinct" ? "od" : "oa")
+                << " = {";
+      for (std::size_t k = 0; k < fit.coefficients.size(); ++k) {
+        if (k) std::cout << ", ";
+        std::ostringstream v;
+        v.precision(6);
+        v << std::scientific << fit.coefficients[k].estimate;
+        std::cout << v.str();
+      }
+      std::cout << "};\n";
+    }
+  }
+  return 0;
+}

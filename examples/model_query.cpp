@@ -1,0 +1,57 @@
+// The queryable performance model (paper §V): predict transposition
+// times WITHOUT executing (or even allocating) anything, then compare a
+// few predictions against simulated execution. This is the interface a
+// higher-level library (e.g. a TTGT contraction planner) consumes.
+//
+//   $ build/examples/model_query --dims 32,16,24,20
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/ttlg.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Shape shape(parse_int_list(cli.get("dims", "32,16,24,20")));
+  const auto props = sim::DeviceProperties::tesla_k40c();
+
+  std::vector<Index> p(static_cast<std::size_t>(shape.rank()));
+  std::iota(p.begin(), p.end(), Index{0});
+
+  Table t({"perm", "schema", "predicted_us", "simulated_us", "error_%"});
+  double sum_abs_err = 0;
+  int rows = 0;
+  do {
+    const Permutation perm(p);
+    const double predicted = predict_transpose_time(props, shape, perm);
+
+    sim::Device dev;
+    dev.set_mode(sim::ExecMode::kCountOnly);
+    dev.set_sampling(6);
+    auto in = dev.alloc_virtual<double>(shape.volume());
+    auto out = dev.alloc_virtual<double>(shape.volume());
+    Plan plan = make_plan(dev, shape, perm);
+    const double simulated = plan.execute<double>(in, out).time_s;
+
+    const double err = (predicted - simulated) / simulated * 100.0;
+    sum_abs_err += std::abs(err);
+    ++rows;
+    t.add_row({perm.to_string(), to_string(plan.schema()),
+               Table::num(predicted * 1e6, 1), Table::num(simulated * 1e6, 1),
+               Table::num(err, 1)});
+  } while (std::next_permutation(p.begin(), p.end()));
+
+  std::printf("Performance-model queries for %s on %s\n",
+              shape.to_string().c_str(), props.name.c_str());
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\nmean |error| over %d permutations: %.1f%%\n", rows,
+              sum_abs_err / rows);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// TTGT tensor contraction (the paper's §I motivating use case):
+// Transpose-Transpose-GEMM-Transpose, with the whole layout chain
+// planned by TTLG's queryable performance model (§V) and every step —
+// the transpositions AND the tiled GEMM — executed as kernels on the
+// simulated GPU.
+//
+//   $ build/examples/tensor_contraction_ttgt
+//   $ build/examples/tensor_contraction_ttgt --spec "abef,cdef->abcd"
+//         (with --a 14,13,10,11 --b 12,9,10,11)
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "ttgt/contraction.hpp"
+
+using namespace ttlg;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const auto spec =
+      ttgt::ContractionSpec::parse(cli.get("spec", "iak,kbj->abij"));
+  const Shape a_shape(parse_int_list(cli.get("a", "24,20,28")));
+  const Shape b_shape(parse_int_list(cli.get("b", "28,18,22")));
+
+  sim::Device dev;
+  std::printf("contraction: %s,%s->%s on %s\n", spec.a_indices.c_str(),
+              spec.b_indices.c_str(), spec.c_indices.c_str(),
+              dev.props().name.c_str());
+  std::printf("A %s, B %s\n", a_shape.to_string().c_str(),
+              b_shape.to_string().c_str());
+
+  // Plan: enumerate GEMM-ready layout chains; the §V model prices every
+  // required transposition and the cheapest chain wins.
+  const auto plan = ttgt::plan_ttgt(dev.props(), spec, a_shape, b_shape);
+  std::printf("\n%s\n\n", plan.describe().c_str());
+
+  Tensor<double> a(a_shape), b(b_shape);
+  a.fill_random(1);
+  b.fill_random(2);
+  const auto res = ttgt::execute_ttgt(dev, plan, a, b);
+  std::printf("executed (simulated device time):\n");
+  std::printf("  transpositions: %.3f ms\n", res.transpose_s * 1e3);
+  std::printf("  tiled GEMM:     %.3f ms  (%lldx%lldx%lld)\n",
+              res.gemm_s * 1e3, static_cast<long long>(plan.m),
+              static_cast<long long>(plan.n), static_cast<long long>(plan.k));
+  std::printf("  total:          %.3f ms  (transpose overhead %.1f%%)\n",
+              res.total_s * 1e3, res.transpose_s / res.total_s * 100.0);
+
+  const auto ref = ttgt::contract_reference(spec, a, b);
+  double max_err = 0;
+  for (Index i = 0; i < ref.volume(); ++i)
+    max_err = std::max(max_err, std::abs(res.c.at(i) - ref.at(i)));
+  std::printf("verify: max |TTGT - direct| = %.3e  %s\n", max_err,
+              max_err < 1e-9 ? "OK" : "FAIL");
+  return max_err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Rebuild, run the full test suite, and regenerate every paper table and
+# figure into results/. Usage: scripts/run_all_experiments.sh [--full]
+# (--full runs the 720-permutation sweeps without subsampling; that is
+# already the default stride, so the flag currently just forwards it).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "== $name =="
+  "$b" "$@" | tee "results/$name.txt"
+done
+echo "All experiment outputs written to results/"

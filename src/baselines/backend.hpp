@@ -1,0 +1,50 @@
+// Common interface for all transpose implementations the benchmarks
+// compare: TTLG itself, the cuTT-style baseline (heuristic and measure
+// modes), the TTC-style generator baseline and the naive kernel.
+//
+// `plan_s` follows each library's real cost model:
+//  - host wall-clock of its planning code, plus
+//  - simulated device time for any plan-time kernel executions
+//    (cuTT-measure runs every candidate), plus
+//  - a fixed device-allocation charge per plan-time buffer (the paper
+//    notes plan overhead "includes memory allocation times").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/ttlg.hpp"
+
+namespace ttlg::baselines {
+
+/// cudaMalloc-style cost charged per plan-time device allocation.
+inline constexpr double kAllocOverheadS = 100e-6;
+
+struct BackendResult {
+  double plan_s = 0;    ///< one-time planning cost
+  double kernel_s = 0;  ///< steady-state per-call kernel time (simulated)
+  sim::LaunchCounters counters;
+  std::string detail;   ///< kernel/config the library chose
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual std::string name() const = 0;
+
+  /// Plan and execute one double-precision transposition. Implementations
+  /// may allocate scratch on `dev` but must free it before returning.
+  virtual BackendResult run(sim::Device& dev, sim::DeviceBuffer<double> in,
+                            sim::DeviceBuffer<double> out, const Shape& shape,
+                            const Permutation& perm) = 0;
+};
+
+std::unique_ptr<Backend> make_ttlg_backend(PlanOptions opts = {});
+std::unique_ptr<Backend> make_naive_backend();
+
+enum class CuttMode { kHeuristic, kMeasure };
+std::unique_ptr<Backend> make_cutt_backend(CuttMode mode);
+
+std::unique_ptr<Backend> make_ttc_backend();
+
+}  // namespace ttlg::baselines

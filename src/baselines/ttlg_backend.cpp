@@ -1,0 +1,51 @@
+// TTLG wrapped in the common benchmark Backend interface.
+#include "baselines/backend.hpp"
+#include "common/timer.hpp"
+
+namespace ttlg::baselines {
+namespace {
+
+class TtlgBackend final : public Backend {
+ public:
+  explicit TtlgBackend(PlanOptions opts) : opts_(opts) {}
+
+  std::string name() const override { return "TTLG"; }
+
+  BackendResult run(sim::Device& dev, sim::DeviceBuffer<double> in,
+                    sim::DeviceBuffer<double> out, const Shape& shape,
+                    const Permutation& perm) override {
+    PlanOptions opts = opts_;
+    opts.elem_size = 8;
+    Plan plan = make_plan(dev, shape, perm, opts);
+    BackendResult res;
+    // Plan cost: model-driven selection (host) + offset-array uploads.
+    int allocs = 0;
+    switch (plan.schema()) {
+      case Schema::kOrthogonalDistinct:
+        allocs = 2;
+        break;
+      case Schema::kOrthogonalArbitrary:
+        allocs = 3;
+        break;
+      default:
+        break;
+    }
+    res.plan_s = plan.plan_wall_s() + allocs * kAllocOverheadS;
+    const auto launch = plan.execute<double>(in, out);
+    res.kernel_s = launch.time_s;
+    res.counters = launch.counters;
+    res.detail = plan.describe();
+    return res;
+  }
+
+ private:
+  PlanOptions opts_;
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_ttlg_backend(PlanOptions opts) {
+  return std::make_unique<TtlgBackend>(opts);
+}
+
+}  // namespace ttlg::baselines

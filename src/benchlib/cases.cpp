@@ -1,0 +1,111 @@
+#include "benchlib/cases.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/fusion.hpp"
+
+namespace ttlg::bench {
+
+std::vector<Permutation> all_permutations(Index rank) {
+  TTLG_CHECK(rank >= 1 && rank <= 8, "permutation sweep rank out of range");
+  std::vector<Index> p(static_cast<std::size_t>(rank));
+  std::iota(p.begin(), p.end(), Index{0});
+  std::vector<Permutation> out;
+  do {
+    out.emplace_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+namespace {
+
+/// True iff some adjacent index pair could be fused (perm[j+1] ==
+/// perm[j] + 1) — the TTC suite excludes such permutations.
+bool fusible(const std::vector<Index>& p) {
+  for (std::size_t j = 0; j + 1 < p.size(); ++j)
+    if (p[j + 1] == p[j] + 1) return true;
+  return false;
+}
+
+/// Deterministic non-fusible, non-identity permutation of `rank`.
+std::vector<Index> pick_permutation(Index rank, Rng& rng) {
+  std::vector<Index> p(static_cast<std::size_t>(rank));
+  std::iota(p.begin(), p.end(), Index{0});
+  if (rank == 2) return {1, 0};  // the only non-fusible rank-2 choice
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    for (std::size_t i = p.size(); i > 1; --i)
+      std::swap(p[i - 1], p[rng.uniform(0, i - 1)]);
+    if (!fusible(p)) return p;
+  }
+  TTLG_ASSERT(false, "non-fusible permutations are plentiful for rank >= 3");
+}
+
+/// Extents with product near `target_vol`, aspect ratios drawn from rng.
+Extents pick_extents(Index rank, Index target_vol, Rng& rng) {
+  Extents ext(static_cast<std::size_t>(rank));
+  double remaining = static_cast<double>(target_vol);
+  for (Index d = 0; d < rank; ++d) {
+    const Index dims_left = rank - d;
+    if (dims_left == 1) {
+      ext[static_cast<std::size_t>(d)] =
+          std::max<Index>(2, static_cast<Index>(remaining + 0.5));
+      break;
+    }
+    const double geo = std::pow(remaining, 1.0 / static_cast<double>(dims_left));
+    const double skew = 0.6 + 0.8 * rng.uniform01();  // 0.6x .. 1.4x
+    Index e = std::max<Index>(2, static_cast<Index>(geo * skew + 0.5));
+    ext[static_cast<std::size_t>(d)] = e;
+    remaining /= static_cast<double>(e);
+  }
+  return ext;
+}
+
+}  // namespace
+
+std::vector<Case> ttc_suite() {
+  // 57 cases as in the published suite: rank distribution skewed to the
+  // middle ranks, ~200 MB double-precision tensors (25M elements).
+  const struct {
+    Index rank;
+    int count;
+  } plan[] = {{2, 8}, {3, 15}, {4, 15}, {5, 12}, {6, 7}};
+  constexpr Index kTargetVol = 25'000'000;
+
+  Rng rng(0x77162018);  // fixed seed: the suite is part of the spec
+  std::vector<Case> cases;
+  int id = 0;
+  for (const auto& [rank, count] : plan) {
+    for (int i = 0; i < count; ++i) {
+      Case c;
+      Extents ext = pick_extents(rank, kTargetVol, rng);
+      std::vector<Index> perm = pick_permutation(rank, rng);
+      c.shape = Shape(ext);
+      c.perm = Permutation(perm);
+      // The suite's defining property: index fusion must be impossible.
+      TTLG_ASSERT(scaled_rank(c.shape, c.perm) == rank,
+                  "TTC suite permutations must not fuse");
+      c.id = "ttc" + std::to_string(id++);
+      cases.push_back(std::move(c));
+    }
+  }
+  TTLG_ASSERT(cases.size() == 57, "the TTC suite has 57 cases");
+  return cases;
+}
+
+std::vector<Case> varying_dims_cases() {
+  std::vector<Case> cases;
+  for (Index n : {15, 16, 31, 32, 63, 64, 127, 128}) {
+    Case c;
+    c.id = std::to_string(n) + "^4";
+    c.shape = Shape({n, n, n, n});
+    c.perm = Permutation({0, 2, 1, 3});
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+}  // namespace ttlg::bench

@@ -1,0 +1,33 @@
+// Benchmark case generators: the permutation sweeps and suites the
+// paper's evaluation section (§VI) is built from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/permutation.hpp"
+#include "tensor/shape.hpp"
+
+namespace ttlg::bench {
+
+/// All rank! permutations of 0..rank-1 in lexicographic order (720 for
+/// the paper's 6D sweeps).
+std::vector<Permutation> all_permutations(Index rank);
+
+struct Case {
+  std::string id;
+  Shape shape;
+  Permutation perm;
+};
+
+/// The TTC benchmark suite stand-in (see DESIGN.md §2): 57 cases with
+/// the published structural properties — ranks 2..6, volumes around
+/// 200 MB (double precision), and permutations chosen so NO adjacent
+/// index pair can be fused. Deterministic.
+std::vector<Case> ttc_suite();
+
+/// Fig. 13's dimension-size sweep: 4D tensors [n,n,n,n] with
+/// permutation (0 2 1 3) for n in {15,16,31,32,63,64,127,128}.
+std::vector<Case> varying_dims_cases();
+
+}  // namespace ttlg::bench

@@ -1,0 +1,107 @@
+#include "benchlib/perm_sweep.hpp"
+
+#include <map>
+#include <ostream>
+
+#include "benchlib/runner.hpp"
+#include "common/table.hpp"
+
+namespace ttlg::bench {
+
+void run_perm_sweep(std::ostream& os, const PermSweepOptions& opts) {
+  RunnerOptions ropts;
+  ropts.sampling = opts.sampling;
+  Runner runner(ropts);
+  print_machine_header(os, runner.props());
+
+  std::vector<std::unique_ptr<baselines::Backend>> owned;
+  owned.push_back(baselines::make_ttlg_backend());
+  owned.push_back(baselines::make_cutt_backend(baselines::CuttMode::kHeuristic));
+  owned.push_back(baselines::make_cutt_backend(baselines::CuttMode::kMeasure));
+  if (opts.include_ttc) owned.push_back(baselines::make_ttc_backend());
+  if (opts.include_naive) owned.push_back(baselines::make_naive_backend());
+  std::vector<baselines::Backend*> backends;
+  for (auto& b : owned) backends.push_back(b.get());
+
+  Extents ext(static_cast<std::size_t>(opts.rank), opts.dim_size);
+  const Shape shape(ext);
+  const auto perms = all_permutations(opts.rank);
+
+  Table table([&] {
+    std::vector<std::string> h{"idx", "perm", "scaled_rank"};
+    for (auto* b : backends) h.push_back(b->name() + "_rep_GBps");
+    for (auto* b : backends) h.push_back(b->name() + "_single_GBps");
+    return h;
+  }());
+
+  struct Acc {
+    double sum_rep = 0, sum_single = 0;
+    int n = 0;
+  };
+  // [scaled_rank][backend] accumulators; rank 0 row = overall.
+  std::map<Index, std::map<std::string, Acc>> acc;
+  int ttlg_wins_vs_measure = 0, comparisons = 0;
+
+  for (std::size_t i = 0; i < perms.size();
+       i += static_cast<std::size_t>(opts.stride)) {
+    Case c;
+    c.id = std::to_string(i);
+    c.shape = shape;
+    c.perm = perms[i];
+    const auto results = runner.run_case(c, backends);
+
+    std::vector<std::string> row{std::to_string(i), perms[i].to_string(),
+                                 std::to_string(results[0].scaled_rank)};
+    for (const auto& r : results) row.push_back(Table::num(r.bw_repeated_gbps, 1));
+    for (const auto& r : results) row.push_back(Table::num(r.bw_single_gbps, 1));
+    table.add_row(std::move(row));
+
+    for (const auto& r : results) {
+      for (Index key : {Index{0}, r.scaled_rank}) {
+        auto& a = acc[key][r.backend];
+        a.sum_rep += r.bw_repeated_gbps;
+        a.sum_single += r.bw_single_gbps;
+        ++a.n;
+      }
+    }
+    ++comparisons;
+    if (results[0].bw_repeated_gbps >= results[2].bw_repeated_gbps)
+      ++ttlg_wins_vs_measure;
+  }
+
+  if (opts.csv) {
+    table.print_csv(os);
+  } else {
+    table.print(os);
+  }
+
+  os << "\n== Summary: mean bandwidth (GBps) by scaled rank ==\n";
+  Table summary([&] {
+    std::vector<std::string> h{"scaled_rank", "cases"};
+    for (auto* b : backends) h.push_back(b->name() + "_rep");
+    for (auto* b : backends) h.push_back(b->name() + "_single");
+    return h;
+  }());
+  for (const auto& [key, per_backend] : acc) {
+    std::vector<std::string> row{key == 0 ? "ALL" : std::to_string(key), ""};
+    bool first = true;
+    for (auto* b : backends) {
+      const Acc& a = per_backend.at(b->name());
+      if (first) {
+        row[1] = std::to_string(a.n);
+        first = false;
+      }
+      row.push_back(Table::num(a.sum_rep / a.n, 1));
+    }
+    for (auto* b : backends) {
+      const Acc& a = per_backend.at(b->name());
+      row.push_back(Table::num(a.sum_single / a.n, 1));
+    }
+    summary.add_row(std::move(row));
+  }
+  summary.print(os);
+  os << "\nTTLG >= cuTT-measure (repeated use): " << ttlg_wins_vs_measure
+     << " / " << comparisons << " cases\n";
+}
+
+}  // namespace ttlg::bench

@@ -1,0 +1,26 @@
+// The paper's headline experiment (Figs. 6-11): all 720 permutations of
+// a 6D tensor at a fixed cubic dimension size, every library, both the
+// repeated-use and single-use scenarios, grouped by scaled rank.
+#pragma once
+
+#include <iosfwd>
+
+#include "tensor/shape.hpp"
+
+namespace ttlg::bench {
+
+struct PermSweepOptions {
+  Index dim_size = 16;
+  Index rank = 6;
+  Index stride = 1;       ///< run every stride-th permutation
+  bool csv = false;
+  int sampling = 6;
+  bool include_ttc = true;   ///< TTC appears in repeated-use charts only
+  bool include_naive = false;
+};
+
+/// Runs the sweep and prints per-case rows plus per-scaled-rank and
+/// overall summaries (mean bandwidths, win counts).
+void run_perm_sweep(std::ostream& os, const PermSweepOptions& opts);
+
+}  // namespace ttlg::bench

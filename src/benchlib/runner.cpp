@@ -1,0 +1,73 @@
+#include "benchlib/runner.hpp"
+
+#include <ostream>
+
+#include "common/table.hpp"
+#include "tensor/fusion.hpp"
+
+namespace ttlg::bench {
+
+Runner::Runner(RunnerOptions opts) : opts_(std::move(opts)) {}
+
+std::vector<CaseResult> Runner::run_case(
+    const Case& c, const std::vector<baselines::Backend*>& backends) {
+  std::vector<CaseResult> out;
+  for (baselines::Backend* backend : backends) {
+    // Fresh device per backend run: no cross-library cache effects.
+    sim::Device dev(opts_.props);
+    if (opts_.count_only) {
+      dev.set_mode(sim::ExecMode::kCountOnly);
+      dev.set_sampling(opts_.sampling);
+    }
+    const Index volume = c.shape.volume();
+    auto in = opts_.count_only ? dev.alloc_virtual<double>(volume)
+                               : dev.alloc<double>(volume);
+    auto aout = opts_.count_only ? dev.alloc_virtual<double>(volume)
+                                 : dev.alloc<double>(volume);
+
+    const auto r = backend->run(dev, in, aout, c.shape, c.perm);
+
+    CaseResult res;
+    res.case_id = c.id;
+    res.backend = backend->name();
+    res.volume = volume;
+    res.scaled_rank = scaled_rank(c.shape, c.perm);
+    res.plan_s = r.plan_s;
+    res.kernel_s = r.kernel_s;
+    res.bw_repeated_gbps = achieved_bandwidth_gbps(volume, 8, r.kernel_s);
+    res.bw_single_gbps =
+        achieved_bandwidth_gbps(volume, 8, r.kernel_s + r.plan_s);
+    res.detail = r.detail;
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+void print_results(std::ostream& os, const std::vector<CaseResult>& results,
+                   bool csv) {
+  Table t({"case", "backend", "volume", "scaled_rank", "plan_ms", "kernel_ms",
+           "bw_repeated_GBps", "bw_single_GBps", "detail"});
+  for (const auto& r : results) {
+    t.add_row({r.case_id, r.backend, Table::num(r.volume),
+               Table::num(r.scaled_rank), Table::num(r.plan_s * 1e3, 4),
+               Table::num(r.kernel_s * 1e3, 4),
+               Table::num(r.bw_repeated_gbps, 1),
+               Table::num(r.bw_single_gbps, 1), r.detail});
+  }
+  if (csv) {
+    t.print_csv(os);
+  } else {
+    t.print(os);
+  }
+}
+
+void print_machine_header(std::ostream& os,
+                          const sim::DeviceProperties& props) {
+  os << "# Machine configuration (reproduction of paper Table III)\n"
+     << "# " << props.to_string() << "\n"
+     << "# Execution substrate: gpusim warp-accurate simulator; times are\n"
+     << "# simulated kernel times; plan times are host wall-clock plus\n"
+     << "# simulated plan-time device work. BW = 2*volume*8 / time.\n";
+}
+
+}  // namespace ttlg::bench

@@ -1,0 +1,79 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  TTLG_CHECK(!it->second.empty(), "flag --" + name + " needs a value");
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::vector<std::int64_t> parse_int_list(const std::string& text) {
+  std::vector<std::int64_t> out;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty()) return;
+    char* end = nullptr;
+    const long long v = std::strtoll(cur.c_str(), &end, 10);
+    TTLG_CHECK(end != nullptr && *end == '\0',
+               "malformed integer '" + cur + "' in list '" + text + "'");
+    out.push_back(v);
+    cur.clear();
+  };
+  for (char c : text) {
+    if (c == ',' || c == 'x' || c == ' ') {
+      flush();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  TTLG_CHECK(!out.empty(), "empty integer list '" + text + "'");
+  return out;
+}
+
+}  // namespace ttlg

@@ -1,0 +1,37 @@
+// Minimal command-line flag parser used by the benchmark binaries and
+// examples. Supports --name value, --name=value and boolean --name.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ttlg {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Parse a comma- or 'x'-separated list of integers, e.g. "16,16,16" or
+/// "32x32x4". Throws ttlg::Error on malformed input.
+std::vector<std::int64_t> parse_int_list(const std::string& text);
+
+}  // namespace ttlg

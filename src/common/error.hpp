@@ -1,0 +1,48 @@
+// Error handling primitives shared by all TTLG modules.
+//
+// The library reports user errors (bad permutations, shape mismatches,
+// out-of-range arguments) by throwing ttlg::Error; internal invariant
+// violations use TTLG_ASSERT which also throws, so tests can observe them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ttlg {
+
+/// Exception type for all errors raised by the TTLG library and its
+/// substrates. Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+}  // namespace detail
+
+}  // namespace ttlg
+
+/// Validate a user-facing precondition; throws ttlg::Error when violated.
+#define TTLG_CHECK(cond, msg)                               \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::ttlg::detail::raise(__FILE__, __LINE__,             \
+                            std::string("check failed: ") + \
+                                #cond + " — " + (msg));     \
+    }                                                       \
+  } while (0)
+
+/// Internal invariant; same throwing behaviour so it is testable.
+#define TTLG_ASSERT(cond, msg)                                  \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::ttlg::detail::raise(__FILE__, __LINE__,                 \
+                            std::string("internal invariant "   \
+                                        "violated: ") +         \
+                                #cond + " — " + (msg));         \
+    }                                                           \
+  } while (0)

@@ -1,0 +1,34 @@
+// Column-aligned ASCII table and CSV emitters used by the benchmark
+// harness to print the rows/series the paper's figures and tables report.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ttlg {
+
+/// Accumulates rows of string cells and renders them either as an
+/// aligned text table (for terminal output) or CSV (for plotting).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::int64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ttlg

@@ -1,0 +1,23 @@
+// Wall-clock timer for host-side (plan) timing. Simulated-GPU kernel
+// time comes from gpusim::TimingModel, never from this timer.
+#pragma once
+
+#include <chrono>
+
+namespace ttlg {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ttlg

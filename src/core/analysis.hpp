@@ -1,0 +1,43 @@
+// Closed-form data-movement analysis of the four kernels (paper §IV-C,
+// Table I) plus the abstract "cycles" features of the §V performance
+// models. The analytic LaunchCounters estimates feed the analytic
+// performance model and are validated against simulator-measured
+// counters by the Table I benchmark and tests.
+#pragma once
+
+#include "core/fvi_config.hpp"
+#include "core/oa_config.hpp"
+#include "core/od_config.hpp"
+#include "core/problem.hpp"
+#include "gpusim/counters.hpp"
+
+namespace ttlg {
+
+/// Transactions needed to move `elems` contiguous elements of size
+/// `elem_size` with `txn_bytes` transactions (alignment-agnostic lower
+/// bound, the paper's ceil(n/32) with 32 = floats per transaction).
+Index txns_for_run(Index elems, int elem_size, Index txn_bytes = 128);
+
+/// Analytic counter estimates, per kernel. `payload_bytes` and launch
+/// geometry are filled in so the estimates can be fed straight into
+/// sim::kernel_timing.
+sim::LaunchCounters analyze_od(const TransposeProblem& p, const OdConfig& c);
+sim::LaunchCounters analyze_oa(const TransposeProblem& p, const OaConfig& c);
+sim::LaunchCounters analyze_fvi_small(const TransposeProblem& p,
+                                      const FviSmallConfig& c);
+sim::LaunchCounters analyze_fvi_large(const TransposeProblem& p,
+                                      const FviLargeConfig& c);
+
+/// §V "cycles" feature for the Orthogonal-Distinct model: warp-activity
+/// cycles summed over full/partial tiles of full/partial slices.
+double od_cycles_feature(const TransposeProblem& p, const OdConfig& c);
+
+/// §V "cycles" feature for the Orthogonal-Arbitrary model: DRAM
+/// transactions summed over full/partial slices (f1 + f2 + f3 + f4).
+double oa_cycles_feature(const TransposeProblem& p, const OaConfig& c);
+
+/// §V "special instructions" feature for Orthogonal-Arbitrary: mod/div
+/// count from block decode plus remainder-block boundary checks.
+double oa_special_feature(const TransposeProblem& p, const OaConfig& c);
+
+}  // namespace ttlg

@@ -1,0 +1,49 @@
+// Batched transposition: the same permutation applied to many tensors
+// of identical shape (a common ML pattern — e.g. per-layer layout
+// conversion). The plan — kernel selection, slice search and the
+// texture-resident offset arrays — is built once and reused for every
+// batch member, which is exactly where TTLG's cheap-plan design pays.
+#pragma once
+
+#include "core/plan.hpp"
+
+namespace ttlg {
+
+struct BatchedResult {
+  double total_time_s = 0;            ///< sum of simulated kernel times
+  sim::LaunchCounters counters;       ///< aggregated over the batch
+  std::vector<double> per_call_s;     ///< simulated time per member
+};
+
+class BatchedPlan {
+ public:
+  BatchedPlan(sim::Device& dev, const Shape& shape, const Permutation& perm,
+              const PlanOptions& opts = {})
+      : plan_(make_plan(dev, shape, perm, opts)) {}
+
+  const Plan& plan() const { return plan_; }
+
+  /// Execute the planned transposition for every (in, out) pair.
+  template <class T>
+  BatchedResult execute(
+      const std::vector<std::pair<sim::DeviceBuffer<T>,
+                                  sim::DeviceBuffer<T>>>& batch,
+      T alpha = T{1}, T beta = T{0}) const {
+    TTLG_CHECK(!batch.empty(), "empty batch");
+    BatchedResult res;
+    res.per_call_s.reserve(batch.size());
+    for (const auto& [in, out] : batch) {
+      const auto run = plan_.execute<T>(in, out, alpha, beta);
+      res.total_time_s += run.time_s;
+      res.counters += run.counters;
+      res.per_call_s.push_back(run.time_s);
+      res.counters.grid_blocks += run.counters.grid_blocks;
+    }
+    return res;
+  }
+
+ private:
+  Plan plan_;
+};
+
+}  // namespace ttlg

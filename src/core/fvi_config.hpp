@@ -1,0 +1,76 @@
+// Configurations for the two matching-FVI schemas:
+//  - FVI-Match-Large (paper Alg. 7): direct coalesced copy, no staging.
+//  - FVI-Match-Small (paper Alg. 6): b x b x N0 shared-memory staging
+//    with conflict-avoiding padding (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace ttlg {
+
+struct FviLargeConfig {
+  Index n0 = 1;       ///< fused FVI extent
+  Index seg_len = 1;  ///< elements per block along the FVI
+  Index segs = 1;     ///< ceil(n0 / seg_len)
+
+  /// Row batching (§IV-A coarsening along fused dim 1): each block
+  /// copies `batch` consecutive rows, amortizing the mod/div block
+  /// decode. Grid slot 1 indexes the row chunks.
+  Index batch = 1;
+  Index batch_chunks = 1;
+  Index batch_rem = 0;                      ///< ext1 % batch
+  Index batch_in_stride = 0, batch_out_stride = 0;
+
+  /// Grid decode: [segs, batch_chunks, outer dims...] with strides.
+  std::vector<Index> grid_extents;
+  std::vector<Index> grid_in_strides;
+  std::vector<Index> grid_out_strides;
+  Index grid_blocks = 1;
+  int block_threads = 256;
+};
+
+/// Build the direct-copy configuration. Applicable when the fused
+/// permutation has perm[0] == 0 (or is the identity, the pure-copy
+/// degenerate case).
+FviLargeConfig build_fvi_large_config(const TransposeProblem& problem,
+                                      bool enable_coarsening);
+
+struct FviSmallConfig {
+  Index n0 = 1;      ///< fused FVI extent (< warp size)
+  Index dim_ik = 2;  ///< fused input dim that is output dim 1 (perm[1])
+  Index b = 1;       ///< blocking factor on i1 and ik; also warps/block
+
+  Index i1_chunks = 1, i1_rem = 0;
+  Index ik_chunks = 1, ik_rem = 0;
+
+  Index pad = 0;        ///< row padding so write-out is conflict-free
+  Index row_pitch = 1;  ///< b * n0 + pad (shared buffer row stride)
+  Index smem_elems = 1; ///< b * row_pitch
+
+  /// In-kernel strides.
+  Index in_stride_ik = 0;   ///< input stride of dim ik
+  Index out_stride_i1 = 0;  ///< output stride of input dim 1
+
+  /// Grid decode: [i1_chunks, ik_chunks, outer dims...].
+  std::vector<Index> grid_extents;
+  std::vector<Index> grid_in_strides;
+  std::vector<Index> grid_out_strides;
+  Index grid_blocks = 1;
+  int block_threads = 32;
+  Index coarsen_extent = 1;
+  Index coarsen_in_stride = 0, coarsen_out_stride = 0;
+};
+
+/// Build the staged configuration for blocking factor `b`. Requires
+/// fused rank >= 3, perm[0] == 0 and n0 < warp size.
+FviSmallConfig build_fvi_small_config(const TransposeProblem& problem,
+                                      Index b, bool enable_coarsening);
+
+/// Candidate blocking factors for Alg. 6 (the model picks among them).
+std::vector<Index> enumerate_fvi_small_blockings(
+    const TransposeProblem& problem, Index max_smem_elems);
+
+}  // namespace ttlg

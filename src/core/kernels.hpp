@@ -1,0 +1,402 @@
+// The four TTLG transposition kernels (paper Algs. 2, 5, 6, 7), written
+// against the gpusim warp-collective execution model. Each kernel is a
+// callable object passed to sim::Device::launch; lane address vectors
+// reproduce the exact global-coalescing / shared-bank behaviour the
+// CUDA originals are designed around.
+#pragma once
+
+#include <array>
+
+#include "core/fvi_config.hpp"
+#include "core/oa_config.hpp"
+#include "core/od_config.hpp"
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/dbuffer.hpp"
+
+namespace ttlg {
+
+/// Transposition epilogue: out = alpha * permute(in) + beta * out —
+/// the scaling interface cuTT and TTC expose. beta != 0 reads the
+/// previous output contents, which costs real load transactions (and
+/// the simulator charges them).
+template <class T>
+struct Epilogue {
+  T alpha{1};
+  T beta{0};
+  bool is_identity() const { return alpha == T{1} && beta == T{0}; }
+};
+
+/// Apply the epilogue and store: fetches old output values only when
+/// beta demands them.
+template <class T>
+inline void store_with_epilogue(sim::BlockCtx& blk, sim::DeviceBuffer<T> out,
+                                const sim::LaneArray& ga,
+                                sim::LaneValues<T>& v,
+                                const Epilogue<T>& epi) {
+  if (epi.beta != T{0}) {
+    sim::LaneValues<T> old{};
+    blk.gld(out, ga, old);
+    for (int l = 0; l < sim::kWarpSize; ++l) {
+      if (ga[l] == sim::kInactive) continue;
+      v[static_cast<std::size_t>(l)] =
+          epi.alpha * v[static_cast<std::size_t>(l)] +
+          epi.beta * old[static_cast<std::size_t>(l)];
+    }
+  } else if (epi.alpha != T{1}) {
+    for (int l = 0; l < sim::kWarpSize; ++l) {
+      if (ga[l] == sim::kInactive) continue;
+      v[static_cast<std::size_t>(l)] *= epi.alpha;
+    }
+  }
+  blk.gst(out, ga, v);
+}
+
+struct BlockDecode {
+  Index in_base = 0;
+  Index out_base = 0;
+  std::array<Index, 20> idx{};
+};
+
+/// Decompose the block id over the grid slots (mod/div per slot, charged
+/// as special instructions) and accumulate the input/output base offsets
+/// — the paper's decode() + compute_base() pair.
+inline BlockDecode decode_block(sim::BlockCtx& blk,
+                                const std::vector<Index>& extents,
+                                const std::vector<Index>& in_strides,
+                                const std::vector<Index>& out_strides) {
+  BlockDecode d;
+  Index rest = blk.block_id();
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    const Index q = rest % extents[i];
+    rest /= extents[i];
+    blk.count_special(2);
+    d.idx[i] = q;
+    d.in_base += q * in_strides[i];
+    d.out_base += q * out_strides[i];
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------
+// Orthogonal-Distinct (Alg. 2)
+// ---------------------------------------------------------------------
+template <class T>
+struct OdKernel {
+  const OdConfig& cfg;
+  sim::DeviceBuffer<T> in;
+  sim::DeviceBuffer<T> out;
+  sim::DeviceBuffer<Index> in_offset;   // texture: size b_vol
+  sim::DeviceBuffer<Index> out_offset;  // texture: size a_vol
+  Epilogue<T> epi{};
+
+  void operator()(sim::BlockCtx& blk) const {
+    const BlockDecode dec = decode_block(blk, cfg.grid_extents,
+                                         cfg.grid_in_strides,
+                                         cfg.grid_out_strides);
+    const Index A = cfg.a_eff(dec.idx[0]);
+    const Index B = cfg.b_eff(dec.idx[1]);
+    const int nwarps = blk.num_warps();
+    const Index ws = sim::kWarpSize;
+
+    const Index b_tiles = (B + ws - 1) / ws;
+    const Index a_tiles = (A + ws - 1) / ws;
+    for (Index tb = 0; tb < b_tiles; ++tb) {
+      const Index bh = std::min<Index>(ws, B - tb * ws);
+      for (Index ta = 0; ta < a_tiles; ++ta) {
+        const Index aw = std::min<Index>(ws, A - ta * ws);
+
+        // Phase 1: coalesced copy-in. Warp w handles output-combined
+        // row b = tb*32 + r0 + w; lanes walk the contiguous input run.
+        for (Index r0 = 0; r0 < bh; r0 += nwarps) {
+          for (int w = 0; w < nwarps; ++w) {
+            const Index r = r0 + w;
+            if (r >= bh) break;
+            const Index b = tb * ws + r;
+            sim::LaneArray toff;
+            sim::LaneValues<Index> offv{};
+            toff[0] = b;  // warp-uniform read of in_offset[b] (broadcast)
+            blk.tld(in_offset, toff, offv);
+            blk.count_special(cfg.extra_row_specials);
+            sim::LaneArray ga, sa;
+            sim::LaneValues<T> v{};
+            for (int l = 0; l < aw; ++l) {
+              ga[l] = dec.in_base + offv[0] + ta * ws + l;
+              sa[l] = r * cfg.tile_pitch + l;
+            }
+            blk.gld(in, ga, v);
+            blk.sst(sa, v);
+          }
+        }
+        blk.sync();
+
+        // Phase 2: coalesced write-out. Warp w handles input-combined
+        // column a = ta*32 + c0 + w; lanes walk a padded smem column
+        // (conflict-free) and the contiguous output run.
+        for (Index c0 = 0; c0 < aw; c0 += nwarps) {
+          for (int w = 0; w < nwarps; ++w) {
+            const Index c = c0 + w;
+            if (c >= aw) break;
+            const Index a = ta * ws + c;
+            sim::LaneArray toff;
+            sim::LaneValues<Index> offv{};
+            toff[0] = a;
+            blk.tld(out_offset, toff, offv);
+            blk.count_special(cfg.extra_row_specials);
+            sim::LaneArray sa, ga;
+            sim::LaneValues<T> v{};
+            for (int l = 0; l < bh; ++l) {
+              sa[l] = l * cfg.tile_pitch + c;
+              ga[l] = dec.out_base + offv[0] + tb * ws + l;
+            }
+            blk.sld(sa, v);
+            store_with_epilogue(blk, out, ga, v, epi);
+          }
+        }
+        blk.sync();
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Orthogonal-Arbitrary (Alg. 5)
+// ---------------------------------------------------------------------
+template <class T>
+struct OaKernel {
+  const OaConfig& cfg;
+  sim::DeviceBuffer<T> in;
+  sim::DeviceBuffer<T> out;
+  sim::DeviceBuffer<Index> input_offset;    // texture: size oos_vol
+  sim::DeviceBuffer<Index> output_offset;   // texture: size slice_vol
+  sim::DeviceBuffer<Index> sm_out_offset;   // texture: size slice_vol
+  Epilogue<T> epi{};
+
+  void operator()(sim::BlockCtx& blk) const {
+    BlockDecode dec = decode_block(blk, cfg.grid_extents,
+                                   cfg.grid_in_strides,
+                                   cfg.grid_out_strides);
+    const Index c_eff = cfg.c_eff(dec.idx[0]);
+    const Index r_eff = cfg.r_eff(dec.idx[1]);
+    const bool partial = c_eff < cfg.in_vol || r_eff < cfg.oos_vol;
+    const int nthreads = blk.block_dim();
+    const int nwarps = blk.num_warps();
+    const Index ws = sim::kWarpSize;
+    // start_col = threadid % inp_vol / start_row = threadid / inp_vol
+    // (Alg. 5 lines 7-8): one mod+div per warp at kernel entry.
+    blk.count_special(2 * nwarps);
+
+    for (Index ci = 0; ci < cfg.coarsen_extent; ++ci) {
+      const Index in_base = dec.in_base + ci * cfg.coarsen_in_stride;
+      const Index out_base = dec.out_base + ci * cfg.coarsen_out_stride;
+
+      // Phase 1: copy-in. Lanes walk slice positions s = r*in_vol + c in
+      // input order; the c-run is contiguous in global memory.
+      for (Index s0 = 0; s0 < cfg.slice_vol; s0 += nthreads) {
+        for (int w = 0; w < nwarps; ++w) {
+          const Index base = s0 + static_cast<Index>(w) * ws;
+          if (base >= cfg.slice_vol) break;
+          sim::LaneArray ra;
+          bool any = false;
+          for (int l = 0; l < ws; ++l) {
+            const Index s = base + l;
+            if (s >= cfg.slice_vol) break;
+            const Index c = s % cfg.in_vol;
+            const Index r = s / cfg.in_vol;
+            if (c >= c_eff || r >= r_eff) continue;
+            ra[l] = r;
+            any = true;
+          }
+          if (!any) continue;
+          sim::LaneValues<Index> offv{};
+          blk.tld(input_offset, ra, offv);
+          sim::LaneArray ga, sa;
+          sim::LaneValues<T> v{};
+          for (int l = 0; l < ws; ++l) {
+            if (ra[l] == sim::kInactive) continue;
+            const Index s = base + l;
+            const Index c = s % cfg.in_vol;
+            ga[l] = in_base + offv[l] + c;
+            sa[l] = cfg.pad_index(s);
+          }
+          blk.gld(in, ga, v);
+          blk.sst(sa, v);
+        }
+      }
+      blk.sync();
+
+      // Phase 2: copy-out in output-linear slice order p, via the two
+      // indirection arrays. Partial chunks mask by re-deriving the
+      // blocked dims' indices with mod/div (the paper's "special
+      // instructions ... used for boundary checking in remainder code").
+      for (Index s0 = 0; s0 < cfg.slice_vol; s0 += nthreads) {
+        for (int w = 0; w < nwarps; ++w) {
+          const Index base = s0 + static_cast<Index>(w) * ws;
+          if (base >= cfg.slice_vol) break;
+          sim::LaneArray pa;
+          bool any = false;
+          for (int l = 0; l < ws; ++l) {
+            const Index p = base + l;
+            if (p >= cfg.slice_vol) break;
+            if (partial) {
+              if (c_eff < cfg.in_vol && cfg.mask_a_stride > 0) {
+                const Index idx = (p / cfg.mask_a_stride) % cfg.mask_a_extent;
+                if (idx >= cfg.a_rem) continue;
+              }
+              if (r_eff < cfg.oos_vol && cfg.mask_b_stride > 0) {
+                const Index idx = (p / cfg.mask_b_stride) % cfg.mask_b_extent;
+                if (idx >= cfg.b_rem) continue;
+              }
+            }
+            pa[l] = p;
+            any = true;
+          }
+          if (partial) blk.count_special(4);
+          if (!any) continue;
+          sim::LaneValues<Index> smoff{}, gooff{};
+          blk.tld(sm_out_offset, pa, smoff);
+          blk.tld(output_offset, pa, gooff);
+          sim::LaneArray sa, ga;
+          sim::LaneValues<T> v{};
+          for (int l = 0; l < ws; ++l) {
+            if (pa[l] == sim::kInactive) continue;
+            sa[l] = cfg.pad_index(smoff[l]);
+            ga[l] = out_base + gooff[l];
+          }
+          blk.sld(sa, v);
+          store_with_epilogue(blk, out, ga, v, epi);
+        }
+      }
+      blk.sync();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// FVI-Match-Small (Alg. 6)
+// ---------------------------------------------------------------------
+template <class T>
+struct FviSmallKernel {
+  const FviSmallConfig& cfg;
+  sim::DeviceBuffer<T> in;
+  sim::DeviceBuffer<T> out;
+  Epilogue<T> epi{};
+
+  void operator()(sim::BlockCtx& blk) const {
+    const BlockDecode dec = decode_block(blk, cfg.grid_extents,
+                                         cfg.grid_in_strides,
+                                         cfg.grid_out_strides);
+    const Index i1_eff =
+        (cfg.i1_rem != 0 && dec.idx[0] == cfg.i1_chunks - 1) ? cfg.i1_rem
+                                                             : cfg.b;
+    const Index ik_eff =
+        (cfg.ik_rem != 0 && dec.idx[1] == cfg.ik_chunks - 1) ? cfg.ik_rem
+                                                             : cfg.b;
+    const int nwarps = blk.num_warps();
+    const Index ws = sim::kWarpSize;
+
+    for (Index ci = 0; ci < cfg.coarsen_extent; ++ci) {
+      const Index in_base = dec.in_base + ci * cfg.coarsen_in_stride;
+      const Index out_base = dec.out_base + ci * cfg.coarsen_out_stride;
+
+      // Phase 1: each warp w copies the contiguous b x N0 input chunk
+      // for its own ik value into buffer row w.
+      const Index in_run = i1_eff * cfg.n0;
+      for (int w = 0; w < nwarps; ++w) {
+        if (w >= ik_eff) break;
+        const Index row_base = in_base + w * cfg.in_stride_ik;
+        for (Index j0 = 0; j0 < in_run; j0 += ws) {
+          sim::LaneArray ga, sa;
+          sim::LaneValues<T> v{};
+          for (int l = 0; l < ws; ++l) {
+            const Index j = j0 + l;
+            if (j >= in_run) break;
+            ga[l] = row_base + j;
+            sa[l] = w * cfg.row_pitch + j;
+          }
+          blk.gld(in, ga, v);
+          blk.sst(sa, v);
+        }
+      }
+      blk.sync();
+
+      // Phase 2: each warp w' gathers b "pencils" along ik from the
+      // padded buffer (conflict-free by construction) and writes the
+      // contiguous b x N0 output chunk for its own i1 value.
+      const Index out_run = ik_eff * cfg.n0;
+      for (int w = 0; w < nwarps; ++w) {
+        if (w >= i1_eff) break;
+        const Index row_base = out_base + w * cfg.out_stride_i1;
+        for (Index q0 = 0; q0 < out_run; q0 += ws) {
+          sim::LaneArray sa, ga;
+          sim::LaneValues<T> v{};
+          for (int l = 0; l < ws; ++l) {
+            const Index q = q0 + l;
+            if (q >= out_run) break;
+            const Index jk = q / cfg.n0;
+            const Index e = q % cfg.n0;
+            sa[l] = jk * cfg.row_pitch + w * cfg.n0 + e;
+            ga[l] = row_base + q;
+          }
+          blk.sld(sa, v);
+          store_with_epilogue(blk, out, ga, v, epi);
+        }
+      }
+      blk.sync();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// FVI-Match-Large (Alg. 7) — also the pure-copy degenerate kernel
+// ---------------------------------------------------------------------
+template <class T>
+struct FviLargeKernel {
+  const FviLargeConfig& cfg;
+  sim::DeviceBuffer<T> in;
+  sim::DeviceBuffer<T> out;
+  Epilogue<T> epi{};
+
+  void operator()(sim::BlockCtx& blk) const {
+    const BlockDecode dec = decode_block(blk, cfg.grid_extents,
+                                         cfg.grid_in_strides,
+                                         cfg.grid_out_strides);
+    const Index seg = dec.idx[0];
+    const Index len =
+        std::min<Index>(cfg.seg_len, cfg.n0 - seg * cfg.seg_len);
+    const int nthreads = blk.block_dim();
+    const int nwarps = blk.num_warps();
+    const Index ws = sim::kWarpSize;
+    const Index rows =
+        (cfg.batch_rem != 0 && dec.idx[1] == cfg.batch_chunks - 1)
+            ? cfg.batch_rem
+            : cfg.batch;
+    (void)nthreads;
+
+    // Distribute (row, 32-chunk) pairs across the block's warps so both
+    // short-and-batched and long-unbatched rows keep every warp busy.
+    const Index jchunks = (len + ws - 1) / ws;
+    const Index total = rows * jchunks;
+    for (Index g0 = 0; g0 < total; g0 += nwarps) {
+      for (int w = 0; w < nwarps; ++w) {
+        const Index g = g0 + w;
+        if (g >= total) break;
+        const Index ci = g / jchunks;
+        const Index base = (g % jchunks) * ws;
+        const Index in_base = dec.in_base + ci * cfg.batch_in_stride;
+        const Index out_base = dec.out_base + ci * cfg.batch_out_stride;
+        sim::LaneArray ga, go;
+        sim::LaneValues<T> v{};
+        for (int l = 0; l < ws; ++l) {
+          const Index j = base + l;
+          if (j >= len) break;
+          ga[l] = in_base + j;
+          go[l] = out_base + j;
+        }
+        blk.gld(in, ga, v);
+        store_with_epilogue(blk, out, go, v, epi);
+      }
+    }
+  }
+};
+
+}  // namespace ttlg

@@ -1,0 +1,98 @@
+// Launch wrappers shared by the TTLG plan and the baseline libraries:
+// they assemble the sim::LaunchConfig (including the block classifier
+// used for sampled counting) and dispatch the right kernel.
+#pragma once
+
+#include "core/kernels.hpp"
+#include "gpusim/device.hpp"
+
+namespace ttlg {
+
+/// Classifier over the two chunked grid slots (slot 0 and slot 1):
+/// class = partial-A bit | partial-B bit.
+inline std::function<std::int64_t(std::int64_t)> chunk_block_class(
+    Index a_chunks, Index a_rem, Index b_chunks, Index b_rem) {
+  return [=](std::int64_t bid) -> std::int64_t {
+    const Index a = bid % a_chunks;
+    const Index b = (bid / a_chunks) % b_chunks;
+    return (a_rem != 0 && a == a_chunks - 1 ? 1 : 0) +
+           (b_rem != 0 && b == b_chunks - 1 ? 2 : 0);
+  };
+}
+
+template <class T>
+sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
+                            sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
+                            sim::DeviceBuffer<Index> in_offset,
+                            sim::DeviceBuffer<Index> out_offset,
+                            Epilogue<T> epi = {}) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = sizeof(T);
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = 32 * k.tile_pitch;
+  cfg.kernel_name = "orthogonal_distinct";
+  cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
+                                      k.b_rem);
+  cfg.num_classes = 4;
+  return dev.launch(OdKernel<T>{k, in, out, in_offset, out_offset, epi},
+                    cfg);
+}
+
+template <class T>
+sim::LaunchResult launch_oa(sim::Device& dev, const OaConfig& k,
+                            sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
+                            sim::DeviceBuffer<Index> input_offset,
+                            sim::DeviceBuffer<Index> output_offset,
+                            sim::DeviceBuffer<Index> sm_out_offset,
+                            Epilogue<T> epi = {}) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = sizeof(T);
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = k.smem_elems();
+  cfg.kernel_name = "orthogonal_arbitrary";
+  cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
+                                      k.b_rem);
+  cfg.num_classes = 4;
+  return dev.launch(
+      OaKernel<T>{k, in, out, input_offset, output_offset, sm_out_offset,
+                  epi},
+      cfg);
+}
+
+template <class T>
+sim::LaunchResult launch_fvi_small(sim::Device& dev, const FviSmallConfig& k,
+                                   sim::DeviceBuffer<T> in,
+                                   sim::DeviceBuffer<T> out,
+                                   Epilogue<T> epi = {}) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = sizeof(T);
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = k.smem_elems;
+  cfg.kernel_name = "fvi_match_small";
+  cfg.block_class = chunk_block_class(k.i1_chunks, k.i1_rem, k.ik_chunks,
+                                      k.ik_rem);
+  cfg.num_classes = 4;
+  return dev.launch(FviSmallKernel<T>{k, in, out, epi}, cfg);
+}
+
+template <class T>
+sim::LaunchResult launch_fvi_large(sim::Device& dev, const FviLargeConfig& k,
+                                   sim::DeviceBuffer<T> in,
+                                   sim::DeviceBuffer<T> out,
+                                   Epilogue<T> epi = {}) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = sizeof(T);
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = 0;
+  cfg.kernel_name = "fvi_match_large";
+  cfg.block_class = chunk_block_class(k.segs, k.n0 % k.seg_len,
+                                      k.batch_chunks, k.batch_rem);
+  cfg.num_classes = 4;
+  return dev.launch(FviLargeKernel<T>{k, in, out, epi}, cfg);
+}
+
+}  // namespace ttlg

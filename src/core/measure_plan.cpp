@@ -1,0 +1,144 @@
+#include "core/measure_plan.hpp"
+
+#include <optional>
+
+#include "core/launch_helpers.hpp"
+
+namespace ttlg {
+namespace {
+
+/// Execute one candidate in count-only sampled mode and return its
+/// simulated kernel time. The caller's device mode is preserved.
+class CandidateRunner {
+ public:
+  CandidateRunner(sim::Device& dev, const TransposeProblem& problem)
+      : dev_(dev),
+        saved_mode_(dev.mode()),
+        saved_sampling_(dev.sampling()),
+        in_(dev.alloc_virtual<double>(problem.volume())),
+        out_(dev.alloc_virtual<double>(problem.volume())) {
+    dev_.set_mode(sim::ExecMode::kCountOnly);
+    if (dev_.sampling() == 0) dev_.set_sampling(4);
+  }
+  ~CandidateRunner() {
+    dev_.try_free(in_);
+    dev_.try_free(out_);
+    dev_.set_mode(saved_mode_);
+    dev_.set_sampling(saved_sampling_);
+  }
+  CandidateRunner(const CandidateRunner&) = delete;
+  CandidateRunner& operator=(const CandidateRunner&) = delete;
+
+  double run_od(const OdConfig& cfg) {
+    auto t0 = dev_.alloc_copy<Index>(cfg.in_offset);
+    auto t1 = dev_.alloc_copy<Index>(cfg.out_offset);
+    const double t = launch_od<double>(dev_, cfg, in_, out_, t0, t1).time_s;
+    dev_.free(t0);
+    dev_.free(t1);
+    return t;
+  }
+  double run_oa(const OaConfig& cfg) {
+    auto t0 = dev_.alloc_copy<Index>(cfg.input_offset);
+    auto t1 = dev_.alloc_copy<Index>(cfg.output_offset);
+    auto t2 = dev_.alloc_copy<Index>(cfg.sm_out_offset);
+    const double t =
+        launch_oa<double>(dev_, cfg, in_, out_, t0, t1, t2).time_s;
+    dev_.free(t0);
+    dev_.free(t1);
+    dev_.free(t2);
+    return t;
+  }
+  double run_fvi_small(const FviSmallConfig& cfg) {
+    return launch_fvi_small<double>(dev_, cfg, in_, out_).time_s;
+  }
+  double run_fvi_large(const FviLargeConfig& cfg) {
+    return launch_fvi_large<double>(dev_, cfg, in_, out_).time_s;
+  }
+
+ private:
+  sim::Device& dev_;
+  sim::ExecMode saved_mode_;
+  int saved_sampling_;
+  sim::DeviceBuffer<double> in_, out_;
+};
+
+}  // namespace
+
+Plan make_plan_measured(sim::Device& dev, const Shape& shape,
+                        const Permutation& perm, const PlanOptions& opts,
+                        MeasuredPlanStats* stats) {
+  auto problem = TransposeProblem::make(shape, perm, opts.elem_size);
+  const Index max_smem = dev.props().shared_mem_per_block_bytes / 8;
+  MeasuredPlanStats local;
+  KernelSelection best;
+  double best_t = -1;
+
+  CandidateRunner runner(dev, problem);
+  auto consider = [&](KernelSelection sel, double t) {
+    ++local.candidates_executed;
+    local.measure_device_s += t;
+    if (best_t < 0 || t < best_t) {
+      best_t = t;
+      sel.predicted_s = t;
+      best = std::move(sel);
+    }
+  };
+
+  const Schema schema = classify(problem);
+  if (schema == Schema::kCopy || schema == Schema::kFviMatchLarge) {
+    KernelSelection sel;
+    sel.schema = schema;
+    sel.fvi_large = build_fvi_large_config(problem, opts.enable_coarsening);
+    consider(std::move(sel), runner.run_fvi_large(
+                                 build_fvi_large_config(
+                                     problem, opts.enable_coarsening)));
+  } else {
+    // FVI-Match-Small candidates (when applicable).
+    if (problem.fused.perm.fvi_matches() && problem.fused.shape.rank() >= 3) {
+      for (Index b : enumerate_fvi_small_blockings(problem, max_smem)) {
+        KernelSelection sel;
+        sel.schema = Schema::kFviMatchSmall;
+        sel.fvi_small =
+            build_fvi_small_config(problem, b, opts.enable_coarsening);
+        const double t = runner.run_fvi_small(sel.fvi_small);
+        consider(std::move(sel), t);
+      }
+    }
+    // Orthogonal-Distinct candidates.
+    if (!problem.fused.perm.fvi_matches()) {
+      auto cands = enumerate_od_slices(
+          problem,
+          od_max_slice_vol(problem, dev.props(), opts.overbooking_factor));
+      constexpr std::size_t kMaxExec = 64;  // measuring is expensive
+      const std::size_t step = std::max<std::size_t>(
+          1, cands.size() / kMaxExec);
+      for (std::size_t i = 0; i < cands.size(); i += step) {
+        KernelSelection sel;
+        sel.schema = Schema::kOrthogonalDistinct;
+        sel.od = build_od_config(problem, cands[i]);
+        const double t = runner.run_od(sel.od);
+        consider(std::move(sel), t);
+      }
+    }
+    // Orthogonal-Arbitrary candidates.
+    {
+      auto cands = enumerate_oa_slices(problem, max_smem);
+      constexpr std::size_t kMaxExec = 32;
+      const std::size_t step =
+          std::max<std::size_t>(1, cands.size() / kMaxExec);
+      for (std::size_t i = 0; i < cands.size(); i += step) {
+        KernelSelection sel;
+        sel.schema = Schema::kOrthogonalArbitrary;
+        sel.oa =
+            build_oa_config(problem, cands[i], opts.enable_coarsening);
+        const double t = runner.run_oa(sel.oa);
+        consider(std::move(sel), t);
+      }
+    }
+  }
+  TTLG_ASSERT(best_t >= 0, "at least one candidate always exists");
+  if (stats) *stats = local;
+  return Plan::from_selection(dev, std::move(problem), std::move(best));
+}
+
+}  // namespace ttlg

@@ -1,0 +1,29 @@
+// Measurement-based planning (the counterpart of cuTT's "measure"
+// mode, applied to TTLG's own kernel space): instead of trusting the §V
+// model, execute every Alg. 3 candidate once in count-only mode on
+// storage-free buffers and keep the actually-fastest configuration.
+//
+// This is the upper bound for what the regression model can achieve;
+// the ablation benchmark compares the two, and applications can choose
+// it when a transposition will run thousands of times.
+#pragma once
+
+#include "core/plan.hpp"
+
+namespace ttlg {
+
+struct MeasuredPlanStats {
+  Index candidates_executed = 0;
+  /// Total simulated device time spent executing candidates (this is
+  /// what a single-use caller would pay on top of the host wall time).
+  double measure_device_s = 0;
+};
+
+/// Plan by measuring: enumerate the same candidate space as make_plan,
+/// execute each candidate (count-only, sampled) and keep the fastest.
+/// The returned plan's predicted_time_s() is the measured kernel time.
+Plan make_plan_measured(sim::Device& dev, const Shape& shape,
+                        const Permutation& perm, const PlanOptions& opts = {},
+                        MeasuredPlanStats* stats = nullptr);
+
+}  // namespace ttlg

@@ -1,0 +1,104 @@
+// Orthogonal-Arbitrary kernel configuration (paper Alg. 5) and its
+// offset indirection arrays (paper Alg. 4).
+//
+// The slice covers the combined input prefix IS = {i0..i_{x-1}} (with
+// block_a on its slowest dim) plus the output-only dims OOS = OS - IS
+// (with block_b on the slowest OOS dim). The shared-memory buffer is a
+// linear in_vol x oos_vol array. Copy-in walks (r, c) with c contiguous
+// in input memory; copy-out walks the slice in OUTPUT linear order p,
+// reading smem through sm_out_offset[p] and writing global memory at
+// output_offset[p] — both served from texture memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace ttlg {
+
+struct OaSlice {
+  Index dims_in = 1;   ///< # fused input dims in IS
+  Index block_a = 1;   ///< blocking on IS's slowest dim
+  Index dims_out = 1;  ///< # fused output positions in OS
+  Index block_b = 1;   ///< blocking on OOS's slowest dim (1 if OOS empty)
+};
+
+struct OaConfig {
+  OaSlice slice;
+
+  Index in_vol = 1;    ///< combined input slice volume (p_in * block_a)
+  Index oos_vol = 1;   ///< combined output-only volume
+  Index slice_vol = 1; ///< in_vol * oos_vol (logical buffer elements)
+
+  /// Stagger the linear shared buffer by one element every 32 (bank
+  /// count) to break the stride-32 conflict patterns of the gather
+  /// phase — the "specialization" §IV alludes to. Ablatable.
+  bool smem_padded = true;
+  Index pad_index(Index x) const {
+    return smem_padded ? x + x / 32 : x;
+  }
+  /// Physical shared-memory elements including padding.
+  Index smem_elems() const { return pad_index(slice_vol - 1) + 1; }
+
+  Index p_in = 1;             ///< product of unblocked IS extents
+  Index in_blocked_dim = 0;
+  Index a_chunks = 1, a_rem = 0;
+
+  std::vector<Index> oos_dims;  ///< input dims of OOS, output order
+  Index p_oos = 1;              ///< product of unblocked OOS extents
+  Index oos_blocked_dim = -1;   ///< input dim carrying block_b (-1 none)
+  Index b_chunks = 1, b_rem = 0;
+
+  /// Output-order decode of the slice (for the copy-out phase): dims in
+  /// increasing output position, with their SLICE extents.
+  std::vector<Index> dec_dims;
+  std::vector<Index> dec_extents;
+  /// Decode strides (cumprod of dec_extents) of the two blocked dims,
+  /// for in-kernel remainder masking: idx = (p / stride) % extent.
+  Index mask_a_stride = 0, mask_a_extent = 1;  ///< 0 stride = no masking
+  Index mask_b_stride = 0, mask_b_extent = 1;
+
+  /// Size of contiguous memory runs inside a slice (paper §V features
+  /// "input stride" / "output stride").
+  Index input_run = 1;
+  Index output_run = 1;
+
+  /// Grid decode: [a_chunks, b_chunks, outer...], plus optional thread
+  /// coarsening over one outer dim handled by an in-kernel loop.
+  std::vector<Index> grid_extents;
+  std::vector<Index> grid_in_strides;
+  std::vector<Index> grid_out_strides;
+  Index grid_blocks = 1;
+  int block_threads = 256;
+  Index coarsen_extent = 1;  ///< 1 = coarsening disabled
+  Index coarsen_in_stride = 0, coarsen_out_stride = 0;
+
+  /// Alg. 4 arrays (uploaded to texture memory by the plan).
+  std::vector<Index> input_offset;    ///< size oos_vol
+  std::vector<Index> output_offset;   ///< size slice_vol
+  std::vector<Index> sm_out_offset;   ///< size slice_vol
+
+  Index c_eff(Index chunk_a) const {
+    return (a_rem != 0 && chunk_a == a_chunks - 1) ? p_in * a_rem : in_vol;
+  }
+  Index r_eff(Index chunk_b) const {
+    return (b_rem != 0 && chunk_b == b_chunks - 1) ? p_oos * b_rem : oos_vol;
+  }
+};
+
+/// Build the full Orthogonal-Arbitrary configuration for a candidate.
+/// `enable_coarsening` applies the §IV-A heuristic (first outer input
+/// dim with extent in [4, 32], tensors larger than 2 MB only).
+/// `with_offsets = false` skips the Alg. 4 indirection arrays (enough
+/// for performance prediction during the slice search).
+OaConfig build_oa_config(const TransposeProblem& problem, const OaSlice& slice,
+                         bool enable_coarsening, bool with_offsets = true);
+
+/// Enumerate admissible OA slices: shared-memory feasible (slice_vol *
+/// elem_size within the per-block limit), warp-size-stepped combined
+/// volumes per Alg. 3.
+std::vector<OaSlice> enumerate_oa_slices(const TransposeProblem& problem,
+                                         Index max_smem_elems);
+
+}  // namespace ttlg

@@ -1,0 +1,129 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "gpusim/timing_model.hpp"
+
+namespace ttlg {
+
+PerfModel::PerfModel(const sim::DeviceProperties& props, ModelKind kind,
+                     RegressionCoefficients coeffs)
+    : props_(props), kind_(kind), coeffs_(std::move(coeffs)) {}
+
+bool PerfModel::use_regression_od() const {
+  if (kind_ == ModelKind::kAnalytic) return false;
+  if (kind_ == ModelKind::kRegression) {
+    TTLG_CHECK(!coeffs_.od.empty(), "regression model requested but no "
+                                    "Orthogonal-Distinct coefficients loaded");
+    return true;
+  }
+  return !coeffs_.od.empty();
+}
+
+bool PerfModel::use_regression_oa() const {
+  if (kind_ == ModelKind::kAnalytic) return false;
+  if (kind_ == ModelKind::kRegression) {
+    TTLG_CHECK(!coeffs_.oa.empty(), "regression model requested but no "
+                                    "Orthogonal-Arbitrary coefficients loaded");
+    return true;
+  }
+  return !coeffs_.oa.empty();
+}
+
+namespace {
+
+/// Physical lower bound for a candidate: its analytically counted DRAM
+/// traffic at peak effective bandwidth, plus launch overhead. Linear
+/// regression can extrapolate below this (or below zero) for extreme
+/// configurations; clamping keeps such candidates from winning Alg. 3
+/// on a fluke of the fit.
+double dram_floor_s(const sim::DeviceProperties& props,
+                    const sim::LaunchCounters& analytic) {
+  const double bytes = static_cast<double>(analytic.dram_transactions()) *
+                       static_cast<double>(props.dram_transaction_bytes);
+  return props.launch_overhead_s +
+         bytes / (props.effective_bandwidth_gbps * 1e9);
+}
+
+}  // namespace
+
+double PerfModel::predict_od(const TransposeProblem& p,
+                             const OdConfig& c) const {
+  if (use_regression_od()) {
+    const auto f = od_features(p, c);
+    TTLG_ASSERT(f.size() == coeffs_.od.size(),
+                "coefficient/feature width mismatch");
+    double t = 0;
+    for (std::size_t k = 0; k < f.size(); ++k) t += coeffs_.od[k] * f[k];
+    return std::max(t, dram_floor_s(props_, analyze_od(p, c)));
+  }
+  return sim::kernel_time_seconds(props_, analyze_od(p, c));
+}
+
+double PerfModel::predict_oa(const TransposeProblem& p,
+                             const OaConfig& c) const {
+  if (use_regression_oa()) {
+    const auto f = oa_features(p, c);
+    TTLG_ASSERT(f.size() == coeffs_.oa.size(),
+                "coefficient/feature width mismatch");
+    double t = 0;
+    for (std::size_t k = 0; k < f.size(); ++k) t += coeffs_.oa[k] * f[k];
+    return std::max(t, dram_floor_s(props_, analyze_oa(p, c)));
+  }
+  return sim::kernel_time_seconds(props_, analyze_oa(p, c));
+}
+
+double PerfModel::predict_fvi_small(const TransposeProblem& p,
+                                    const FviSmallConfig& c) const {
+  return sim::kernel_time_seconds(props_, analyze_fvi_small(p, c));
+}
+
+double PerfModel::predict_fvi_large(const TransposeProblem& p,
+                                    const FviLargeConfig& c) const {
+  return sim::kernel_time_seconds(props_, analyze_fvi_large(p, c));
+}
+
+std::vector<double> PerfModel::od_features(const TransposeProblem& p,
+                                           const OdConfig& c) {
+  return {static_cast<double>(p.volume()),
+          static_cast<double>(c.grid_blocks),
+          static_cast<double>(c.slice.a_vol),
+          static_cast<double>(c.slice.b_vol),
+          od_cycles_feature(p, c)};
+}
+
+std::vector<double> PerfModel::oa_features(const TransposeProblem& p,
+                                           const OaConfig& c) {
+  return {static_cast<double>(p.volume()),
+          static_cast<double>(c.grid_blocks) * c.block_threads,
+          static_cast<double>(c.slice_vol),
+          static_cast<double>(c.input_run),
+          static_cast<double>(c.output_run),
+          oa_special_feature(p, c),
+          oa_cycles_feature(p, c)};
+}
+
+std::vector<std::string> PerfModel::od_feature_names() {
+  return {"Volume", "NumBlocks", "Input slice", "Output slice", "Cycles"};
+}
+
+std::vector<std::string> PerfModel::oa_feature_names() {
+  return {"Volume",        "NumThreads",   "Total Slice", "Input Stride",
+          "Output Stride", "Special Instr", "Cycles"};
+}
+
+RegressionCoefficients PerfModel::default_coefficients() {
+  // Trained offline against the gpusim substrate by bench/table2_model_fit
+  // (analogous to the paper's offline hardware training). Regenerate with:
+  //   build/bench/table2_model_fit --print-coefficients
+  // Feature order matches od_feature_names() / oa_feature_names().
+  RegressionCoefficients c;
+  c.od = {5.794435e-11, 1.591313e-08, 6.490785e-08, 9.207650e-08,
+          5.218414e-10};
+  c.oa = {3.424089e-11, -5.154272e-11, 9.272422e-08, -3.286341e-07,
+          -5.188521e-08, 1.008920e-09, 5.414044e-10};
+  return c;
+}
+
+}  // namespace ttlg

@@ -1,0 +1,68 @@
+// The queryable performance model (paper §V). Two implementations:
+//  - Regression: linear models per kernel over the paper's Table II
+//    feature sets, trained offline against the simulator (the paper
+//    trains against hardware). Default coefficients are embedded; the
+//    table2 benchmark retrains and prints fresh ones.
+//  - Analytic: the §IV-C transaction analysis fed through the
+//    simulator's timing model (used as fallback and for ablation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "gpusim/device_properties.hpp"
+
+namespace ttlg {
+
+enum class ModelKind {
+  kAuto,        ///< regression when coefficients exist, else analytic
+  kRegression,
+  kAnalytic,
+};
+
+/// Coefficients for the two regression models, in feature order (see
+/// PerfModel::od_feature_names / oa_feature_names). Empty = untrained.
+struct RegressionCoefficients {
+  std::vector<double> od;
+  std::vector<double> oa;
+};
+
+class PerfModel {
+ public:
+  explicit PerfModel(const sim::DeviceProperties& props,
+                     ModelKind kind = ModelKind::kAuto,
+                     RegressionCoefficients coeffs = default_coefficients());
+
+  /// Predicted kernel execution time in seconds.
+  double predict_od(const TransposeProblem& p, const OdConfig& c) const;
+  double predict_oa(const TransposeProblem& p, const OaConfig& c) const;
+  double predict_fvi_small(const TransposeProblem& p,
+                           const FviSmallConfig& c) const;
+  double predict_fvi_large(const TransposeProblem& p,
+                           const FviLargeConfig& c) const;
+
+  const sim::DeviceProperties& props() const { return props_; }
+  ModelKind kind() const { return kind_; }
+
+  /// Table II feature vectors (shared with the offline trainer).
+  static std::vector<double> od_features(const TransposeProblem& p,
+                                         const OdConfig& c);
+  static std::vector<double> oa_features(const TransposeProblem& p,
+                                         const OaConfig& c);
+  static std::vector<std::string> od_feature_names();
+  static std::vector<std::string> oa_feature_names();
+
+  /// Embedded coefficients produced by the table2_model_fit benchmark.
+  static RegressionCoefficients default_coefficients();
+
+ private:
+  bool use_regression_od() const;
+  bool use_regression_oa() const;
+
+  sim::DeviceProperties props_;
+  ModelKind kind_;
+  RegressionCoefficients coeffs_;
+};
+
+}  // namespace ttlg

@@ -1,0 +1,104 @@
+#include "core/plan.hpp"
+
+#include <sstream>
+
+#include "common/timer.hpp"
+
+namespace ttlg {
+
+void Plan::release() {
+  if (!dev_) return;
+  if (tex0_.valid()) dev_->try_free(tex0_);
+  if (tex1_.valid()) dev_->try_free(tex1_);
+  if (tex2_.valid()) dev_->try_free(tex2_);
+  dev_ = nullptr;
+}
+
+void Plan::move_from(Plan& o) {
+  dev_ = o.dev_;
+  problem_ = std::move(o.problem_);
+  sel_ = std::move(o.sel_);
+  tex0_ = o.tex0_;
+  tex1_ = o.tex1_;
+  tex2_ = o.tex2_;
+  plan_wall_s_ = o.plan_wall_s_;
+  o.dev_ = nullptr;
+  o.tex0_ = o.tex1_ = o.tex2_ = {};
+}
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << to_string(sel_.schema) << " for " << problem_.shape.to_string()
+     << " -> " << problem_.perm.to_string() << " (scaled rank "
+     << problem_.scaled_rank() << ")";
+  switch (sel_.schema) {
+    case Schema::kOrthogonalDistinct:
+      os << ", slice " << sel_.od.slice.a_vol << "x" << sel_.od.slice.b_vol
+         << " (blockA=" << sel_.od.slice.block_a
+         << ", blockB=" << sel_.od.slice.block_b << ")";
+      break;
+    case Schema::kOrthogonalArbitrary:
+      os << ", slice " << sel_.oa.in_vol << "x" << sel_.oa.oos_vol
+         << ", coarsen=" << sel_.oa.coarsen_extent;
+      break;
+    case Schema::kFviMatchSmall:
+      os << ", b=" << sel_.fvi_small.b << ", pad=" << sel_.fvi_small.pad;
+      break;
+    default:
+      break;
+  }
+  os << ", predicted " << sel_.predicted_s * 1e6 << " us";
+  return os.str();
+}
+
+Plan Plan::from_selection(sim::Device& dev, TransposeProblem problem,
+                          KernelSelection sel) {
+  Plan plan;
+  plan.dev_ = &dev;
+  plan.problem_ = std::move(problem);
+  plan.sel_ = std::move(sel);
+
+  // Upload the offset indirection arrays (they live in texture memory
+  // and are shared by all thread blocks; this is plan-time work).
+  switch (plan.sel_.schema) {
+    case Schema::kOrthogonalDistinct:
+      plan.tex0_ = dev.alloc_copy<Index>(plan.sel_.od.in_offset);
+      plan.tex1_ = dev.alloc_copy<Index>(plan.sel_.od.out_offset);
+      break;
+    case Schema::kOrthogonalArbitrary:
+      plan.tex0_ = dev.alloc_copy<Index>(plan.sel_.oa.input_offset);
+      plan.tex1_ = dev.alloc_copy<Index>(plan.sel_.oa.output_offset);
+      plan.tex2_ = dev.alloc_copy<Index>(plan.sel_.oa.sm_out_offset);
+      break;
+    default:
+      break;
+  }
+  return plan;
+}
+
+Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
+               const PlanOptions& opts) {
+  WallTimer timer;
+  auto problem = TransposeProblem::make(shape, perm, opts.elem_size);
+  const PerfModel model(dev.props(), opts.model);
+  auto sel = select_kernel(problem, model, opts);
+  Plan plan = Plan::from_selection(dev, std::move(problem), std::move(sel));
+  plan.plan_wall_s_ = timer.seconds();
+  return plan;
+}
+
+double predict_transpose_time(const sim::DeviceProperties& props,
+                              const Shape& shape, const Permutation& perm,
+                              const PlanOptions& opts) {
+  const TransposeProblem problem =
+      TransposeProblem::make(shape, perm, opts.elem_size);
+  const PerfModel model(props, opts.model);
+  return select_kernel(problem, model, opts).predicted_s;
+}
+
+double achieved_bandwidth_gbps(Index volume, int elem_size, double seconds) {
+  TTLG_CHECK(seconds > 0, "non-positive time");
+  return 2.0 * static_cast<double>(volume) * elem_size / (seconds * 1e9);
+}
+
+}  // namespace ttlg

@@ -1,0 +1,108 @@
+// Execution plans: the result of TTLG's planning phase (taxonomy +
+// model-driven slice choice + offset-array upload). A plan is created
+// once and executed many times — the split the paper's single-use vs
+// repeated-use evaluation is about.
+#pragma once
+
+#include <string>
+
+#include "core/launch_helpers.hpp"
+#include "core/planner.hpp"
+#include "gpusim/device.hpp"
+
+namespace ttlg {
+
+class Plan {
+ public:
+  Plan() = default;
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+  Plan(Plan&& o) noexcept { move_from(o); }
+  Plan& operator=(Plan&& o) noexcept {
+    if (this != &o) {
+      release();
+      move_from(o);
+    }
+    return *this;
+  }
+  ~Plan() { release(); }
+
+  bool valid() const { return dev_ != nullptr; }
+  Schema schema() const { return sel_.schema; }
+  const TransposeProblem& problem() const { return problem_; }
+  const KernelSelection& selection() const { return sel_; }
+  /// Model-predicted kernel time (the §V queryable estimate).
+  double predicted_time_s() const { return sel_.predicted_s; }
+  /// Host wall-clock spent planning (selection + offset upload).
+  double plan_wall_s() const { return plan_wall_s_; }
+
+  std::string describe() const;
+
+  /// Assemble a plan from an explicit kernel selection (uploads the
+  /// offset arrays). Used by make_plan and by plan deserialization;
+  /// application code normally calls make_plan instead.
+  static Plan from_selection(sim::Device& dev, TransposeProblem problem,
+                             KernelSelection sel);
+
+  /// Run the planned kernel: out = alpha * permute(in) + beta * out.
+  /// T must match the planned element size; buffers must hold exactly
+  /// problem().volume() elements. beta != 0 reads the previous output
+  /// (extra DRAM traffic, charged by the simulator).
+  template <class T>
+  sim::LaunchResult execute(sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
+                            T alpha = T{1}, T beta = T{0}) const {
+    TTLG_CHECK(valid(), "executing an empty plan");
+    TTLG_CHECK(static_cast<int>(sizeof(T)) == problem_.elem_size,
+               "element type does not match the planned element size");
+    TTLG_CHECK(in.size() == problem_.volume() &&
+                   out.size() == problem_.volume(),
+               "buffer sizes must equal the tensor volume");
+    const Epilogue<T> epi{alpha, beta};
+    switch (sel_.schema) {
+      case Schema::kCopy:
+      case Schema::kFviMatchLarge:
+        return launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi);
+      case Schema::kFviMatchSmall:
+        return launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi);
+      case Schema::kOrthogonalDistinct:
+        return launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi);
+      case Schema::kOrthogonalArbitrary:
+        return launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_,
+                            epi);
+    }
+    TTLG_ASSERT(false, "unreachable schema");
+  }
+
+ private:
+  friend Plan make_plan(sim::Device&, const Shape&, const Permutation&,
+                        const PlanOptions&);
+  void release();
+  void move_from(Plan& o);
+
+  sim::Device* dev_ = nullptr;
+  TransposeProblem problem_;
+  KernelSelection sel_;
+  // Offset indirection arrays resident in (texture) device memory:
+  // OD uses tex0 = in_offset, tex1 = out_offset;
+  // OA uses tex0 = input_offset, tex1 = output_offset, tex2 = sm_out.
+  sim::DeviceBuffer<Index> tex0_, tex1_, tex2_;
+  double plan_wall_s_ = 0;
+};
+
+/// Full planning pipeline: classify, search slices with the performance
+/// model, compute and upload offset arrays. The returned plan remains
+/// bound to `dev` (which must outlive it).
+Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
+               const PlanOptions& opts = {});
+
+/// §V queryable model interface: predicted kernel time for a
+/// transposition WITHOUT building or uploading a plan. Intended for
+/// higher-level libraries (e.g. TTGT contraction planning).
+double predict_transpose_time(const sim::DeviceProperties& props,
+                              const Shape& shape, const Permutation& perm,
+                              const PlanOptions& opts = {});
+
+/// The paper's reported metric: 2 * volume * elem_size / time, in GB/s.
+double achieved_bandwidth_gbps(Index volume, int elem_size, double seconds);
+
+}  // namespace ttlg

@@ -1,0 +1,20 @@
+#include "core/plan_cache.hpp"
+
+namespace ttlg {
+
+const Plan& PlanCache::get(sim::Device& dev, const Shape& shape,
+                           const Permutation& perm, const PlanOptions& opts,
+                           bool* was_hit) {
+  Key key{shape.extents(), perm.vec(), opts.elem_size};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    if (was_hit) *was_hit = true;
+    return it->second;
+  }
+  if (was_hit) *was_hit = false;
+  auto [pos, inserted] =
+      cache_.emplace(std::move(key), make_plan(dev, shape, perm, opts));
+  return pos->second;
+}
+
+}  // namespace ttlg

@@ -1,0 +1,30 @@
+// Plan cache for the repeated-use scenario (paper Fig. 12): the first
+// call for a (shape, permutation, element-size) key pays the planning
+// cost; subsequent calls reuse the resident plan and offset arrays.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "core/plan.hpp"
+
+namespace ttlg {
+
+class PlanCache {
+ public:
+  /// Fetch (or create and remember) the plan for this transposition.
+  /// `was_hit`, if non-null, reports whether planning was skipped.
+  const Plan& get(sim::Device& dev, const Shape& shape,
+                  const Permutation& perm, const PlanOptions& opts = {},
+                  bool* was_hit = nullptr);
+
+  std::size_t size() const { return cache_.size(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  using Key = std::tuple<std::vector<Index>, std::vector<Index>, int>;
+  std::map<Key, Plan> cache_;
+};
+
+}  // namespace ttlg

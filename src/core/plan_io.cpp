@@ -1,0 +1,146 @@
+#include "core/plan_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <iomanip>
+#include <sstream>
+
+namespace ttlg {
+namespace {
+
+constexpr const char* kMagic = "ttlg-plan";
+constexpr int kVersion = 1;
+
+void write_vec(std::ostream& os, const char* key,
+               const std::vector<Index>& v) {
+  os << key;
+  for (Index x : v) os << ' ' << x;
+  os << '\n';
+}
+
+std::vector<Index> read_vec(std::istringstream& line) {
+  std::vector<Index> v;
+  Index x;
+  while (line >> x) v.push_back(x);
+  return v;
+}
+
+/// Fetch the next non-empty line and verify its leading keyword.
+std::istringstream next_record(std::istream& is, const std::string& want) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    TTLG_CHECK(key == want,
+               "plan record: expected '" + want + "', got '" + key + "'");
+    return ls;
+  }
+  TTLG_CHECK(false, "plan record truncated: missing '" + want + "'");
+}
+
+}  // namespace
+
+void save_plan(std::ostream& os, const Plan& plan) {
+  TTLG_CHECK(plan.valid(), "cannot save an empty plan");
+  const auto& problem = plan.problem();
+  const auto& sel = plan.selection();
+  os << kMagic << ' ' << kVersion << '\n';
+  write_vec(os, "shape", problem.shape.extents());
+  write_vec(os, "perm", problem.perm.vec());
+  os << "elem " << problem.elem_size << '\n';
+  os << "schema " << static_cast<int>(sel.schema) << '\n';
+  switch (sel.schema) {
+    case Schema::kCopy:
+    case Schema::kFviMatchLarge:
+      os << "fvil " << (sel.fvi_large.batch > 1 ? 1 : 0) << '\n';
+      break;
+    case Schema::kFviMatchSmall:
+      os << "fvis " << sel.fvi_small.b << ' '
+         << (sel.fvi_small.coarsen_extent > 1 ? 1 : 0) << '\n';
+      break;
+    case Schema::kOrthogonalDistinct:
+      os << "od " << sel.od.slice.dims_in << ' ' << sel.od.slice.dims_out
+         << ' ' << sel.od.slice.block_a << ' ' << sel.od.slice.block_b << ' '
+         << sel.od.tile_pitch << ' ' << sel.od.extra_row_specials << '\n';
+      break;
+    case Schema::kOrthogonalArbitrary:
+      os << "oa " << sel.oa.slice.dims_in << ' ' << sel.oa.slice.block_a
+         << ' ' << sel.oa.slice.dims_out << ' ' << sel.oa.slice.block_b << ' '
+         << (sel.oa.coarsen_extent > 1 ? 1 : 0) << ' '
+         << (sel.oa.smem_padded ? 1 : 0) << '\n';
+      break;
+  }
+  os << "predicted " << std::setprecision(17) << plan.predicted_time_s()
+     << '\n';
+}
+
+Plan load_plan(sim::Device& dev, std::istream& is) {
+  {
+    auto header = next_record(is, kMagic);
+    int version = 0;
+    header >> version;
+    TTLG_CHECK(version == kVersion,
+               "unsupported plan version " + std::to_string(version));
+  }
+  auto shape_line = next_record(is, "shape");
+  const Shape shape(read_vec(shape_line));
+  auto perm_line = next_record(is, "perm");
+  const Permutation perm(read_vec(perm_line));
+  int elem = 8;
+  next_record(is, "elem") >> elem;
+  int schema_int = 0;
+  next_record(is, "schema") >> schema_int;
+
+  auto problem = TransposeProblem::make(shape, perm, elem);
+  KernelSelection sel;
+  sel.schema = static_cast<Schema>(schema_int);
+  switch (sel.schema) {
+    case Schema::kCopy:
+    case Schema::kFviMatchLarge: {
+      int batched = 0;
+      next_record(is, "fvil") >> batched;
+      sel.fvi_large = build_fvi_large_config(problem, batched != 0);
+      break;
+    }
+    case Schema::kFviMatchSmall: {
+      Index b = 1;
+      int coarsen = 0;
+      next_record(is, "fvis") >> b >> coarsen;
+      sel.fvi_small = build_fvi_small_config(problem, b, coarsen != 0);
+      break;
+    }
+    case Schema::kOrthogonalDistinct: {
+      OdSlice s;
+      Index pitch = kOdTilePitch, extra = 0;
+      next_record(is, "od") >> s.dims_in >> s.dims_out >> s.block_a >>
+          s.block_b >> pitch >> extra;
+      s.a_vol = s.block_a;
+      for (Index d = 0; d + 1 < s.dims_in; ++d)
+        s.a_vol *= problem.fused.shape.extent(d);
+      s.b_vol = s.block_b;
+      for (Index j = 0; j + 1 < s.dims_out; ++j)
+        s.b_vol *= problem.fused_out.extent(j);
+      sel.od = build_od_config(problem, s);
+      sel.od.tile_pitch = pitch;
+      sel.od.extra_row_specials = extra;
+      break;
+    }
+    case Schema::kOrthogonalArbitrary: {
+      OaSlice s;
+      int coarsen = 0, padded = 1;
+      next_record(is, "oa") >> s.dims_in >> s.block_a >> s.dims_out >>
+          s.block_b >> coarsen >> padded;
+      sel.oa = build_oa_config(problem, s, coarsen != 0);
+      sel.oa.smem_padded = padded != 0;
+      break;
+    }
+    default:
+      TTLG_CHECK(false, "unknown schema id " + std::to_string(schema_int));
+  }
+  next_record(is, "predicted") >> sel.predicted_s;
+  return Plan::from_selection(dev, std::move(problem), std::move(sel));
+}
+
+}  // namespace ttlg

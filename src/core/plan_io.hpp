@@ -1,0 +1,26 @@
+// Plan serialization: persist the outcome of the (model-driven,
+// relatively expensive) planning phase and reload it later without
+// re-searching — the "plan offline, execute online" workflow TTC users
+// know, but with TTLG's runtime kernels.
+//
+// The format is a small line-oriented text record. Only the decisions
+// are stored (schema + slice/blocking parameters); derived state (grid
+// layout, offset indirection arrays) is recomputed and re-uploaded at
+// load time, which keeps the format stable under internal refactors.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/plan.hpp"
+
+namespace ttlg {
+
+/// Write a loadable description of the plan's decisions.
+void save_plan(std::ostream& os, const Plan& plan);
+
+/// Rebuild a plan previously written by save_plan, bound to `dev`
+/// (recomputes configs and uploads offset arrays). Throws ttlg::Error on
+/// malformed input or version mismatch.
+Plan load_plan(sim::Device& dev, std::istream& is);
+
+}  // namespace ttlg

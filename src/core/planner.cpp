@@ -1,0 +1,168 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/kernels.hpp"
+#include "gpusim/lane.hpp"
+
+namespace ttlg {
+namespace {
+
+constexpr Index kWS = sim::kWarpSize;
+
+bool fvi_small_conditions_hold(const TransposeProblem& p) {
+  const Shape& fs = p.fused.shape;
+  const Permutation& fp = p.fused.perm;
+  if (fs.rank() < 3) return false;
+  const Index n0 = fs.extent(0);
+  // Alg. 1 line 13: dim(i0)*dim(i1) >= WS and the same on the output side.
+  return n0 * fs.extent(1) >= kWS && n0 * fs.extent(fp[1]) >= kWS;
+}
+
+}  // namespace
+
+Schema classify(const TransposeProblem& problem) {
+  const Shape& fs = problem.fused.shape;
+  const Permutation& fp = problem.fused.perm;
+  if (fs.rank() == 1) return Schema::kCopy;  // fused to a pure copy
+  if (fvi_prefixes_disjoint(fs, fp, kWS)) return Schema::kOrthogonalDistinct;
+  if (fp.fvi_matches()) {
+    if (fs.extent(0) >= kWS) return Schema::kFviMatchLarge;
+    if (fvi_small_conditions_hold(problem)) return Schema::kFviMatchSmall;
+    return Schema::kOrthogonalArbitrary;  // resolved by model vs Alg. 6
+  }
+  return Schema::kOrthogonalArbitrary;
+}
+
+Index od_max_slice_vol(const TransposeProblem& problem,
+                       const sim::DeviceProperties& props,
+                       Index overbooking) {
+  const Index smem_per_block = kOdSmemElems * problem.elem_size;
+  const Index min_num_blocks =
+      props.num_sms *
+      std::max<Index>(1, props.shared_mem_per_sm_bytes / smem_per_block);
+  const Index maxlimit =
+      problem.volume() / std::max<Index>(1, overbooking * min_num_blocks);
+  return std::max<Index>(maxlimit, 64 * 64);
+}
+
+KernelSelection select_kernel(const TransposeProblem& problem,
+                              const PerfModel& model,
+                              const PlanOptions& opts) {
+  const sim::DeviceProperties& props = model.props();
+  const Index max_smem_elems =
+      props.shared_mem_per_block_bytes / problem.elem_size;
+  KernelSelection sel;
+  sel.schema = classify(problem);
+
+  auto select_oa = [&]() -> std::optional<std::pair<OaConfig, double>> {
+    auto cands = enumerate_oa_slices(problem, max_smem_elems);
+    std::optional<std::pair<OaSlice, double>> best;
+    for (const auto& s : cands) {
+      const OaConfig geom = build_oa_config(problem, s, opts.enable_coarsening,
+                                            /*with_offsets=*/false);
+      const double t = model.predict_oa(problem, geom);
+      ++sel.candidates_considered;
+      if (!best || t < best->second) best = {s, t};
+    }
+    if (!best) return std::nullopt;
+    return std::make_pair(
+        build_oa_config(problem, best->first, opts.enable_coarsening),
+        best->second);
+  };
+
+  auto select_fvi_small = [&]() -> std::optional<std::pair<FviSmallConfig, double>> {
+    std::optional<std::pair<FviSmallConfig, double>> best;
+    for (Index b : enumerate_fvi_small_blockings(problem, max_smem_elems)) {
+      FviSmallConfig cfg =
+          build_fvi_small_config(problem, b, opts.enable_coarsening);
+      const double t = model.predict_fvi_small(problem, cfg);
+      ++sel.candidates_considered;
+      if (!best || t < best->second) best = {std::move(cfg), t};
+    }
+    return best;
+  };
+
+  switch (sel.schema) {
+    case Schema::kCopy:
+    case Schema::kFviMatchLarge: {
+      sel.fvi_large = build_fvi_large_config(problem, opts.enable_coarsening);
+      sel.predicted_s = model.predict_fvi_large(problem, sel.fvi_large);
+      sel.candidates_considered = 1;
+      return sel;
+    }
+    case Schema::kFviMatchSmall: {
+      auto best = select_fvi_small();
+      TTLG_ASSERT(best.has_value(), "b = 1 is always a feasible blocking");
+      sel.fvi_small = std::move(best->first);
+      sel.predicted_s = best->second;
+      return sel;
+    }
+    case Schema::kOrthogonalDistinct:
+    case Schema::kOrthogonalArbitrary: {
+      // Alg. 3: enumerate warp-multiple slice volumes, score each with
+      // the performance model, keep the best. When the WS-target
+      // prefixes are disjoint the flowchart picks OD directly; when they
+      // overlap, the left branch of Fig. 3 allows "either the OD or the
+      // OA strategy" — OD candidates then have prefixes truncated by the
+      // disjointness constraint and the model arbitrates (this is how
+      // the paper's Fig. 5 case, 27^5 perm 41203, ends up on OD with a
+      // 189x27 slice).
+      std::optional<std::pair<OdSlice, double>> best_od;
+      if (!problem.fused.perm.fvi_matches()) {
+        const Index max_vol =
+            od_max_slice_vol(problem, props, opts.overbooking_factor);
+        auto cands = enumerate_od_slices(problem, max_vol);
+        constexpr std::size_t kMaxEval = 256;
+        if (cands.size() > kMaxEval) {
+          std::vector<OdSlice> sub;
+          sub.reserve(kMaxEval);
+          for (std::size_t i = 0; i < kMaxEval; ++i)
+            sub.push_back(cands[i * cands.size() / kMaxEval]);
+          cands.swap(sub);
+        }
+        for (const auto& s : cands) {
+          const OdConfig geom =
+              build_od_config(problem, s, /*with_offsets=*/false);
+          const double t = model.predict_od(problem, geom);
+          ++sel.candidates_considered;
+          if (!best_od || t < best_od->second) best_od = {s, t};
+        }
+      }
+      if (sel.schema == Schema::kOrthogonalDistinct && best_od) {
+        sel.od = build_od_config(problem, best_od->first);
+        sel.predicted_s = best_od->second;
+        return sel;
+      }
+
+      auto best_oa = select_oa();
+      TTLG_ASSERT(best_oa.has_value(),
+                  "the OA fallback candidate is always feasible");
+      // Flowchart's model-resolved branch: matching small FVI where the
+      // two-dim products fall short of WS — compare against Alg. 6.
+      if (problem.fused.perm.fvi_matches() && problem.fused.shape.rank() >= 3) {
+        auto best_fvis = select_fvi_small();
+        if (best_fvis && best_fvis->second < best_oa->second) {
+          sel.schema = Schema::kFviMatchSmall;
+          sel.fvi_small = std::move(best_fvis->first);
+          sel.predicted_s = best_fvis->second;
+          return sel;
+        }
+      }
+      if (best_od && best_od->second < best_oa->second) {
+        sel.schema = Schema::kOrthogonalDistinct;
+        sel.od = build_od_config(problem, best_od->first);
+        sel.predicted_s = best_od->second;
+        return sel;
+      }
+      sel.schema = Schema::kOrthogonalArbitrary;
+      sel.oa = std::move(best_oa->first);
+      sel.predicted_s = best_oa->second;
+      return sel;
+    }
+  }
+  TTLG_ASSERT(false, "unreachable schema");
+}
+
+}  // namespace ttlg

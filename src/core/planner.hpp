@@ -1,0 +1,49 @@
+// Kernel selection: the taxonomy of Alg. 1 (Fig. 3 flowchart) plus the
+// model-driven slice-size search of Alg. 3.
+#pragma once
+
+#include <optional>
+
+#include "core/fvi_config.hpp"
+#include "core/oa_config.hpp"
+#include "core/od_config.hpp"
+#include "core/perf_model.hpp"
+#include "core/problem.hpp"
+#include "core/schema.hpp"
+
+namespace ttlg {
+
+struct PlanOptions {
+  int elem_size = 8;                      ///< 4 = float, 8 = double
+  ModelKind model = ModelKind::kAuto;     ///< predictor for slice choice
+  bool enable_coarsening = true;          ///< §IV-A heuristic
+  Index overbooking_factor = 4;           ///< Alg. 3 occupancy headroom
+};
+
+/// Static Fig. 3 flowchart decision (no model evaluation). The
+/// flowchart's "Alg. 4 or Alg. 6 by performance prediction" branch
+/// reports kOrthogonalArbitrary; select_kernel resolves it by model.
+Schema classify(const TransposeProblem& problem);
+
+/// Alg. 3's upper bound on the per-block slice volume: keeps the block
+/// count at least overbooking_factor x the device-resident block count.
+Index od_max_slice_vol(const TransposeProblem& problem,
+                       const sim::DeviceProperties& props, Index overbooking);
+
+/// Fully resolved kernel selection: the schema, its tuned configuration
+/// (with offset arrays where applicable) and the model's predicted time.
+struct KernelSelection {
+  Schema schema = Schema::kCopy;
+  OdConfig od;
+  OaConfig oa;
+  FviSmallConfig fvi_small;
+  FviLargeConfig fvi_large;
+  double predicted_s = 0;
+  Index candidates_considered = 0;
+};
+
+KernelSelection select_kernel(const TransposeProblem& problem,
+                              const PerfModel& model,
+                              const PlanOptions& opts);
+
+}  // namespace ttlg

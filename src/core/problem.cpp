@@ -1,0 +1,57 @@
+#include "core/problem.hpp"
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+TransposeProblem TransposeProblem::make(const Shape& shape,
+                                        const Permutation& perm,
+                                        int elem_size) {
+  TTLG_CHECK(elem_size == 4 || elem_size == 8,
+             "element size must be 4 (float) or 8 (double)");
+  TTLG_CHECK(shape.rank() == perm.rank(),
+             "shape and permutation rank mismatch");
+  TTLG_CHECK(shape.rank() >= 1, "rank-0 tensors have nothing to transpose");
+  TransposeProblem p;
+  p.shape = shape;
+  p.perm = perm;
+  p.fused = fuse_indices(shape, perm);
+  p.fused_out = p.fused.perm.apply(p.fused.shape);
+  p.elem_size = elem_size;
+  return p;
+}
+
+Index input_prefix_reaching(const Shape& fused_shape, Index target) {
+  Index vol = 1;
+  Index k = 0;
+  while (k < fused_shape.rank() && vol < target) {
+    vol *= fused_shape.extent(k);
+    ++k;
+  }
+  return k;
+}
+
+Index output_prefix_reaching(const Shape& fused_shape,
+                             const Permutation& fused_perm, Index target) {
+  Index vol = 1;
+  Index k = 0;
+  while (k < fused_shape.rank() && vol < target) {
+    vol *= fused_shape.extent(fused_perm[k]);
+    ++k;
+  }
+  return k;
+}
+
+bool fvi_prefixes_disjoint(const Shape& fused_shape,
+                           const Permutation& fused_perm, Index target) {
+  const Index ni = input_prefix_reaching(fused_shape, target);
+  const Index no = output_prefix_reaching(fused_shape, fused_perm, target);
+  // Input prefix is dims {0..ni-1}; output prefix touches input dims
+  // {fused_perm[0..no-1]}. Disjoint iff no output-prefix dim is < ni.
+  for (Index j = 0; j < no; ++j) {
+    if (fused_perm[j] < ni) return false;
+  }
+  return true;
+}
+
+}  // namespace ttlg

@@ -1,0 +1,45 @@
+// A transposition problem in the form the kernels consume: the original
+// (shape, permutation) pair plus its index-fused equivalent and the
+// combined fastest-varying-index (FVI) prefixes of Alg. 1.
+#pragma once
+
+#include "tensor/fusion.hpp"
+#include "tensor/permutation.hpp"
+#include "tensor/shape.hpp"
+
+namespace ttlg {
+
+struct TransposeProblem {
+  Shape shape;          ///< original input shape
+  Permutation perm;     ///< original permutation
+  FusedProblem fused;   ///< after index fusion (kernels operate on this)
+  Shape fused_out;      ///< fused output shape
+  int elem_size = 8;    ///< bytes per element (4 = float, 8 = double)
+
+  static TransposeProblem make(const Shape& shape, const Permutation& perm,
+                               int elem_size = 8);
+
+  Index volume() const { return shape.volume(); }
+  Index scaled_rank() const { return fused.shape.rank(); }
+  /// Total bytes a perfect transposition must move (read + write).
+  Index payload_bytes() const { return 2 * volume() * elem_size; }
+};
+
+/// Minimal prefix of (fused) input dimensions whose combined extent
+/// reaches `target` — the set I of Alg. 1. Returns the number of
+/// dimensions in the prefix (may be the full rank if the tensor is
+/// smaller than `target`).
+Index input_prefix_reaching(const Shape& fused_shape, Index target);
+
+/// Same for the output side: the prefix is taken over output dimensions
+/// and reported as the set of INPUT dimensions it touches (set O of
+/// Alg. 1). Returns the number of output dimensions in the prefix.
+Index output_prefix_reaching(const Shape& fused_shape,
+                             const Permutation& fused_perm, Index target);
+
+/// True iff the Alg. 1 prefixes I and O are disjoint as input-dimension
+/// sets (the applicability condition of Orthogonal-Distinct).
+bool fvi_prefixes_disjoint(const Shape& fused_shape,
+                           const Permutation& fused_perm, Index target);
+
+}  // namespace ttlg

@@ -1,0 +1,32 @@
+// The four transposition schemas of the paper's taxonomy (§III, Fig. 3).
+#pragma once
+
+#include <string>
+
+namespace ttlg {
+
+enum class Schema {
+  kCopy,                ///< degenerate: permutation fuses to identity
+  kFviMatchLarge,       ///< Alg. 7: matching FVI, extent >= warp size
+  kFviMatchSmall,       ///< Alg. 6: matching FVI, extent < warp size
+  kOrthogonalDistinct,  ///< Alg. 2: disjoint combined FVI index sets
+  kOrthogonalArbitrary  ///< Alg. 5: overlapping combined FVI index sets
+};
+
+inline std::string to_string(Schema s) {
+  switch (s) {
+    case Schema::kCopy:
+      return "Copy";
+    case Schema::kFviMatchLarge:
+      return "FVI-Match-Large";
+    case Schema::kFviMatchSmall:
+      return "FVI-Match-Small";
+    case Schema::kOrthogonalDistinct:
+      return "Orthogonal-Distinct";
+    case Schema::kOrthogonalArbitrary:
+      return "Orthogonal-Arbitrary";
+  }
+  return "?";
+}
+
+}  // namespace ttlg

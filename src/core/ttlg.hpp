@@ -1,0 +1,48 @@
+// TTLG public umbrella header.
+//
+// Quickstart:
+//   ttlg::sim::Device dev;                       // simulated Tesla K40c
+//   ttlg::Tensor<double> host(in_shape);
+//   host.fill_random(42);
+//   auto in  = dev.alloc_copy<double>(host.vec());
+//   auto out = dev.alloc<double>(host.volume());
+//   auto plan = ttlg::make_plan(dev, host.shape(), perm);
+//   auto run  = plan.execute<double>(in, out);   // simulated kernel
+//   double gbps = ttlg::achieved_bandwidth_gbps(
+//       host.volume(), sizeof(double), run.time_s);
+//
+// Model query (for higher-level libraries such as TTGT contraction):
+//   double t = ttlg::predict_transpose_time(dev.props(), shape, perm);
+#pragma once
+
+#include "core/analysis.hpp"
+#include "core/perf_model.hpp"
+#include "core/plan.hpp"
+#include "core/plan_cache.hpp"
+#include "core/planner.hpp"
+#include "core/problem.hpp"
+#include "core/schema.hpp"
+#include "gpusim/device.hpp"
+#include "tensor/fusion.hpp"
+#include "tensor/host_transpose.hpp"
+#include "tensor/permutation.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ttlg {
+
+/// One-shot convenience: plan + execute. Returns the launch result and,
+/// via `plan_out`, the plan itself for reuse.
+template <class T>
+sim::LaunchResult transpose(sim::Device& dev, sim::DeviceBuffer<T> in,
+                            sim::DeviceBuffer<T> out, const Shape& shape,
+                            const Permutation& perm, PlanOptions opts = {},
+                            Plan* plan_out = nullptr) {
+  opts.elem_size = static_cast<int>(sizeof(T));
+  Plan plan = make_plan(dev, shape, perm, opts);
+  auto res = plan.execute<T>(in, out);
+  if (plan_out) *plan_out = std::move(plan);
+  return res;
+}
+
+}  // namespace ttlg

@@ -1,0 +1,211 @@
+// Execution context handed to a kernel for one thread block.
+//
+// Kernels are written warp-synchronously: for each warp they build a
+// LaneArray of per-lane element addresses and issue ONE collective
+// load/store, which is how the hardware coalescer sees them. Blocks run
+// sequentially and warps run sequentially between barriers; the paper's
+// kernels are data-race-free between barriers, so this is observationally
+// equivalent to the parallel execution while keeping analysis exact.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/coalescing.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/dbuffer.hpp"
+#include "gpusim/device_properties.hpp"
+#include "gpusim/lane.hpp"
+#include "gpusim/texture_cache.hpp"
+
+namespace ttlg::sim {
+
+enum class ExecMode {
+  kFunctional,  ///< move data and count events (default)
+  kCountOnly,   ///< count events only; loads return zero
+};
+
+class BlockCtx {
+ public:
+  BlockCtx(std::int64_t block_id, int block_threads, ExecMode mode,
+           const DeviceProperties& props, LaunchCounters& ctr,
+           std::byte* smem, std::int64_t smem_elems, TextureCache& tex)
+      : block_id_(block_id),
+        block_threads_(block_threads),
+        mode_(mode),
+        props_(props),
+        ctr_(ctr),
+        smem_(smem),
+        smem_elems_(smem_elems),
+        tex_(tex) {}
+
+  std::int64_t block_id() const { return block_id_; }
+  int block_dim() const { return block_threads_; }
+  int num_warps() const { return block_threads_ / props_.warp_size; }
+  const DeviceProperties& props() const { return props_; }
+
+  /// __syncthreads analog (functional no-op under sequential warps).
+  void sync() { ++ctr_.barriers; }
+
+  /// Charge n integer mod/div "special instructions" (paper §V).
+  void count_special(std::int64_t n) { ctr_.special_ops += n; }
+
+  /// Charge n fused multiply-adds (compute kernels).
+  void count_fma(std::int64_t n) { ctr_.fma_ops += n; }
+
+  /// Warp-collective global (DRAM) load through the L1/L2 path.
+  template <class T>
+  void gld(const DeviceBuffer<T>& buf, const LaneArray& lanes,
+           LaneValues<T>& vals) {
+    if (!lanes.any_active()) return;
+    ctr_.gld_transactions += count_transactions(
+        lanes, buf.base_addr(), sizeof(T), props_.dram_transaction_bytes);
+    ctr_.payload_bytes +=
+        static_cast<std::int64_t>(lanes.active_count()) * sizeof(T);
+    if (mode_ == ExecMode::kCountOnly) {
+      vals.fill(T{});
+      return;
+    }
+    TTLG_ASSERT(buf.valid(),
+                "functional access through a storage-free (virtual) buffer");
+    for (int l = 0; l < kWarpSize; ++l) {
+      const std::int64_t a = lanes[l];
+      if (a == kInactive) continue;
+      TTLG_ASSERT(a >= 0 && a < buf.size(), "global load out of bounds");
+      vals[static_cast<std::size_t>(l)] = buf[a];
+    }
+  }
+
+  /// Warp-collective global (DRAM) store. The buffer handle is a view;
+  /// passing it by value lets const kernel objects store through it.
+  template <class T>
+  void gst(DeviceBuffer<T> buf, const LaneArray& lanes,
+           const LaneValues<T>& vals) {
+    if (!lanes.any_active()) return;
+    ctr_.gst_transactions += count_transactions(
+        lanes, buf.base_addr(), sizeof(T), props_.dram_transaction_bytes);
+    ctr_.payload_bytes +=
+        static_cast<std::int64_t>(lanes.active_count()) * sizeof(T);
+    if (mode_ == ExecMode::kCountOnly) return;
+    TTLG_ASSERT(buf.valid(),
+                "functional access through a storage-free (virtual) buffer");
+    for (int l = 0; l < kWarpSize; ++l) {
+      const std::int64_t a = lanes[l];
+      if (a == kInactive) continue;
+      TTLG_ASSERT(a >= 0 && a < buf.size(), "global store out of bounds");
+      buf[a] = vals[static_cast<std::size_t>(l)];
+    }
+  }
+
+  /// Warp-collective load through the texture/read-only path (offset
+  /// indirection arrays). Hits stay on-chip; misses become DRAM lines.
+  template <class T>
+  void tld(const DeviceBuffer<T>& buf, const LaneArray& lanes,
+           LaneValues<T>& vals) {
+    if (!lanes.any_active()) return;
+    // Distinct texture lines touched by this warp access.
+    std::int64_t lines[kWarpSize];
+    int nlines = 0;
+    // Fast path: fully-active consecutive lanes touch a dense line range.
+    bool consecutive = lanes[0] != kInactive;
+    if (consecutive) {
+      for (int l = 1; l < kWarpSize; ++l) {
+        if (lanes[l] != lanes[0] + l) {
+          consecutive = false;
+          break;
+        }
+      }
+    }
+    if (consecutive) {
+      const std::int64_t es = static_cast<std::int64_t>(sizeof(T));
+      const std::int64_t first =
+          (buf.base_addr() + lanes[0] * es) / tex_.line_bytes();
+      const std::int64_t last =
+          (buf.base_addr() + (lanes[0] + kWarpSize - 1) * es + es - 1) /
+          tex_.line_bytes();
+      for (std::int64_t line = first; line <= last; ++line)
+        lines[nlines++] = line;
+    } else {
+      for (int l = 0; l < kWarpSize; ++l) {
+        const std::int64_t a = lanes[l];
+        if (a == kInactive) continue;
+        const std::int64_t line =
+            (buf.base_addr() + a * static_cast<std::int64_t>(sizeof(T))) /
+            tex_.line_bytes();
+        bool seen = false;
+        for (int s = 0; s < nlines; ++s) {
+          if (lines[s] == line) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) lines[nlines++] = line;
+      }
+    }
+    ctr_.tex_transactions += nlines;
+    for (int s = 0; s < nlines; ++s) {
+      if (!tex_.access(lines[s] * tex_.line_bytes())) ++ctr_.tex_misses;
+    }
+    // NOTE: texture loads serve the offset indirection arrays, whose
+    // values feed later ADDRESS computations — they must return real
+    // data even in count-only mode or downstream coalescing/bank
+    // analysis would see collapsed address streams.
+    TTLG_ASSERT(buf.valid(), "texture buffers always have storage");
+    for (int l = 0; l < kWarpSize; ++l) {
+      const std::int64_t a = lanes[l];
+      if (a == kInactive) continue;
+      TTLG_ASSERT(a >= 0 && a < buf.size(), "texture load out of bounds");
+      vals[static_cast<std::size_t>(l)] = buf[a];
+    }
+  }
+
+  /// Warp-collective shared-memory load. Offsets are ELEMENT offsets
+  /// into the block's shared buffer; bank = offset % 32.
+  template <class T>
+  void sld(const LaneArray& lanes, LaneValues<T>& vals) {
+    if (!lanes.any_active()) return;
+    ++ctr_.smem_load_ops;
+    ctr_.smem_bank_conflicts += count_bank_conflicts(lanes, props_.shared_banks);
+    if (mode_ == ExecMode::kCountOnly) {
+      vals.fill(T{});
+      return;
+    }
+    const T* sm = reinterpret_cast<const T*>(smem_);
+    for (int l = 0; l < kWarpSize; ++l) {
+      const std::int64_t a = lanes[l];
+      if (a == kInactive) continue;
+      TTLG_ASSERT(a >= 0 && a < smem_elems_, "shared load out of bounds");
+      vals[static_cast<std::size_t>(l)] = sm[a];
+    }
+  }
+
+  /// Warp-collective shared-memory store.
+  template <class T>
+  void sst(const LaneArray& lanes, const LaneValues<T>& vals) {
+    if (!lanes.any_active()) return;
+    ++ctr_.smem_store_ops;
+    ctr_.smem_bank_conflicts += count_bank_conflicts(lanes, props_.shared_banks);
+    if (mode_ == ExecMode::kCountOnly) return;
+    T* sm = reinterpret_cast<T*>(smem_);
+    for (int l = 0; l < kWarpSize; ++l) {
+      const std::int64_t a = lanes[l];
+      if (a == kInactive) continue;
+      TTLG_ASSERT(a >= 0 && a < smem_elems_, "shared store out of bounds");
+      sm[a] = vals[static_cast<std::size_t>(l)];
+    }
+  }
+
+ private:
+  std::int64_t block_id_;
+  int block_threads_;
+  ExecMode mode_;
+  const DeviceProperties& props_;
+  LaunchCounters& ctr_;
+  std::byte* smem_;
+  std::int64_t smem_elems_;
+  TextureCache& tex_;
+};
+
+}  // namespace ttlg::sim

@@ -1,0 +1,82 @@
+#include "gpusim/coalescing.hpp"
+
+namespace ttlg::sim {
+
+int count_transactions(const LaneArray& lanes, std::int64_t base_addr,
+                       int elem_size, std::int64_t txn_bytes) {
+  // Fast path: a fully-active warp reading consecutive elements (the
+  // dominant pattern in well-coalesced kernels).
+  const std::int64_t a0 = lanes[0];
+  if (a0 != kInactive) {
+    bool consecutive = true;
+    for (int l = 1; l < kWarpSize; ++l) {
+      if (lanes[l] != a0 + l) {
+        consecutive = false;
+        break;
+      }
+    }
+    if (consecutive) {
+      const std::int64_t first = (base_addr + a0 * elem_size) / txn_bytes;
+      const std::int64_t last =
+          (base_addr + (a0 + kWarpSize - 1) * elem_size + elem_size - 1) /
+          txn_bytes;
+      return static_cast<int>(last - first + 1);
+    }
+  }
+  std::int64_t segs[kWarpSize];
+  int nsegs = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    const std::int64_t a = lanes[l];
+    if (a == kInactive) continue;
+    const std::int64_t seg = (base_addr + a * elem_size) / txn_bytes;
+    bool seen = false;
+    for (int s = 0; s < nsegs; ++s) {
+      if (segs[s] == seg) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) segs[nsegs++] = seg;
+  }
+  return nsegs;
+}
+
+int count_bank_conflicts(const LaneArray& lanes, int banks) {
+  // Fast path: consecutive addresses hit consecutive banks — never a
+  // conflict for a 32-lane warp on 32 banks.
+  const std::int64_t a0 = lanes[0];
+  if (a0 != kInactive && banks == kWarpSize) {
+    bool consecutive = true;
+    for (int l = 1; l < kWarpSize; ++l) {
+      if (lanes[l] != a0 + l && lanes[l] != kInactive) {
+        consecutive = false;
+        break;
+      }
+    }
+    if (consecutive) return 0;
+  }
+  // For each bank, count DISTINCT element addresses; identical addresses
+  // broadcast. The access serializes into max-per-bank cycles.
+  std::int64_t bank_addrs[kWarpSize][kWarpSize];  // [bank][slot]
+  int bank_counts[kWarpSize] = {0};
+  int max_per_bank = 0;
+  for (int l = 0; l < kWarpSize; ++l) {
+    const std::int64_t a = lanes[l];
+    if (a == kInactive) continue;
+    const int bank = static_cast<int>(a % banks);
+    bool seen = false;
+    for (int s = 0; s < bank_counts[bank]; ++s) {
+      if (bank_addrs[bank][s] == a) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      bank_addrs[bank][bank_counts[bank]++] = a;
+      if (bank_counts[bank] > max_per_bank) max_per_bank = bank_counts[bank];
+    }
+  }
+  return max_per_bank > 0 ? max_per_bank - 1 : 0;
+}
+
+}  // namespace ttlg::sim

@@ -1,0 +1,27 @@
+// Warp-level access classification: DRAM transaction counting (how many
+// distinct 128-byte segments a warp touches) and shared-memory bank
+// conflict analysis. These two functions ARE the simulator's fidelity:
+// they implement exactly the grouping rules the paper's analysis (§IV-C)
+// and background (§II) describe.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/lane.hpp"
+
+namespace ttlg::sim {
+
+/// Number of distinct `txn_bytes`-sized memory segments touched by the
+/// active lanes. `base_addr` is the device byte address of element 0 of
+/// the accessed buffer; lane addresses are element indices.
+int count_transactions(const LaneArray& lanes, std::int64_t base_addr,
+                       int elem_size, std::int64_t txn_bytes);
+
+/// Extra serialized cycles caused by shared-memory bank conflicts for
+/// one warp-collective access: (max distinct addresses mapped to a
+/// single bank) - 1. Lanes reading the SAME address broadcast and do not
+/// conflict. Bank of element offset e is e % banks (element-wide banks,
+/// matching the paper's 32x33 padding arithmetic).
+int count_bank_conflicts(const LaneArray& lanes, int banks);
+
+}  // namespace ttlg::sim

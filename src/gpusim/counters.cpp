@@ -1,0 +1,18 @@
+#include "gpusim/counters.hpp"
+
+#include <sstream>
+
+namespace ttlg::sim {
+
+std::string LaunchCounters::to_string() const {
+  std::ostringstream os;
+  os << "gld=" << gld_transactions << " gst=" << gst_transactions
+     << " smem_ld=" << smem_load_ops << " smem_st=" << smem_store_ops
+     << " conflicts=" << smem_bank_conflicts << " tex=" << tex_transactions
+     << " tex_miss=" << tex_misses << " special=" << special_ops << " fma=" << fma_ops
+     << " blocks=" << grid_blocks << " threads=" << block_threads
+     << " coalesce_eff=" << coalescing_efficiency();
+  return os.str();
+}
+
+}  // namespace ttlg::sim

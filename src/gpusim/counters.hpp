@@ -1,0 +1,66 @@
+// Hardware-event counters accumulated over one kernel launch. These are
+// the simulator's ground truth: the timing model converts them to time,
+// and the paper's Table I analysis is validated against them directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ttlg::sim {
+
+struct LaunchCounters {
+  // DRAM (global memory), in 128-byte transactions.
+  std::int64_t gld_transactions = 0;
+  std::int64_t gst_transactions = 0;
+  // Shared memory, in warp-collective accesses; conflicts count the
+  // EXTRA serialized cycles beyond the first access.
+  std::int64_t smem_load_ops = 0;
+  std::int64_t smem_store_ops = 0;
+  std::int64_t smem_bank_conflicts = 0;
+  // Texture/read-only path (offset arrays).
+  std::int64_t tex_transactions = 0;  // warp-level line touches
+  std::int64_t tex_misses = 0;        // lines fetched from DRAM
+  // Integer mod/div "special instructions" (paper §V).
+  std::int64_t special_ops = 0;
+  // Fused multiply-add work (for compute kernels such as the TTGT GEMM).
+  std::int64_t fma_ops = 0;
+  // Structure of the launch.
+  std::int64_t grid_blocks = 0;
+  int block_threads = 0;
+  std::int64_t shared_bytes_per_block = 0;
+  std::int64_t barriers = 0;
+  // Useful payload actually moved (bytes), for efficiency metrics.
+  std::int64_t payload_bytes = 0;
+
+  LaunchCounters& operator+=(const LaunchCounters& o) {
+    gld_transactions += o.gld_transactions;
+    gst_transactions += o.gst_transactions;
+    smem_load_ops += o.smem_load_ops;
+    smem_store_ops += o.smem_store_ops;
+    smem_bank_conflicts += o.smem_bank_conflicts;
+    tex_transactions += o.tex_transactions;
+    tex_misses += o.tex_misses;
+    special_ops += o.special_ops;
+    fma_ops += o.fma_ops;
+    barriers += o.barriers;
+    payload_bytes += o.payload_bytes;
+    return *this;
+  }
+
+  std::int64_t dram_transactions() const {
+    return gld_transactions + gst_transactions;
+  }
+
+  /// Fraction of DRAM-transaction bytes that carried useful payload.
+  /// 1.0 means perfectly coalesced traffic.
+  double coalescing_efficiency(std::int64_t txn_bytes = 128) const {
+    const std::int64_t moved = dram_transactions() * txn_bytes;
+    return moved == 0 ? 1.0
+                      : static_cast<double>(payload_bytes) /
+                            static_cast<double>(moved);
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace ttlg::sim

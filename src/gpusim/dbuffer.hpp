@@ -1,0 +1,42 @@
+// Device-memory buffer handles. The Device owns the storage; kernels
+// hold lightweight typed views. Every buffer has a unique device byte
+// address so the coalescing analyzer can reason about 128-byte segments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/error.hpp"
+
+namespace ttlg::sim {
+
+/// Non-owning typed view of a device allocation.
+template <class T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(std::int64_t base_addr, T* data, std::int64_t size)
+      : base_addr_(base_addr), data_(data), size_(size) {}
+
+  /// Device byte address of element 0 (unique across allocations).
+  std::int64_t base_addr() const { return base_addr_; }
+  std::int64_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::span<T> span() { return {data_, static_cast<std::size_t>(size_)}; }
+  std::span<const T> span() const {
+    return {data_, static_cast<std::size_t>(size_)};
+  }
+
+  T& operator[](std::int64_t i) { return data_[i]; }
+  const T& operator[](std::int64_t i) const { return data_[i]; }
+
+ private:
+  std::int64_t base_addr_ = 0;
+  T* data_ = nullptr;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace ttlg::sim

@@ -1,0 +1,79 @@
+#include "gpusim/device.hpp"
+
+namespace ttlg::sim {
+
+Device::Device(DeviceProperties props) : props_(std::move(props)) {}
+
+std::byte* Device::allocate_bytes(std::int64_t bytes) {
+  Allocation a;
+  a.bytes = bytes;
+  a.storage = std::make_unique<std::byte[]>(
+      static_cast<std::size_t>(std::max<std::int64_t>(bytes, 1)));
+  std::byte* p = a.storage.get();
+  const std::int64_t base = next_addr_;
+  // Keep allocations 256-byte aligned and disjoint in device address
+  // space so transaction segments never straddle two buffers.
+  next_addr_ += ((bytes + 255) / 256 + 1) * 256;
+  bytes_allocated_ += bytes;
+  base_by_ptr_[p] = base;
+  allocations_[base] = std::move(a);
+  return p;
+}
+
+std::int64_t Device::register_virtual(std::int64_t bytes) {
+  Allocation a;
+  a.bytes = bytes;  // storage-free: counted but never dereferenced
+  const std::int64_t base = next_addr_;
+  next_addr_ += ((bytes + 255) / 256 + 1) * 256;
+  bytes_allocated_ += bytes;
+  allocations_[base] = std::move(a);
+  return base;
+}
+
+std::int64_t Device::base_of(const std::byte* p) const {
+  const auto it = base_by_ptr_.find(p);
+  TTLG_ASSERT(it != base_by_ptr_.end(), "unknown device pointer");
+  return it->second;
+}
+
+void Device::free_base(std::int64_t base) {
+  const auto it = allocations_.find(base);
+  TTLG_CHECK(it != allocations_.end(),
+             "double free or foreign buffer passed to Device::free");
+  bytes_allocated_ -= it->second.bytes;
+  base_by_ptr_.erase(it->second.storage.get());
+  allocations_.erase(it);
+}
+
+bool Device::try_free_base(std::int64_t base) {
+  const auto it = allocations_.find(base);
+  if (it == allocations_.end()) return false;
+  bytes_allocated_ -= it->second.bytes;
+  base_by_ptr_.erase(it->second.storage.get());
+  allocations_.erase(it);
+  return true;
+}
+
+void Device::free_all() {
+  allocations_.clear();
+  base_by_ptr_.clear();
+  bytes_allocated_ = 0;
+}
+
+void Device::validate(const LaunchConfig& cfg) const {
+  TTLG_CHECK(cfg.grid_blocks > 0, "grid must have at least one block");
+  TTLG_CHECK(cfg.block_threads > 0 &&
+                 cfg.block_threads <= props_.max_threads_per_block,
+             "block size out of range for device '" + props_.name + "'");
+  TTLG_CHECK(cfg.block_threads % props_.warp_size == 0,
+             "block size must be a multiple of the warp size");
+  TTLG_CHECK(cfg.shared_elems >= 0, "negative shared memory request");
+  TTLG_CHECK(cfg.shared_elems * cfg.elem_size <=
+                 props_.shared_mem_per_block_bytes,
+             "kernel '" + cfg.kernel_name +
+                 "' exceeds shared memory per block (" +
+                 std::to_string(cfg.shared_elems * cfg.elem_size) + " > " +
+                 std::to_string(props_.shared_mem_per_block_bytes) + " bytes)");
+}
+
+}  // namespace ttlg::sim

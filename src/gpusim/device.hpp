@@ -1,0 +1,225 @@
+// The simulated GPU device: memory allocator + kernel launch engine.
+//
+// A kernel is any callable `void(BlockCtx&)`; Device::launch runs it for
+// every block of the grid, aggregates hardware-event counters and feeds
+// them to the timing model. See block_ctx.hpp for the execution model.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/block_ctx.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/dbuffer.hpp"
+#include "gpusim/device_properties.hpp"
+#include "gpusim/timing_model.hpp"
+
+namespace ttlg::sim {
+
+struct LaunchConfig {
+  std::int64_t grid_blocks = 1;
+  int block_threads = 256;
+  /// Shared memory per block, in elements of size `elem_size`.
+  std::int64_t shared_elems = 0;
+  int elem_size = 8;
+  std::string kernel_name;
+  /// Optional block-equivalence classifier for sampled counting: blocks
+  /// of one class execute the same access pattern up to base offsets
+  /// (full vs remainder chunks). Used only in count-only mode when the
+  /// device has sampling enabled.
+  std::function<std::int64_t(std::int64_t)> block_class;
+  std::int64_t num_classes = 1;
+};
+
+struct LaunchResult {
+  LaunchCounters counters;
+  TimingBreakdown timing;
+  /// Simulated kernel execution time in seconds.
+  double time_s = 0.0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProperties props = DeviceProperties::tesla_k40c());
+
+  const DeviceProperties& props() const { return props_; }
+
+  ExecMode mode() const { return mode_; }
+  void set_mode(ExecMode m) { mode_ = m; }
+
+  /// Enable class-sampled counting: in count-only mode, launches with a
+  /// block classifier execute only `samples` blocks per class and scale
+  /// the counters by the class multiplicity. 0 disables (default).
+  void set_sampling(int samples) { sampling_ = samples; }
+  int sampling() const { return sampling_; }
+
+  /// Allocate `n` elements of T in simulated device memory.
+  template <class T>
+  DeviceBuffer<T> alloc(std::int64_t n) {
+    TTLG_CHECK(n >= 0, "negative allocation size");
+    const std::int64_t bytes = n * static_cast<std::int64_t>(sizeof(T));
+    std::byte* p = allocate_bytes(bytes);
+    const std::int64_t base = base_of(p);
+    return DeviceBuffer<T>(base, reinterpret_cast<T*>(p), n);
+  }
+
+  /// Allocate a buffer handle WITHOUT backing storage: valid for
+  /// count-only launches (which never dereference data) — lets benches
+  /// sweep multi-GB tensors without touching host RAM. Functional-mode
+  /// access through such a handle fails an assertion.
+  template <class T>
+  DeviceBuffer<T> alloc_virtual(std::int64_t n) {
+    TTLG_CHECK(n >= 0, "negative allocation size");
+    const std::int64_t base = register_virtual(
+        n * static_cast<std::int64_t>(sizeof(T)));
+    return DeviceBuffer<T>(base, nullptr, n);
+  }
+
+  /// Allocate and copy host data in (H2D copies are not part of kernel
+  /// time, matching the paper's measurement methodology).
+  template <class T>
+  DeviceBuffer<T> alloc_copy(std::span<const T> host) {
+    auto buf = alloc<T>(static_cast<std::int64_t>(host.size()));
+    std::copy(host.begin(), host.end(), buf.data());
+    return buf;
+  }
+
+  /// Release one allocation by its base address.
+  template <class T>
+  void free(const DeviceBuffer<T>& buf) {
+    free_base(buf.base_addr());
+  }
+
+  /// Non-throwing free for owners that may outlive a free_all() (plans).
+  /// Returns false when the buffer was already released.
+  template <class T>
+  bool try_free(const DeviceBuffer<T>& buf) {
+    return try_free_base(buf.base_addr());
+  }
+
+  /// Release everything (between benchmark cases).
+  void free_all();
+
+  /// Bytes currently allocated on the simulated device.
+  std::int64_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Run `kernel(BlockCtx&)` over the whole grid and return counters +
+  /// simulated time. In count-only mode with sampling enabled and a
+  /// block classifier supplied, only a few representative blocks per
+  /// equivalence class execute; counters are scaled by multiplicity.
+  template <class Kernel>
+  LaunchResult launch(Kernel&& kernel, const LaunchConfig& cfg) {
+    validate(cfg);
+    LaunchResult res;
+    res.counters.grid_blocks = cfg.grid_blocks;
+    res.counters.block_threads = cfg.block_threads;
+    res.counters.shared_bytes_per_block = cfg.shared_elems * cfg.elem_size;
+
+    std::vector<std::byte> smem(
+        static_cast<std::size_t>(cfg.shared_elems * cfg.elem_size));
+    TextureCache tex(props_.tex_cache_lines, props_.tex_line_bytes);
+
+    if (mode_ == ExecMode::kCountOnly && sampling_ > 0 && cfg.block_class &&
+        cfg.num_classes >= 1) {
+      run_sampled(kernel, cfg, res, smem, tex);
+    } else {
+      for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
+        BlockCtx blk(b, cfg.block_threads, mode_, props_, res.counters,
+                     smem.data(), cfg.shared_elems, tex);
+        kernel(blk);
+      }
+    }
+    res.timing = kernel_timing(props_, res.counters);
+    res.time_s = res.timing.total_s;
+    return res;
+  }
+
+ private:
+  template <class Kernel>
+  void run_sampled(const Kernel& kernel, const LaunchConfig& cfg,
+                   LaunchResult& res, std::vector<std::byte>& smem,
+                   TextureCache& tex) {
+    const std::int64_t nc = cfg.num_classes;
+    std::vector<std::int64_t> counts(static_cast<std::size_t>(nc), 0);
+    for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
+      const std::int64_t c = cfg.block_class(b);
+      TTLG_ASSERT(c >= 0 && c < nc, "block class out of range");
+      ++counts[static_cast<std::size_t>(c)];
+    }
+    for (std::int64_t c = 0; c < nc; ++c) {
+      const std::int64_t n = counts[static_cast<std::size_t>(c)];
+      if (n == 0) continue;
+      const std::int64_t samples =
+          std::min<std::int64_t>(sampling_, n);
+      // Evenly spread sample occurrence indices within the class.
+      std::vector<std::int64_t> targets(static_cast<std::size_t>(samples));
+      for (std::int64_t s = 0; s < samples; ++s)
+        targets[static_cast<std::size_t>(s)] = s * n / samples;
+      LaunchCounters cls;
+      std::int64_t occurrence = 0;
+      std::size_t next = 0;
+      bool warmed = false;
+      for (std::int64_t b = 0; b < cfg.grid_blocks && next < targets.size();
+           ++b) {
+        if (cfg.block_class(b) != c) continue;
+        if (occurrence++ != targets[next]) continue;
+        ++next;
+        if (!warmed) {
+          // Warm the texture cache so per-class miss rates reflect the
+          // steady state, not the launch's cold start.
+          LaunchCounters discard;
+          BlockCtx warm(b, cfg.block_threads, mode_, props_, discard,
+                        smem.data(), cfg.shared_elems, tex);
+          kernel(warm);
+          warmed = true;
+        }
+        BlockCtx blk(b, cfg.block_threads, mode_, props_, cls, smem.data(),
+                     cfg.shared_elems, tex);
+        kernel(blk);
+      }
+      const double scale =
+          static_cast<double>(n) / static_cast<double>(samples);
+      auto scaled = [&](std::int64_t v) {
+        return static_cast<std::int64_t>(static_cast<double>(v) * scale + 0.5);
+      };
+      res.counters.gld_transactions += scaled(cls.gld_transactions);
+      res.counters.gst_transactions += scaled(cls.gst_transactions);
+      res.counters.smem_load_ops += scaled(cls.smem_load_ops);
+      res.counters.smem_store_ops += scaled(cls.smem_store_ops);
+      res.counters.smem_bank_conflicts += scaled(cls.smem_bank_conflicts);
+      res.counters.tex_transactions += scaled(cls.tex_transactions);
+      res.counters.tex_misses += scaled(cls.tex_misses);
+      res.counters.special_ops += scaled(cls.special_ops);
+      res.counters.fma_ops += scaled(cls.fma_ops);
+      res.counters.barriers += scaled(cls.barriers);
+      res.counters.payload_bytes += scaled(cls.payload_bytes);
+    }
+  }
+
+  std::byte* allocate_bytes(std::int64_t bytes);
+  std::int64_t register_virtual(std::int64_t bytes);
+  std::int64_t base_of(const std::byte* p) const;
+  void free_base(std::int64_t base);
+  bool try_free_base(std::int64_t base);
+  void validate(const LaunchConfig& cfg) const;
+
+  DeviceProperties props_;
+  ExecMode mode_ = ExecMode::kFunctional;
+  int sampling_ = 0;
+  struct Allocation {
+    std::unique_ptr<std::byte[]> storage;
+    std::int64_t bytes = 0;
+  };
+  std::map<std::int64_t, Allocation> allocations_;  // keyed by base addr
+  std::map<const std::byte*, std::int64_t> base_by_ptr_;
+  std::int64_t next_addr_ = 256;
+  std::int64_t bytes_allocated_ = 0;
+};
+
+}  // namespace ttlg::sim

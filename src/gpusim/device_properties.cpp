@@ -1,0 +1,43 @@
+#include "gpusim/device_properties.hpp"
+
+#include <sstream>
+
+namespace ttlg::sim {
+
+DeviceProperties DeviceProperties::pascal_p100() {
+  DeviceProperties p;
+  p.name = "Simulated Pascal P100";
+  p.num_sms = 56;
+  p.clock_ghz = 1.328;
+  p.shared_mem_per_sm_bytes = 64 * 1024;
+  p.peak_bandwidth_gbps = 732.0;
+  p.effective_bandwidth_gbps = 550.0;
+  p.dp_fma_per_cycle_per_sm = 32.0;  // 64 DP cores at half-rate pairing
+  p.warps_to_saturate = 1100.0;
+  return p;
+}
+
+DeviceProperties DeviceProperties::volta_v100() {
+  DeviceProperties p;
+  p.name = "Simulated Volta V100";
+  p.num_sms = 80;
+  p.clock_ghz = 1.53;
+  p.shared_mem_per_sm_bytes = 96 * 1024;
+  p.peak_bandwidth_gbps = 900.0;
+  p.effective_bandwidth_gbps = 790.0;
+  p.dp_fma_per_cycle_per_sm = 32.0;
+  p.warps_to_saturate = 1500.0;
+  return p;
+}
+
+std::string DeviceProperties::to_string() const {
+  std::ostringstream os;
+  os << name << ": " << num_sms << " SMs @ " << clock_ghz * 1000.0 << " MHz, "
+     << shared_mem_per_sm_bytes / 1024 << " KB smem/SM, warp " << warp_size
+     << ", " << dram_transaction_bytes << "B transactions, "
+     << effective_bandwidth_gbps << " GB/s effective ("
+     << peak_bandwidth_gbps << " peak)";
+  return os.str();
+}
+
+}  // namespace ttlg::sim

@@ -1,0 +1,59 @@
+// Simulated GPU device description. Defaults model the Tesla K40c used
+// in the paper's evaluation (Table III): 15 Kepler SMs, 745 MHz,
+// 48 KB shared memory per SM, 128-byte DRAM transactions, 32-wide warps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ttlg::sim {
+
+struct DeviceProperties {
+  std::string name = "Simulated Tesla K40c";
+  int num_sms = 15;
+  int warp_size = 32;
+  double clock_ghz = 0.745;
+  std::int64_t shared_mem_per_sm_bytes = 48 * 1024;
+  std::int64_t shared_mem_per_block_bytes = 48 * 1024;
+  int shared_banks = 32;
+  int max_threads_per_block = 1024;
+  int max_blocks_per_sm = 16;
+  int max_warps_per_sm = 64;
+  std::int64_t dram_transaction_bytes = 128;
+  std::int64_t tex_line_bytes = 32;
+  std::int64_t tex_cache_lines = 1536;  // ~48 KB texture/read-only cache
+  /// Peak theoretical DRAM bandwidth (GB/s). K40c (ECC off): 288.
+  double peak_bandwidth_gbps = 288.0;
+  /// Achievable streaming bandwidth used by the timing model.
+  double effective_bandwidth_gbps = 220.0;
+  /// Fixed host->device kernel launch overhead (seconds).
+  double launch_overhead_s = 5.0e-6;
+  /// Additional per-wave scheduling overhead (seconds).
+  double wave_overhead_s = 1.2e-6;
+  /// Warp-collective shared-memory op cost (cycles); conflicts add
+  /// (max-per-bank - 1) extra cycles each.
+  double smem_cycles_per_op = 1.0;
+  /// Cost (cycles) of one integer mod/div ("special instruction" in the
+  /// paper's §V feature list; compiled to MUFU on the real device).
+  double special_op_cycles = 16.0;
+  /// Double-precision FMA throughput per SM per cycle (K40: 64 DP
+  /// cores/SM; single precision is 192).
+  double dp_fma_per_cycle_per_sm = 64.0;
+  /// Warps resident per SM needed to saturate DRAM bandwidth.
+  double warps_to_saturate = 360.0;  // ~24 warps x 15 SMs
+
+  /// Factory for the paper's evaluation machine.
+  static DeviceProperties tesla_k40c() { return DeviceProperties{}; }
+
+  /// Pascal-generation profile (P100-like): more SMs, HBM2 bandwidth.
+  /// Useful for what-if studies; the shipped regression coefficients are
+  /// K40c-trained, so pair non-K40 profiles with ModelKind::kAnalytic.
+  static DeviceProperties pascal_p100();
+
+  /// Volta-generation profile (V100-like).
+  static DeviceProperties volta_v100();
+
+  std::string to_string() const;
+};
+
+}  // namespace ttlg::sim

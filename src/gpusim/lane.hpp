@@ -1,0 +1,43 @@
+// Per-warp lane vectors: the unit of every simulated memory access.
+// A kernel computes, for each of the 32 lanes, an element index into a
+// buffer (or kInactive for masked-off lanes) and issues one
+// warp-collective load/store. Coalescing and bank-conflict analysis run
+// on exactly these vectors, mirroring how the hardware groups accesses.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ttlg::sim {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr std::int64_t kInactive = -1;
+
+/// Element indices for the 32 lanes of a warp; kInactive masks a lane.
+struct LaneArray {
+  std::array<std::int64_t, kWarpSize> addr;
+
+  LaneArray() { addr.fill(kInactive); }
+
+  std::int64_t& operator[](int lane) { return addr[static_cast<std::size_t>(lane)]; }
+  std::int64_t operator[](int lane) const {
+    return addr[static_cast<std::size_t>(lane)];
+  }
+
+  int active_count() const {
+    int n = 0;
+    for (auto a : addr) n += (a != kInactive);
+    return n;
+  }
+  bool any_active() const {
+    for (auto a : addr)
+      if (a != kInactive) return true;
+    return false;
+  }
+};
+
+/// Per-lane values travelling with a warp-collective access.
+template <class T>
+using LaneValues = std::array<T, kWarpSize>;
+
+}  // namespace ttlg::sim

@@ -1,0 +1,54 @@
+#include "gpusim/profiler.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace ttlg::sim {
+
+void Profiler::record(const std::string& kernel, const LaunchResult& result) {
+  Row& row = rows_[kernel];
+  ++row.calls;
+  row.time_s += result.time_s;
+  row.counters += result.counters;
+  row.occupancy_sum += result.timing.occupancy;
+}
+
+double Profiler::total_time_s() const {
+  double t = 0;
+  for (const auto& [name, row] : rows_) t += row.time_s;
+  return t;
+}
+
+std::string Profiler::report() const {
+  std::vector<std::pair<std::string, const Row*>> order;
+  order.reserve(rows_.size());
+  for (const auto& [name, row] : rows_) order.emplace_back(name, &row);
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.second->time_s > b.second->time_s;
+  });
+
+  const double total = total_time_s();
+  Table t({"kernel", "calls", "time_ms", "time_%", "avg_us", "dram_txn",
+           "coalesce_eff", "conflicts", "avg_occupancy"});
+  for (const auto& [name, row] : order) {
+    t.add_row({name, Table::num(row->calls),
+               Table::num(row->time_s * 1e3, 3),
+               Table::num(total > 0 ? row->time_s / total * 100 : 0, 1),
+               Table::num(row->time_s / static_cast<double>(row->calls) * 1e6,
+                          1),
+               Table::num(row->counters.dram_transactions()),
+               Table::num(row->counters.coalescing_efficiency(), 3),
+               Table::num(row->counters.smem_bank_conflicts),
+               Table::num(row->occupancy_sum /
+                              static_cast<double>(row->calls),
+                          2)});
+  }
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+}  // namespace ttlg::sim

@@ -1,0 +1,36 @@
+// nvprof-style aggregation of simulated kernel launches: collects
+// LaunchResults by kernel name and renders a profile table (calls,
+// simulated time, transaction counts, coalescing efficiency, conflicts,
+// occupancy). Used by the CLI and available to applications.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gpusim/device.hpp"
+
+namespace ttlg::sim {
+
+class Profiler {
+ public:
+  /// Record one launch under a kernel name.
+  void record(const std::string& kernel, const LaunchResult& result);
+
+  /// Render the aggregated table, sorted by total simulated time.
+  std::string report() const;
+
+  std::size_t distinct_kernels() const { return rows_.size(); }
+  double total_time_s() const;
+  void clear() { rows_.clear(); }
+
+ private:
+  struct Row {
+    std::int64_t calls = 0;
+    double time_s = 0;
+    LaunchCounters counters;
+    double occupancy_sum = 0;
+  };
+  std::map<std::string, Row> rows_;
+};
+
+}  // namespace ttlg::sim

@@ -1,0 +1,33 @@
+// Direct-mapped read-only (texture) cache model. TTLG maps its offset
+// indirection arrays to texture memory; the paper reports >99% hit
+// rates because the arrays are shared by all thread blocks. Misses are
+// charged as DRAM traffic by the timing model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ttlg::sim {
+
+class TextureCache {
+ public:
+  TextureCache(std::int64_t num_lines, std::int64_t line_bytes);
+
+  /// Record an access to the cache line containing the given device byte
+  /// address. Returns true on hit.
+  bool access(std::int64_t byte_addr);
+
+  void reset();
+
+  std::int64_t line_bytes() const { return line_bytes_; }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  std::int64_t line_bytes_;
+  std::vector<std::int64_t> tags_;  // -1 == invalid
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace ttlg::sim

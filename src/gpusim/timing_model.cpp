@@ -1,0 +1,74 @@
+#include "gpusim/timing_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ttlg::sim {
+
+TimingBreakdown kernel_timing(const DeviceProperties& p,
+                              const LaunchCounters& c) {
+  TimingBreakdown t;
+  if (c.grid_blocks == 0) {
+    t.overhead_s = p.launch_overhead_s;
+    t.total_s = t.overhead_s;
+    return t;
+  }
+  const int warp = p.warp_size;
+  const int warps_per_block = std::max(1, c.block_threads / warp);
+
+  // Resident blocks per SM: limited by shared memory and the warp budget.
+  std::int64_t blocks_per_sm = p.max_blocks_per_sm;
+  if (c.shared_bytes_per_block > 0) {
+    blocks_per_sm = std::min<std::int64_t>(
+        blocks_per_sm, p.shared_mem_per_sm_bytes / c.shared_bytes_per_block);
+  }
+  blocks_per_sm = std::min<std::int64_t>(
+      blocks_per_sm, std::max(1, p.max_warps_per_sm / warps_per_block));
+  blocks_per_sm = std::max<std::int64_t>(blocks_per_sm, 1);
+
+  const std::int64_t concurrency =
+      std::min<std::int64_t>(c.grid_blocks, p.num_sms * blocks_per_sm);
+  const double active_warps =
+      static_cast<double>(concurrency) * warps_per_block;
+  t.occupancy = std::min(1.0, active_warps / p.warps_to_saturate);
+  t.occupancy = std::max(t.occupancy, 1.0 / p.warps_to_saturate);
+
+  t.waves = (c.grid_blocks + concurrency - 1) / concurrency;
+
+  const double dram_bytes =
+      static_cast<double>(c.dram_transactions()) *
+          static_cast<double>(p.dram_transaction_bytes) +
+      static_cast<double>(c.tex_misses) * static_cast<double>(p.tex_line_bytes);
+  t.dram_s = dram_bytes / (p.effective_bandwidth_gbps * 1e9 * t.occupancy);
+
+  // On-chip pipes run one warp-collective op per cycle per SM; blocks are
+  // spread over min(#SMs, concurrency) SMs.
+  const double sms_used =
+      static_cast<double>(std::min<std::int64_t>(p.num_sms, concurrency));
+  const double clock_hz = p.clock_ghz * 1e9;
+  const double smem_cycles =
+      static_cast<double>(c.smem_load_ops + c.smem_store_ops) *
+          p.smem_cycles_per_op +
+      static_cast<double>(c.smem_bank_conflicts);
+  t.smem_s = smem_cycles / (sms_used * clock_hz);
+  t.alu_s = static_cast<double>(c.special_ops) * p.special_op_cycles /
+            (sms_used * clock_hz);
+  t.fma_s = static_cast<double>(c.fma_ops) /
+            (sms_used * clock_hz * p.dp_fma_per_cycle_per_sm);
+  t.tex_s = static_cast<double>(c.tex_transactions) / (sms_used * clock_hz);
+
+  t.overhead_s =
+      p.launch_overhead_s + static_cast<double>(t.waves) * p.wave_overhead_s;
+  t.total_s = t.overhead_s +
+              std::max({t.dram_s, t.smem_s + t.tex_s, t.alu_s, t.fma_s});
+  return t;
+}
+
+double kernel_time_seconds(const DeviceProperties& props,
+                           const LaunchCounters& counters) {
+  return kernel_timing(props, counters).total_s;
+}
+
+}  // namespace ttlg::sim

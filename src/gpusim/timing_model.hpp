@@ -1,0 +1,32 @@
+// First-order kernel timing model: converts the launch's hardware-event
+// counters into simulated seconds. See DESIGN.md §5 for calibration
+// rationale (ideal large transposes report ~200 GBps, matching the
+// paper's Tesla K40c peaks).
+#pragma once
+
+#include "gpusim/counters.hpp"
+#include "gpusim/device_properties.hpp"
+
+namespace ttlg::sim {
+
+struct TimingBreakdown {
+  double dram_s = 0;      ///< DRAM traffic at utilization-scaled bandwidth
+  double smem_s = 0;      ///< shared-memory pipe (incl. conflict replays)
+  double alu_s = 0;       ///< special (mod/div) instructions
+  double fma_s = 0;       ///< floating-point FMA pipe
+  double tex_s = 0;       ///< texture hits (on-chip)
+  double overhead_s = 0;  ///< launch + wave scheduling
+  double total_s = 0;
+  double occupancy = 0;   ///< achieved fraction of bandwidth-saturating warps
+  std::int64_t waves = 0;
+};
+
+/// Full breakdown; total_s is the simulated kernel time.
+TimingBreakdown kernel_timing(const DeviceProperties& props,
+                              const LaunchCounters& counters);
+
+/// Convenience: just the simulated kernel time in seconds.
+double kernel_time_seconds(const DeviceProperties& props,
+                           const LaunchCounters& counters);
+
+}  // namespace ttlg::sim

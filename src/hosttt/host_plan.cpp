@@ -1,0 +1,205 @@
+#include "hosttt/host_plan.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace ttlg::host {
+namespace {
+
+Index ceil_div(Index a, Index b) { return (a + b - 1) / b; }
+
+/// Run fn(first, last) over [0, total) split across `threads` workers.
+template <class Fn>
+void parallel_for(Index total, int threads, Fn&& fn) {
+  if (threads <= 1 || total < (Index{1} << 14)) {
+    fn(Index{0}, total);
+    return;
+  }
+  const int n = static_cast<int>(
+      std::min<Index>(threads, std::max<Index>(1, total)));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const Index first = total * t / n;
+    const Index last = total * (t + 1) / n;
+    pool.emplace_back([&fn, first, last] { fn(first, last); });
+  }
+  for (auto& th : pool) th.join();
+}
+
+/// Decompose `idx` over `extents` and accumulate base offsets.
+void decode(Index idx, const std::vector<Index>& extents,
+            const std::vector<Index>& in_strides,
+            const std::vector<Index>& out_strides, Index& in_base,
+            Index& out_base) {
+  in_base = 0;
+  out_base = 0;
+  for (std::size_t d = 0; d < extents.size(); ++d) {
+    const Index q = idx % extents[d];
+    idx /= extents[d];
+    in_base += q * in_strides[d];
+    out_base += q * out_strides[d];
+  }
+}
+
+}  // namespace
+
+std::string to_string(HostStrategy s) {
+  switch (s) {
+    case HostStrategy::kMemcpy:
+      return "memcpy";
+    case HostStrategy::kRowCopy:
+      return "row-copy";
+    case HostStrategy::kTiled2D:
+      return "tiled-2d";
+  }
+  return "?";
+}
+
+HostPlan::HostPlan(const Shape& shape, const Permutation& perm,
+                   HostOptions opts)
+    : problem_(TransposeProblem::make(shape, perm, 8)), opts_(opts) {
+  TTLG_CHECK(opts_.num_threads >= 1, "need at least one thread");
+  TTLG_CHECK(opts_.block0 >= 1 && opts_.block1 >= 1,
+             "tile extents must be positive");
+  const Shape& fs = problem_.fused.shape;
+  const Permutation& fp = problem_.fused.perm;
+  const Shape& fo = problem_.fused_out;
+
+  if (fs.rank() == 1) {
+    strategy_ = HostStrategy::kMemcpy;
+    return;
+  }
+  if (fp.fvi_matches()) {
+    strategy_ = HostStrategy::kRowCopy;
+    n0_ = fs.extent(0);
+    rows_ = 1;
+    for (Index d = 1; d < fs.rank(); ++d) {
+      row_extents_.push_back(fs.extent(d));
+      row_in_strides_.push_back(fs.stride(d));
+      row_out_strides_.push_back(fo.stride(fp.position_of(d)));
+      rows_ *= fs.extent(d);
+    }
+    return;
+  }
+  strategy_ = HostStrategy::kTiled2D;
+  d_out_ = fp[0];
+  n0_ = fs.extent(0);
+  n1_ = fs.extent(d_out_);
+  in_stride1_ = fs.stride(d_out_);
+  out_stride0_ = fo.stride(fp.position_of(0));
+  outer_count_ = 1;
+  for (Index d = 1; d < fs.rank(); ++d) {
+    if (d == d_out_) continue;
+    outer_extents_.push_back(fs.extent(d));
+    outer_in_strides_.push_back(fs.stride(d));
+    outer_out_strides_.push_back(fo.stride(fp.position_of(d)));
+    outer_count_ *= fs.extent(d);
+  }
+}
+
+std::string HostPlan::describe() const {
+  std::ostringstream os;
+  os << "host " << to_string(strategy_) << " for "
+     << problem_.shape.to_string() << " -> " << problem_.perm.to_string()
+     << " (" << opts_.num_threads << " thread"
+     << (opts_.num_threads == 1 ? "" : "s");
+  if (strategy_ == HostStrategy::kTiled2D)
+    os << ", tiles " << opts_.block0 << "x" << opts_.block1;
+  os << ")";
+  return os.str();
+}
+
+template <class T, bool kScaled>
+void HostPlan::run_impl(const T* in, T* out, T alpha, T beta) const {
+  const Index volume = problem_.volume();
+  switch (strategy_) {
+    case HostStrategy::kMemcpy: {
+      parallel_for(volume, opts_.num_threads, [&](Index first, Index last) {
+        if constexpr (kScaled) {
+          for (Index i = first; i < last; ++i)
+            out[i] = alpha * in[i] + beta * out[i];
+        } else {
+          std::memcpy(out + first, in + first,
+                      static_cast<std::size_t>(last - first) * sizeof(T));
+        }
+      });
+      return;
+    }
+    case HostStrategy::kRowCopy: {
+      parallel_for(rows_, opts_.num_threads, [&](Index first, Index last) {
+        for (Index r = first; r < last; ++r) {
+          Index in_base, out_base;
+          decode(r, row_extents_, row_in_strides_, row_out_strides_, in_base,
+                 out_base);
+          if constexpr (kScaled) {
+            for (Index i = 0; i < n0_; ++i)
+              out[out_base + i] = alpha * in[in_base + i] +
+                                  beta * out[out_base + i];
+          } else {
+            std::memcpy(out + out_base, in + in_base,
+                        static_cast<std::size_t>(n0_) * sizeof(T));
+          }
+        }
+      });
+      return;
+    }
+    case HostStrategy::kTiled2D: {
+      const Index j_tiles = ceil_div(n1_, opts_.block1);
+      const Index work = outer_count_ * j_tiles;
+      parallel_for(work, opts_.num_threads, [&](Index first, Index last) {
+        for (Index w = first; w < last; ++w) {
+          const Index o = w / j_tiles;
+          const Index jt = w % j_tiles;
+          Index in_base, out_base;
+          decode(o, outer_extents_, outer_in_strides_, outer_out_strides_,
+                 in_base, out_base);
+          const Index j_end = std::min(n1_, (jt + 1) * opts_.block1);
+          for (Index i0 = 0; i0 < n0_; i0 += opts_.block0) {
+            const Index i_end = std::min(n0_, i0 + opts_.block0);
+            for (Index j = jt * opts_.block1; j < j_end; ++j) {
+              const T* src = in + in_base + j * in_stride1_;
+              T* dst = out + out_base + j;
+              if constexpr (kScaled) {
+                for (Index i = i0; i < i_end; ++i)
+                  dst[i * out_stride0_] =
+                      alpha * src[i] + beta * dst[i * out_stride0_];
+              } else {
+                for (Index i = i0; i < i_end; ++i)
+                  dst[i * out_stride0_] = src[i];
+              }
+            }
+          }
+        }
+      });
+      return;
+    }
+  }
+  TTLG_ASSERT(false, "unreachable strategy");
+}
+
+template <class T>
+void HostPlan::run(const T* in, T* out, T alpha, T beta) const {
+  TTLG_CHECK(in != nullptr && out != nullptr, "null tensor pointers");
+  TTLG_CHECK(in != out, "host transposition is out-of-place");
+  if (alpha == T{1} && beta == T{0}) {
+    run_impl<T, false>(in, out, alpha, beta);
+  } else {
+    run_impl<T, true>(in, out, alpha, beta);
+  }
+}
+
+void HostPlan::execute(const double* in, double* out, double alpha,
+                       double beta) const {
+  run(in, out, alpha, beta);
+}
+
+void HostPlan::execute(const float* in, float* out, float alpha,
+                       float beta) const {
+  run(in, out, alpha, beta);
+}
+
+}  // namespace ttlg::host

@@ -1,0 +1,86 @@
+// Host-side (CPU) tensor transposition library — the HPTT-role fallback
+// substrate. Unlike the simple odometer oracle in tensor/host_transpose,
+// this is a tuned implementation: index fusion, 2D cache blocking over
+// the input FVI and the dimension that becomes the output FVI,
+// loop-order selection, optional multithreading, and the same alpha/beta
+// epilogue the GPU kernels support.
+//
+//     HostPlan plan(shape, perm, HostOptions{.num_threads = 4});
+//     plan.execute(in.data(), out.data());          // pure permutation
+//     plan.execute(in.data(), out.data(), 2.0, 1.0) // out = 2A' + out
+#pragma once
+
+#include <string>
+
+#include "core/problem.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ttlg::host {
+
+struct HostOptions {
+  int num_threads = 1;   ///< worker threads for the outer loop
+  Index block0 = 64;     ///< tile extent along the input FVI
+  Index block1 = 16;     ///< tile extent along the output-FVI dimension
+};
+
+/// How the plan will traverse the tensor.
+enum class HostStrategy {
+  kMemcpy,     ///< fused identity: straight copy
+  kRowCopy,    ///< matching FVI: contiguous row moves
+  kTiled2D,    ///< 2D cache-blocked transpose over (in-FVI, out-FVI)
+};
+
+std::string to_string(HostStrategy s);
+
+class HostPlan {
+ public:
+  HostPlan(const Shape& shape, const Permutation& perm,
+           HostOptions opts = {});
+
+  HostStrategy strategy() const { return strategy_; }
+  const TransposeProblem& problem() const { return problem_; }
+
+  /// out[rho(i)] = alpha * in[i] + beta * out[rho(i)]. Both pointers
+  /// must reference shape().volume() elements.
+  void execute(const double* in, double* out, double alpha = 1.0,
+               double beta = 0.0) const;
+  void execute(const float* in, float* out, float alpha = 1.0f,
+               float beta = 0.0f) const;
+
+  std::string describe() const;
+
+ private:
+  template <class T>
+  void run(const T* in, T* out, T alpha, T beta) const;
+  template <class T, bool kScaled>
+  void run_impl(const T* in, T* out, T alpha, T beta) const;
+
+  TransposeProblem problem_;
+  HostOptions opts_;
+  HostStrategy strategy_ = HostStrategy::kMemcpy;
+
+  // Precomputed traversal state for the tiled strategy (fused dims).
+  Index d_out_ = 0;          ///< fused input dim that is output dim 0
+  Index n0_ = 1, n1_ = 1;    ///< extents of in-FVI and out-FVI dims
+  Index in_stride1_ = 0;     ///< input stride of d_out_
+  Index out_stride0_ = 0;    ///< output stride of input dim 0
+  std::vector<Index> outer_extents_;     ///< remaining fused dims
+  std::vector<Index> outer_in_strides_;
+  std::vector<Index> outer_out_strides_;
+  Index outer_count_ = 1;
+  // Row-copy strategy state.
+  std::vector<Index> row_extents_, row_in_strides_, row_out_strides_;
+  Index rows_ = 1;
+};
+
+/// Convenience: plan + execute in one call.
+template <class T>
+Tensor<T> host_transpose_tuned(const Tensor<T>& in, const Permutation& perm,
+                               HostOptions opts = {}) {
+  HostPlan plan(in.shape(), perm, opts);
+  Tensor<T> out(perm.apply(in.shape()));
+  plan.execute(in.data(), out.data());
+  return out;
+}
+
+}  // namespace ttlg::host

@@ -1,0 +1,170 @@
+#include "mlr/ols.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ttlg::mlr {
+namespace {
+
+/// Invert a symmetric positive-definite matrix (row-major n x n) via
+/// Gauss-Jordan with partial pivoting. Throws on singularity.
+std::vector<double> invert(std::vector<double> a, std::size_t n) {
+  std::vector<double> inv(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) inv[i * n + i] = 1.0;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    TTLG_CHECK(std::fabs(a[pivot * n + col]) > 1e-300,
+               "singular design matrix (collinear features?)");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[pivot * n + k], a[col * n + k]);
+        std::swap(inv[pivot * n + k], inv[col * n + k]);
+      }
+    }
+    const double d = a[col * n + col];
+    for (std::size_t k = 0; k < n; ++k) {
+      a[col * n + k] /= d;
+      inv[col * n + k] /= d;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t k = 0; k < n; ++k) {
+        a[r * n + k] -= f * a[col * n + k];
+        inv[r * n + k] -= f * inv[col * n + k];
+      }
+    }
+  }
+  return inv;
+}
+
+/// Two-sided p-value for a t statistic, normal approximation (the paper's
+/// fits have thousands of rows, where Student-t ~ normal).
+double p_value_two_sided(double t) {
+  return std::erfc(std::fabs(t) / std::sqrt(2.0));
+}
+
+}  // namespace
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names)) {
+  TTLG_CHECK(!names_.empty(), "dataset needs at least one feature");
+}
+
+void Dataset::add_row(const std::vector<double>& features, double response) {
+  TTLG_CHECK(features.size() == names_.size(),
+             "feature vector width mismatch");
+  x_.push_back(features);
+  y_.push_back(response);
+}
+
+void Dataset::split(double test_fraction, std::uint64_t seed, Dataset& train,
+                    Dataset& test) const {
+  TTLG_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+             "test fraction must be in (0, 1)");
+  train = Dataset(names_);
+  test = Dataset(names_);
+  for (std::size_t i = 0; i < y_.size(); ++i) {
+    // splitmix64-style hash of the row index for a stable random split.
+    std::uint64_t z = (static_cast<std::uint64_t>(i) + seed) *
+                      0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    const double u =
+        static_cast<double>(z >> 11) * 0x1.0p-53;
+    (u < test_fraction ? test : train).add_row(x_[i], y_[i]);
+  }
+}
+
+double FitResult::predict(const std::vector<double>& features) const {
+  TTLG_CHECK(features.size() == coefficients.size(),
+             "feature vector width mismatch");
+  double y = 0;
+  for (std::size_t k = 0; k < coefficients.size(); ++k)
+    y += coefficients[k].estimate * features[k];
+  return y;
+}
+
+double FitResult::error_percent(const Dataset& data) const {
+  TTLG_CHECK(data.num_rows() > 0, "empty dataset");
+  double sum = 0;
+  for (std::size_t i = 0; i < data.num_rows(); ++i) {
+    const double actual = data.response(i);
+    TTLG_CHECK(actual != 0.0, "precision metric undefined for zero response");
+    sum += std::fabs(actual - predict(data.row(i))) / std::fabs(actual);
+  }
+  return sum / static_cast<double>(data.num_rows()) * 100.0;
+}
+
+FitResult fit_ols(const Dataset& data, bool relative_weights) {
+  const std::size_t n = data.num_rows();
+  const std::size_t k = data.num_features();
+  TTLG_CHECK(n > k, "need more rows than features to fit OLS");
+
+  // Weighted normal equations: (X'WX) beta = X'Wy.
+  std::vector<double> xtx(k * k, 0.0);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& row = data.row(i);
+    const double y = data.response(i);
+    double w = 1.0;
+    if (relative_weights) {
+      TTLG_CHECK(y != 0.0, "relative weighting undefined for zero response");
+      w = 1.0 / (y * y);
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += w * row[a] * y;
+      for (std::size_t b = a; b < k; ++b)
+        xtx[a * k + b] += w * row[a] * row[b];
+    }
+  }
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < a; ++b) xtx[a * k + b] = xtx[b * k + a];
+
+  const std::vector<double> xtx_inv = invert(xtx, k);
+  std::vector<double> beta(k, 0.0);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      beta[a] += xtx_inv[a * k + b] * xty[b];
+
+  // (Weighted) residuals and variance. R² stays on the unweighted scale.
+  double rss = 0, tss = 0, rss_plain = 0;
+  double ysum = 0;
+  for (std::size_t i = 0; i < n; ++i) ysum += data.response(i);
+  const double ymean = ysum / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& row = data.row(i);
+    double pred = 0;
+    for (std::size_t a = 0; a < k; ++a) pred += beta[a] * row[a];
+    const double y = data.response(i);
+    const double w = relative_weights ? 1.0 / (y * y) : 1.0;
+    const double r = y - pred;
+    rss += w * r * r;
+    rss_plain += r * r;
+    const double d = y - ymean;
+    tss += d * d;
+  }
+  const double sigma2 = rss / static_cast<double>(n - k);
+
+  FitResult fit;
+  fit.num_rows = n;
+  fit.residual_std_error = std::sqrt(sigma2);
+  fit.r_squared = tss > 0 ? 1.0 - rss_plain / tss : 1.0;
+  fit.coefficients.resize(k);
+  for (std::size_t a = 0; a < k; ++a) {
+    auto& c = fit.coefficients[a];
+    c.name = data.feature_names()[a];
+    c.estimate = beta[a];
+    c.std_error = std::sqrt(sigma2 * xtx_inv[a * k + a]);
+    c.t_value = c.std_error > 0 ? c.estimate / c.std_error : 0.0;
+    c.p_value = p_value_two_sided(c.t_value);
+  }
+  return fit;
+}
+
+}  // namespace ttlg::mlr

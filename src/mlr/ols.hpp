@@ -1,0 +1,68 @@
+// Ordinary least squares with inference statistics (standard errors,
+// t-values, p-values) — the fitting machinery behind the paper's Table II
+// performance models. Solved via normal equations with partial-pivot
+// Gaussian elimination; problem sizes are tiny (<= ~10 features).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ttlg::mlr {
+
+/// A regression design: rows of features plus a response per row.
+class Dataset {
+ public:
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  void add_row(const std::vector<double>& features, double response);
+
+  std::size_t num_rows() const { return y_.size(); }
+  std::size_t num_features() const { return names_.size(); }
+  const std::vector<std::string>& feature_names() const { return names_; }
+  const std::vector<double>& row(std::size_t i) const { return x_[i]; }
+  double response(std::size_t i) const { return y_[i]; }
+
+  /// Deterministic split: every k-th row (by hash of index with `seed`)
+  /// goes to the test set; roughly `test_fraction` of rows.
+  void split(double test_fraction, std::uint64_t seed, Dataset& train,
+             Dataset& test) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_;
+};
+
+/// One fitted coefficient with its inference stats (Table II columns).
+struct Coefficient {
+  std::string name;
+  double estimate = 0;
+  double std_error = 0;
+  double t_value = 0;
+  double p_value = 1;  ///< two-sided, normal approximation
+};
+
+struct FitResult {
+  std::vector<Coefficient> coefficients;
+  double r_squared = 0;
+  double residual_std_error = 0;
+  std::size_t num_rows = 0;
+
+  /// Model prediction for a feature vector.
+  double predict(const std::vector<double>& features) const;
+
+  /// Paper's precision metric: mean(|actual - predicted| / actual) * 100.
+  double error_percent(const Dataset& data) const;
+};
+
+/// Fit y ~ X (no implicit intercept; include a constant-1 feature if an
+/// intercept is wanted). Throws ttlg::Error if the system is singular or
+/// there are fewer rows than features.
+///
+/// `relative_weights = true` performs weighted least squares with
+/// weights 1/y² — i.e. it minimizes RELATIVE error, matching the
+/// paper's mean(|actual-predicted|/actual) precision metric across
+/// responses spanning several decades.
+FitResult fit_ols(const Dataset& data, bool relative_weights = false);
+
+}  // namespace ttlg::mlr

@@ -1,0 +1,69 @@
+#include "tensor/fusion.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+FusedProblem fuse_indices(const Shape& shape, const Permutation& perm) {
+  TTLG_CHECK(shape.rank() == perm.rank(),
+             "shape and permutation rank mismatch");
+  const Index rank = shape.rank();
+
+  // Two input dimensions d and d+1 fuse iff they are also adjacent, in
+  // the same order, in the output — i.e. perm[j] == d and perm[j+1] == d+1
+  // for some output position j.
+  //
+  // Walk the output order and open a new fused group whenever the chain
+  // of consecutive input dimensions breaks.
+  std::vector<std::vector<Index>> out_groups;  // in OUTPUT order
+  for (Index j = 0; j < rank; ++j) {
+    const Index d = perm[j];
+    if (j > 0 && perm[j - 1] == d - 1) {
+      out_groups.back().push_back(d);
+    } else {
+      out_groups.push_back({d});
+    }
+  }
+
+  // Fused input dimensions are those groups, ordered by their leading
+  // original input dimension (group members are consecutive, so ordering
+  // by the first member orders the groups along input memory).
+  std::vector<std::vector<Index>> in_groups = out_groups;
+  std::sort(in_groups.begin(), in_groups.end(),
+            [](const auto& a, const auto& b) { return a.front() < b.front(); });
+
+  Extents fused_ext;
+  fused_ext.reserve(in_groups.size());
+  for (const auto& g : in_groups) {
+    Index e = 1;
+    for (Index d : g) e *= shape.extent(d);
+    fused_ext.push_back(e);
+  }
+
+  // New permutation: for each output-order group, find its index among
+  // the input-order groups.
+  std::vector<Index> fused_perm;
+  fused_perm.reserve(out_groups.size());
+  for (const auto& g : out_groups) {
+    for (std::size_t k = 0; k < in_groups.size(); ++k) {
+      if (in_groups[k].front() == g.front()) {
+        fused_perm.push_back(static_cast<Index>(k));
+        break;
+      }
+    }
+  }
+  TTLG_ASSERT(fused_perm.size() == in_groups.size(),
+              "every fused group must appear exactly once in the output");
+
+  return FusedProblem{Shape(std::move(fused_ext)),
+                      Permutation(std::move(fused_perm)),
+                      std::move(in_groups)};
+}
+
+Index scaled_rank(const Shape& shape, const Permutation& perm) {
+  return fuse_indices(shape, perm).shape.rank();
+}
+
+}  // namespace ttlg

@@ -1,0 +1,29 @@
+// Index fusion (paper §III, Fig. 3): dimensions that appear consecutively
+// in BOTH the input and the output tensor are merged into one longer
+// dimension before kernel selection. The rank after fusion is the
+// "scaled rank" reported in the paper's performance charts.
+#pragma once
+
+#include "tensor/permutation.hpp"
+#include "tensor/shape.hpp"
+
+namespace ttlg {
+
+/// A transposition problem after index fusion.
+struct FusedProblem {
+  Shape shape;       ///< fused input shape
+  Permutation perm;  ///< fused permutation
+  /// group[k] lists the ORIGINAL input dimensions merged into fused
+  /// input dimension k, ordered fastest-varying first.
+  std::vector<std::vector<Index>> groups;
+};
+
+/// Fuse all fusible index pairs of the transposition (shape, perm).
+/// Example: [i0,i1,i2,i3] -> [i3,i1,i2,i0] fuses (i1,i2) into one index,
+/// yielding a rank-3 problem. Identity permutations fuse to rank 1.
+FusedProblem fuse_indices(const Shape& shape, const Permutation& perm);
+
+/// Rank after fusion ("scaled rank" in the paper's figures).
+Index scaled_rank(const Shape& shape, const Permutation& perm);
+
+}  // namespace ttlg

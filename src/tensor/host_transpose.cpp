@@ -1,0 +1,70 @@
+#include "tensor/host_transpose.hpp"
+
+#include "common/error.hpp"
+#include "tensor/fusion.hpp"
+
+namespace ttlg {
+namespace {
+
+// Odometer-style transpose: walk the input in linear order and maintain
+// the output offset incrementally, so the inner loop is stride-add only
+// (no mod/div per element). Fusion is applied first so the inner loop is
+// as long as the problem allows.
+template <class T>
+void transpose_impl(std::span<const T> in, std::span<T> out,
+                    const Shape& shape, const Permutation& perm) {
+  TTLG_CHECK(static_cast<Index>(in.size()) == shape.volume(),
+             "input span size does not match shape volume");
+  TTLG_CHECK(static_cast<Index>(out.size()) == shape.volume(),
+             "output span size does not match shape volume");
+
+  const FusedProblem fused = fuse_indices(shape, perm);
+  const Shape& fs = fused.shape;
+  const Shape out_shape = fused.perm.apply(fs);
+  const Index rank = fs.rank();
+
+  if (rank == 1) {  // identity after fusion
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+
+  // Output stride of each (fused) INPUT dimension.
+  std::vector<Index> out_stride(static_cast<std::size_t>(rank));
+  for (Index k = 0; k < rank; ++k)
+    out_stride[static_cast<std::size_t>(k)] =
+        out_shape.stride(fused.perm.position_of(k));
+
+  std::vector<Index> counter(static_cast<std::size_t>(rank), 0);
+  const Index n0 = fs.extent(0);
+  const Index os0 = out_stride[0];
+  const Index volume = fs.volume();
+
+  const T* src = in.data();
+  Index out_off = 0;
+  for (Index base = 0; base < volume; base += n0) {
+    T* dst = out.data() + out_off;
+    for (Index i = 0; i < n0; ++i) dst[i * os0] = src[base + i];
+    // Advance the odometer over dimensions 1..rank-1.
+    for (Index d = 1; d < rank; ++d) {
+      auto& c = counter[static_cast<std::size_t>(d)];
+      out_off += out_stride[static_cast<std::size_t>(d)];
+      if (++c < fs.extent(d)) break;
+      out_off -= out_stride[static_cast<std::size_t>(d)] * fs.extent(d);
+      c = 0;
+    }
+  }
+}
+
+}  // namespace
+
+void host_transpose(std::span<const float> in, std::span<float> out,
+                    const Shape& shape, const Permutation& perm) {
+  transpose_impl(in, out, shape, perm);
+}
+
+void host_transpose(std::span<const double> in, std::span<double> out,
+                    const Shape& shape, const Permutation& perm) {
+  transpose_impl(in, out, shape, perm);
+}
+
+}  // namespace ttlg

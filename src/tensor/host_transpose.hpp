@@ -1,0 +1,30 @@
+// Reference (host, CPU) out-of-place tensor transposition. This is the
+// correctness oracle for every GPU-simulator kernel in the repository
+// and also a usable standalone host fallback (HPTT-style role).
+#pragma once
+
+#include <span>
+
+#include "tensor/permutation.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ttlg {
+
+/// out[rho(i)] = in[i] over raw spans. `in.size()` and `out.size()` must
+/// both equal shape.volume().
+void host_transpose(std::span<const float> in, std::span<float> out,
+                    const Shape& shape, const Permutation& perm);
+void host_transpose(std::span<const double> in, std::span<double> out,
+                    const Shape& shape, const Permutation& perm);
+
+/// Convenience overload returning a freshly allocated output tensor.
+template <class T>
+Tensor<T> host_transpose(const Tensor<T>& in, const Permutation& perm) {
+  Tensor<T> out(perm.apply(in.shape()));
+  host_transpose(std::span<const T>(in.vec()), std::span<T>(out.vec()),
+                 in.shape(), perm);
+  return out;
+}
+
+}  // namespace ttlg

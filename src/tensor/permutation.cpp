@@ -1,0 +1,65 @@
+#include "tensor/permutation.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+Permutation::Permutation(std::vector<Index> perm) : perm_(std::move(perm)) {
+  std::vector<bool> seen(perm_.size(), false);
+  for (Index v : perm_) {
+    TTLG_CHECK(v >= 0 && v < rank(),
+               "permutation entry " + std::to_string(v) + " out of range for rank " +
+                   std::to_string(rank()));
+    TTLG_CHECK(!seen[static_cast<std::size_t>(v)],
+               "permutation entry " + std::to_string(v) + " repeated");
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+Permutation Permutation::identity(Index rank) {
+  std::vector<Index> p(static_cast<std::size_t>(rank));
+  std::iota(p.begin(), p.end(), Index{0});
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<Index> inv(perm_.size());
+  for (std::size_t j = 0; j < perm_.size(); ++j)
+    inv[static_cast<std::size_t>(perm_[j])] = static_cast<Index>(j);
+  return Permutation(std::move(inv));
+}
+
+Index Permutation::position_of(Index input_dim) const {
+  TTLG_CHECK(input_dim >= 0 && input_dim < rank(), "dimension out of range");
+  for (std::size_t j = 0; j < perm_.size(); ++j)
+    if (perm_[j] == input_dim) return static_cast<Index>(j);
+  TTLG_ASSERT(false, "valid permutation must contain every dimension");
+}
+
+bool Permutation::is_identity() const {
+  for (std::size_t j = 0; j < perm_.size(); ++j)
+    if (perm_[j] != static_cast<Index>(j)) return false;
+  return true;
+}
+
+Shape Permutation::apply(const Shape& in) const {
+  TTLG_CHECK(in.rank() == rank(), "permutation rank " + std::to_string(rank()) +
+                                      " does not match tensor rank " +
+                                      std::to_string(in.rank()));
+  Extents out(perm_.size());
+  for (std::size_t j = 0; j < perm_.size(); ++j) out[j] = in.extent(perm_[j]);
+  return Shape(std::move(out));
+}
+
+std::string Permutation::to_string() const {
+  std::string s = "(";
+  for (std::size_t j = 0; j < perm_.size(); ++j) {
+    if (j) s += " ";
+    s += std::to_string(perm_[j]);
+  }
+  return s + ")";
+}
+
+}  // namespace ttlg

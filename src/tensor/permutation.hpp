@@ -1,0 +1,52 @@
+// Index permutations for tensor transposition.
+//
+// Semantics (matches the paper, §VI): perm[j] == k means the j-th
+// dimension of the OUTPUT tensor is the k-th dimension of the INPUT
+// tensor. Dimension 0 is the fastest varying on both sides, so a
+// "matching FVI" transposition is exactly perm[0] == 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace ttlg {
+
+class Permutation {
+ public:
+  Permutation() = default;
+  /// Throws ttlg::Error unless `perm` is a permutation of 0..n-1.
+  explicit Permutation(std::vector<Index> perm);
+
+  /// Identity permutation of the given rank.
+  static Permutation identity(Index rank);
+
+  Index rank() const { return static_cast<Index>(perm_.size()); }
+  /// Input dimension that output dimension j comes from.
+  Index operator[](Index j) const { return perm_[static_cast<std::size_t>(j)]; }
+  const std::vector<Index>& vec() const { return perm_; }
+
+  /// Inverse: inverse()[k] is the output position of input dimension k.
+  Permutation inverse() const;
+  /// Output position of input dimension k (== inverse()[k]).
+  Index position_of(Index input_dim) const;
+
+  bool is_identity() const;
+  /// True iff the fastest varying index matches: perm[0] == 0.
+  bool fvi_matches() const { return !perm_.empty() && perm_[0] == 0; }
+
+  /// Output shape obtained by applying this permutation to `in`.
+  Shape apply(const Shape& in) const;
+
+  bool operator==(const Permutation& o) const { return perm_ == o.perm_; }
+  bool operator!=(const Permutation& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Index> perm_;
+};
+
+}  // namespace ttlg

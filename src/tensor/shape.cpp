@@ -1,0 +1,60 @@
+#include "tensor/shape.hpp"
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+Shape::Shape(Extents extents) : extents_(std::move(extents)) {
+  strides_.resize(extents_.size());
+  Index s = 1;
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    TTLG_CHECK(extents_[d] > 0, "tensor extents must be positive, got " +
+                                    std::to_string(extents_[d]) +
+                                    " at dimension " + std::to_string(d));
+    strides_[d] = s;
+    s *= extents_[d];
+  }
+  volume_ = s;
+}
+
+Index Shape::extent(Index d) const {
+  TTLG_CHECK(d >= 0 && d < rank(), "dimension out of range");
+  return extents_[static_cast<std::size_t>(d)];
+}
+
+Index Shape::stride(Index d) const {
+  TTLG_CHECK(d >= 0 && d < rank(), "dimension out of range");
+  return strides_[static_cast<std::size_t>(d)];
+}
+
+Index Shape::linearize(const Extents& idx) const {
+  TTLG_CHECK(static_cast<Index>(idx.size()) == rank(),
+             "multi-index rank mismatch");
+  Index off = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    TTLG_CHECK(idx[d] >= 0 && idx[d] < extents_[d], "index out of range");
+    off += idx[d] * strides_[d];
+  }
+  return off;
+}
+
+Extents Shape::delinearize(Index offset) const {
+  TTLG_CHECK(offset >= 0 && offset < volume_, "linear offset out of range");
+  Extents idx(extents_.size());
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    idx[d] = offset % extents_[d];
+    offset /= extents_[d];
+  }
+  return idx;
+}
+
+std::string Shape::to_string() const {
+  std::string s = "[";
+  for (std::size_t d = 0; d < extents_.size(); ++d) {
+    if (d) s += ", ";
+    s += std::to_string(extents_[d]);
+  }
+  return s + "]";
+}
+
+}  // namespace ttlg

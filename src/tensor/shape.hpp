@@ -1,0 +1,53 @@
+// Tensor shapes and row-major-linearized strides.
+//
+// Convention (matches the paper): dimension 0 is the FASTEST varying
+// index, so stride[0] == 1 and stride[k] == prod(extent[0..k-1]).
+// The paper's abstract notation [a, b, c, d] lists 'a' first as the
+// fastest varying dimension; we mirror that ordering in `extent`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ttlg {
+
+using Index = std::int64_t;
+using Extents = std::vector<Index>;
+
+/// Immutable tensor shape: extents of each dimension plus derived
+/// volume and strides (fastest-varying-first layout).
+class Shape {
+ public:
+  Shape() = default;
+  explicit Shape(Extents extents);
+
+  Index rank() const { return static_cast<Index>(extents_.size()); }
+  Index extent(Index d) const;
+  const Extents& extents() const { return extents_; }
+
+  /// Product of all extents. 1 for rank-0 shapes.
+  Index volume() const { return volume_; }
+
+  /// stride(d): number of elements between consecutive values of
+  /// dimension d in linear memory. stride(0) == 1.
+  Index stride(Index d) const;
+  const Extents& strides() const { return strides_; }
+
+  /// Linear offset of a multi-index (size == rank, each in range).
+  Index linearize(const Extents& idx) const;
+  /// Inverse of linearize: decompose a linear offset into a multi-index.
+  Extents delinearize(Index offset) const;
+
+  bool operator==(const Shape& o) const { return extents_ == o.extents_; }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+
+ private:
+  Extents extents_;
+  Extents strides_;
+  Index volume_ = 1;
+};
+
+}  // namespace ttlg

@@ -1,0 +1,65 @@
+// Host tensor container: owning storage plus a Shape. Element type is a
+// template parameter; the library instantiates float and double.
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace ttlg {
+
+template <class T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.volume())) {}
+
+  const Shape& shape() const { return shape_; }
+  Index volume() const { return shape_.volume(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& vec() { return data_; }
+  const std::vector<T>& vec() const { return data_; }
+
+  T& at(Index linear) {
+    TTLG_CHECK(linear >= 0 && linear < volume(), "linear index out of range");
+    return data_[static_cast<std::size_t>(linear)];
+  }
+  const T& at(Index linear) const {
+    TTLG_CHECK(linear >= 0 && linear < volume(), "linear index out of range");
+    return data_[static_cast<std::size_t>(linear)];
+  }
+
+  T& operator()(const Extents& idx) { return data_[shape_.linearize(idx)]; }
+  const T& operator()(const Extents& idx) const {
+    return data_[shape_.linearize(idx)];
+  }
+
+  /// Fill with the element's own linear index (cheap, collision-free —
+  /// ideal for transpose verification).
+  void fill_iota() {
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      data_[i] = static_cast<T>(i);
+  }
+
+  /// Fill with deterministic pseudo-random values in [0, 1).
+  void fill_random(std::uint64_t seed) {
+    Rng rng(seed);
+    for (auto& v : data_) v = static_cast<T>(rng.uniform01());
+  }
+
+  bool operator==(const Tensor& o) const {
+    return shape_ == o.shape_ && data_ == o.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+}  // namespace ttlg

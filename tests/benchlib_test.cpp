@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchlib/perm_sweep.hpp"
+#include "benchlib/runner.hpp"
+#include "tensor/fusion.hpp"
+
+namespace ttlg::bench {
+namespace {
+
+TEST(Cases, AllPermutationsCounts) {
+  EXPECT_EQ(all_permutations(1).size(), 1u);
+  EXPECT_EQ(all_permutations(3).size(), 6u);
+  EXPECT_EQ(all_permutations(6).size(), 720u);
+  EXPECT_TRUE(all_permutations(4).front().is_identity());
+}
+
+TEST(Cases, TtcSuiteMatchesPublishedSpec) {
+  const auto suite = ttc_suite();
+  ASSERT_EQ(suite.size(), 57u);
+  int rank_count[7] = {0};
+  for (const auto& c : suite) {
+    const Index rank = c.shape.rank();
+    ASSERT_GE(rank, 2);
+    ASSERT_LE(rank, 6);
+    ++rank_count[rank];
+    // No index fusion possible (the suite's defining property).
+    EXPECT_EQ(scaled_rank(c.shape, c.perm), rank) << c.id;
+    // ~200 MB double tensors (25M elements), within 2x.
+    EXPECT_GE(c.shape.volume(), 12'000'000) << c.id;
+    EXPECT_LE(c.shape.volume(), 50'000'000) << c.id;
+  }
+  for (Index r = 2; r <= 6; ++r) EXPECT_GT(rank_count[r], 0);
+  // Deterministic: a second call yields the identical suite.
+  const auto again = ttc_suite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].shape, again[i].shape);
+    EXPECT_EQ(suite[i].perm, again[i].perm);
+  }
+}
+
+TEST(Cases, VaryingDimsCases) {
+  const auto cases = varying_dims_cases();
+  ASSERT_EQ(cases.size(), 8u);
+  EXPECT_EQ(cases.front().shape, Shape({15, 15, 15, 15}));
+  EXPECT_EQ(cases.back().shape, Shape({128, 128, 128, 128}));
+  for (const auto& c : cases) EXPECT_EQ(c.perm, Permutation({0, 2, 1, 3}));
+}
+
+TEST(Runner, RunsAllBackendsOnATinyCase) {
+  Runner runner{RunnerOptions{}};
+  Case c;
+  c.id = "tiny";
+  c.shape = Shape({16, 16, 16});
+  c.perm = Permutation({2, 0, 1});
+  std::vector<std::unique_ptr<baselines::Backend>> owned;
+  owned.push_back(baselines::make_ttlg_backend());
+  owned.push_back(baselines::make_cutt_backend(baselines::CuttMode::kMeasure));
+  std::vector<baselines::Backend*> backends{owned[0].get(), owned[1].get()};
+  const auto results = runner.run_case(c, backends);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.bw_repeated_gbps, 0.0);
+    EXPECT_GT(r.bw_single_gbps, 0.0);
+    EXPECT_LE(r.bw_single_gbps, r.bw_repeated_gbps);
+    EXPECT_EQ(r.scaled_rank, 2);  // (0,1) fuse under perm (2 0 1)
+    EXPECT_EQ(r.volume, 4096);
+  }
+}
+
+TEST(PermSweep, TinySweepRunsAndSummarizes) {
+  PermSweepOptions opts;
+  opts.rank = 3;
+  opts.dim_size = 12;
+  opts.stride = 2;
+  opts.include_ttc = false;
+  std::ostringstream os;
+  run_perm_sweep(os, opts);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Summary"), std::string::npos);
+  EXPECT_NE(out.find("TTLG"), std::string::npos);
+  EXPECT_NE(out.find("cuTT-measure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ttlg::bench

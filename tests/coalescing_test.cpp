@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gpusim/coalescing.hpp"
+
+namespace ttlg::sim {
+namespace {
+
+LaneArray consecutive(std::int64_t start, int count = kWarpSize) {
+  LaneArray a;
+  for (int l = 0; l < count; ++l) a[l] = start + l;
+  return a;
+}
+
+TEST(Coalescing, ConsecutiveFloatsAreOneTransaction) {
+  // 32 floats = 128 bytes = exactly one transaction when aligned.
+  EXPECT_EQ(count_transactions(consecutive(0), 0, 4, 128), 1);
+}
+
+TEST(Coalescing, ConsecutiveDoublesAreTwoTransactions) {
+  EXPECT_EQ(count_transactions(consecutive(0), 0, 8, 128), 2);
+}
+
+TEST(Coalescing, MisalignedRunTouchesOneExtraSegment) {
+  // Start 1 element past a boundary: floats now straddle 2 segments.
+  EXPECT_EQ(count_transactions(consecutive(1), 0, 4, 128), 2);
+  // Buffer base address shifts have the same effect.
+  EXPECT_EQ(count_transactions(consecutive(0), 4, 4, 128), 2);
+  // 256-aligned bases preserve alignment.
+  EXPECT_EQ(count_transactions(consecutive(0), 256, 4, 128), 1);
+}
+
+TEST(Coalescing, StridedAccessSerializesFully) {
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l) a[l] = l * 32;  // one elem per segment
+  EXPECT_EQ(count_transactions(a, 0, 4, 128), 32);
+}
+
+TEST(Coalescing, BroadcastIsOneTransaction) {
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l) a[l] = 123;
+  EXPECT_EQ(count_transactions(a, 0, 8, 128), 1);
+}
+
+TEST(Coalescing, InactiveLanesDoNotCount) {
+  LaneArray a;
+  EXPECT_EQ(count_transactions(a, 0, 4, 128), 0);
+  a[0] = 0;
+  a[31] = 1000;
+  EXPECT_EQ(count_transactions(a, 0, 4, 128), 2);
+}
+
+TEST(Coalescing, HalfWarpStillPaysFullSegment) {
+  EXPECT_EQ(count_transactions(consecutive(0, 16), 0, 4, 128), 1);
+  EXPECT_EQ(count_transactions(consecutive(0, 16), 0, 8, 128), 1);
+}
+
+TEST(BankConflicts, ConsecutiveIsConflictFree) {
+  EXPECT_EQ(count_bank_conflicts(consecutive(0), 32), 0);
+  EXPECT_EQ(count_bank_conflicts(consecutive(5), 32), 0);
+}
+
+TEST(BankConflicts, Stride32IsWorstCase) {
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l) a[l] = l * 32;
+  EXPECT_EQ(count_bank_conflicts(a, 32), 31);
+}
+
+TEST(BankConflicts, Stride33IsConflictFree) {
+  // The paper's padded 32x33 buffer: column accesses stride by 33.
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l) a[l] = l * 33;
+  EXPECT_EQ(count_bank_conflicts(a, 32), 0);
+}
+
+TEST(BankConflicts, BroadcastDoesNotConflict) {
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l) a[l] = 77;
+  EXPECT_EQ(count_bank_conflicts(a, 32), 0);
+}
+
+TEST(BankConflicts, TwoWayConflict) {
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l)
+    a[l] = (l % 16) * 32 + (l / 16);  // two distinct addrs per bank... no:
+  // lanes 0..15 hit banks 0 (addresses 0,32,...) — rebuild precisely:
+  for (int l = 0; l < kWarpSize; ++l) a[l] = (l % 2) * 32 + (l / 2);
+  // addresses: {0,32,1,33,2,34,...}: bank b gets addresses b and b+32?
+  // bank of 32+k is k: so bank k sees {k, k+32} for k<16 -> 2-way.
+  EXPECT_EQ(count_bank_conflicts(a, 32), 1);
+}
+
+TEST(BankConflicts, PartialWarpStride32) {
+  LaneArray a;
+  for (int l = 0; l < 8; ++l) a[l] = l * 32;
+  EXPECT_EQ(count_bank_conflicts(a, 32), 7);
+}
+
+class PaddingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaddingSweep, PitchConflictsMatchNumberTheory) {
+  // Column access with stride = pitch: conflicts = 32/gcd-ish pattern;
+  // exactly: lanes hit banks l*pitch % 32; max multiplicity =
+  // 32 / (32 / gcd(pitch,32)).
+  const int pitch = GetParam();
+  LaneArray a;
+  for (int l = 0; l < kWarpSize; ++l) a[l] = l * pitch;
+  int g = std::gcd(pitch, 32);
+  EXPECT_EQ(count_bank_conflicts(a, 32), g - 1) << "pitch " << pitch;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, PaddingSweep,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 17, 31, 32, 33,
+                                           48, 64, 65));
+
+}  // namespace
+}  // namespace ttlg::sim

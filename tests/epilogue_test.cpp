@@ -1,0 +1,114 @@
+// Epilogue scaling (out = alpha * permute(in) + beta * out) across every
+// kernel schema, including the transaction-count consequence of
+// beta != 0: the output must be read back, doubling output-side traffic.
+#include <gtest/gtest.h>
+
+#include "core/ttlg.hpp"
+
+namespace ttlg {
+namespace {
+
+struct EpilogueCase {
+  Extents ext;
+  std::vector<Index> perm;
+  Schema expect;
+};
+
+class EpilogueAllSchemas : public ::testing::TestWithParam<int> {
+ protected:
+  static EpilogueCase pick(int i) {
+    static const EpilogueCase cases[] = {
+        {{6, 6, 6}, {0, 1, 2}, Schema::kCopy},
+        {{64, 6, 8}, {0, 2, 1}, Schema::kFviMatchLarge},
+        {{16, 8, 8}, {0, 2, 1}, Schema::kFviMatchSmall},
+        {{40, 9, 40}, {2, 1, 0}, Schema::kOrthogonalDistinct},
+        {{8, 2, 24, 24, 24}, {2, 1, 3, 0, 4}, Schema::kOrthogonalArbitrary},
+    };
+    return cases[i];
+  }
+};
+
+TEST_P(EpilogueAllSchemas, AlphaBetaMathIsExact) {
+  const EpilogueCase c = pick(GetParam());
+  const Shape shape(c.ext);
+  const Permutation perm(c.perm);
+  const double alpha = 2.5, beta = -0.5;
+
+  Tensor<double> host_in(shape);
+  host_in.fill_iota();
+  Tensor<double> host_out0(perm.apply(shape));
+  host_out0.fill_random(11);
+
+  sim::Device dev;
+  auto in = dev.alloc_copy<double>(host_in.vec());
+  auto out = dev.alloc_copy<double>(host_out0.vec());
+  Plan plan = make_plan(dev, shape, perm);
+  plan.execute<double>(in, out, alpha, beta);
+
+  const Tensor<double> permuted = host_transpose(host_in, perm);
+  for (Index i = 0; i < shape.volume(); ++i) {
+    ASSERT_DOUBLE_EQ(out[i], alpha * permuted.at(i) + beta * host_out0.at(i))
+        << to_string(plan.schema()) << " at " << i;
+  }
+}
+
+TEST_P(EpilogueAllSchemas, AlphaOnlyScales) {
+  const EpilogueCase c = pick(GetParam());
+  const Shape shape(c.ext);
+  const Permutation perm(c.perm);
+  Tensor<double> host_in(shape);
+  host_in.fill_iota();
+  sim::Device dev;
+  auto in = dev.alloc_copy<double>(host_in.vec());
+  auto out = dev.alloc<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  plan.execute<double>(in, out, 3.0, 0.0);
+  const Tensor<double> permuted = host_transpose(host_in, perm);
+  for (Index i = 0; i < shape.volume(); ++i)
+    ASSERT_DOUBLE_EQ(out[i], 3.0 * permuted.at(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemas, EpilogueAllSchemas, ::testing::Range(0, 5));
+
+TEST(Epilogue, BetaReadsCostTransactions) {
+  const Shape shape({64, 64});
+  const Permutation perm({1, 0});
+  sim::Device dev;
+  auto in = dev.alloc<double>(shape.volume());
+  auto out = dev.alloc<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  const auto pure = plan.execute<double>(in, out);
+  const auto accum = plan.execute<double>(in, out, 1.0, 1.0);
+  // beta != 0 loads every output element before storing it.
+  EXPECT_EQ(accum.counters.gld_transactions,
+            pure.counters.gld_transactions + pure.counters.gst_transactions);
+  EXPECT_EQ(accum.counters.gst_transactions, pure.counters.gst_transactions);
+  EXPECT_GT(accum.time_s, pure.time_s);
+}
+
+TEST(Epilogue, DefaultIsPurePermutation) {
+  const Epilogue<double> e;
+  EXPECT_TRUE(e.is_identity());
+  EXPECT_FALSE((Epilogue<double>{2.0, 0.0}).is_identity());
+  EXPECT_FALSE((Epilogue<double>{1.0, 1.0}).is_identity());
+}
+
+TEST(Epilogue, FloatPath) {
+  const Shape shape({48, 9, 48});
+  const Permutation perm({2, 1, 0});
+  Tensor<float> host_in(shape);
+  host_in.fill_iota();
+  sim::Device dev;
+  auto in = dev.alloc_copy<float>(host_in.vec());
+  auto out = dev.alloc<float>(shape.volume());
+  PlanOptions opts;
+  opts.elem_size = 4;
+  Plan plan = make_plan(dev, shape, perm, opts);
+  plan.execute<float>(in, out, 0.5f, 0.0f);
+  const Tensor<float> permuted = host_transpose(host_in, perm);
+  for (Index i = 0; i < shape.volume(); ++i)
+    ASSERT_EQ(out[i], 0.5f * permuted.at(i));
+}
+
+}  // namespace
+}  // namespace ttlg

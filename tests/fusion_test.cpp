@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "tensor/fusion.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Fusion, PaperExampleFusesMiddlePair) {
+  // [i0,i1,i2,i3] -> [i3,i1,i2,i0]: i1,i2 adjacent in both -> rank 3.
+  const Shape s({3, 4, 5, 6});
+  const Permutation p({3, 1, 2, 0});
+  const FusedProblem f = fuse_indices(s, p);
+  EXPECT_EQ(f.shape, Shape({3, 20, 6}));
+  EXPECT_EQ(f.perm, Permutation({2, 1, 0}));
+  ASSERT_EQ(f.groups.size(), 3u);
+  EXPECT_EQ(f.groups[0], (std::vector<Index>{0}));
+  EXPECT_EQ(f.groups[1], (std::vector<Index>{1, 2}));
+  EXPECT_EQ(f.groups[2], (std::vector<Index>{3}));
+}
+
+TEST(Fusion, IdentityFusesToRankOne) {
+  const Shape s({2, 3, 4});
+  const FusedProblem f = fuse_indices(s, Permutation::identity(3));
+  EXPECT_EQ(f.shape, Shape({24}));
+  EXPECT_TRUE(f.perm.is_identity());
+}
+
+TEST(Fusion, NonFusiblePermutationKeepsRank) {
+  const Shape s({2, 3, 4, 5});
+  const Permutation p({1, 3, 0, 2});  // no adjacent consecutive pairs
+  EXPECT_EQ(scaled_rank(s, p), 4);
+}
+
+TEST(Fusion, LeadingPairFuses) {
+  // [i0,i1,i2] -> [i0,i1,i2] prefix preserved in (0,1,...) order only
+  // partially: perm (0,2,1)? i0 alone; perm (2,0,1): i0,i1 adjacent in
+  // output positions 1,2 -> fuse.
+  const Shape s({4, 5, 6});
+  const FusedProblem f = fuse_indices(s, Permutation({2, 0, 1}));
+  EXPECT_EQ(f.shape, Shape({20, 6}));
+  EXPECT_EQ(f.perm, Permutation({1, 0}));
+}
+
+TEST(Fusion, PaperScaledRankExample) {
+  // Paper §VI: permutation (0 2 1 3 4 6 5) of a 7D tensor has scaled
+  // rank 5 after fusing the contiguous pair (3,4).
+  const Shape s({2, 2, 2, 2, 2, 2, 2});
+  EXPECT_EQ(scaled_rank(s, Permutation({0, 2, 1, 3, 4, 6, 5})), 6);
+  // (3,4) fuse; note 0 stays alone because output position 0 keeps it
+  // but position 1 jumps to 2. Counting: {0},{2},{1},{3,4},{6},{5}.
+}
+
+TEST(Fusion, FusedVolumeInvariant) {
+  const Shape s({3, 7, 2, 5, 4});
+  const Permutation p({4, 0, 1, 2, 3});
+  const FusedProblem f = fuse_indices(s, p);
+  EXPECT_EQ(f.shape.volume(), s.volume());
+  // (0,1,2,3) occupy output positions 1..4 consecutively -> one group.
+  EXPECT_EQ(f.shape.rank(), 2);
+}
+
+TEST(Fusion, GroupsPartitionAllDimensions) {
+  const Shape s({2, 3, 4, 5, 6, 7});
+  const Permutation p({5, 0, 1, 3, 4, 2});
+  const FusedProblem f = fuse_indices(s, p);
+  std::vector<bool> seen(6, false);
+  for (const auto& g : f.groups)
+    for (Index d : g) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(d)]);
+      seen[static_cast<std::size_t>(d)] = true;
+    }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(Fusion, RankOneIsAlreadyFused) {
+  const FusedProblem f = fuse_indices(Shape({10}), Permutation({0}));
+  EXPECT_EQ(f.shape.rank(), 1);
+}
+
+}  // namespace
+}  // namespace ttlg

@@ -1,0 +1,171 @@
+// FVI-Match kernels (Algs. 6 and 7): blocking-factor sweeps, padding
+// guarantees (Fig. 4), segmentation and row batching.
+#include <gtest/gtest.h>
+
+#include "core/launch_helpers.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg {
+namespace {
+
+Tensor<double> run_small(const TransposeProblem& p, const FviSmallConfig& cfg,
+                         const Tensor<double>& host_in,
+                         sim::LaunchCounters* ctr = nullptr) {
+  sim::Device dev;
+  auto in = dev.alloc_copy<double>(host_in.vec());
+  auto out = dev.alloc<double>(p.volume());
+  const auto res = launch_fvi_small<double>(dev, cfg, in, out);
+  if (ctr) *ctr = res.counters;
+  Tensor<double> host_out(p.perm.apply(p.shape));
+  host_out.vec().assign(out.span().begin(), out.span().end());
+  return host_out;
+}
+
+Tensor<double> run_large(const TransposeProblem& p, const FviLargeConfig& cfg,
+                         const Tensor<double>& host_in,
+                         sim::LaunchCounters* ctr = nullptr) {
+  sim::Device dev;
+  auto in = dev.alloc_copy<double>(host_in.vec());
+  auto out = dev.alloc<double>(p.volume());
+  const auto res = launch_fvi_large<double>(dev, cfg, in, out);
+  if (ctr) *ctr = res.counters;
+  Tensor<double> host_out(p.perm.apply(p.shape));
+  host_out.vec().assign(out.span().begin(), out.span().end());
+  return host_out;
+}
+
+class FviSmallBlocking : public ::testing::TestWithParam<Index> {};
+
+TEST_P(FviSmallBlocking, CorrectForEveryBlockingFactor) {
+  const auto p = TransposeProblem::make(Shape({16, 11, 9, 3}),
+                                        Permutation({0, 2, 1, 3}), 8);
+  const Index b = GetParam();
+  if (b > std::min<Index>(11, 9)) GTEST_SKIP() << "b beyond extents";
+  const auto cfg = build_fvi_small_config(p, b, false);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  EXPECT_EQ(run_small(p, cfg, host_in).vec(),
+            host_transpose(host_in, p.perm).vec())
+      << "b = " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockingFactors, FviSmallBlocking,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9));
+
+TEST(FviSmall, PaddingEliminatesConflicts) {
+  // n0 = 16, b = 4: pad = (16 - 64 mod 32) mod 32 = 16.
+  const auto p = TransposeProblem::make(Shape({16, 8, 8}),
+                                        Permutation({0, 2, 1}), 8);
+  const auto cfg = build_fvi_small_config(p, 4, false);
+  EXPECT_EQ(cfg.pad, 16);
+  EXPECT_EQ(cfg.row_pitch, 80);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  sim::LaunchCounters ctr;
+  run_small(p, cfg, host_in, &ctr);
+  EXPECT_EQ(ctr.smem_bank_conflicts, 0);
+}
+
+TEST(FviSmall, UnpaddedBufferConflicts) {
+  const auto p = TransposeProblem::make(Shape({16, 8, 8}),
+                                        Permutation({0, 2, 1}), 8);
+  auto cfg = build_fvi_small_config(p, 4, false);
+  cfg.pad = 0;
+  cfg.row_pitch = cfg.b * cfg.n0;
+  cfg.smem_elems = cfg.b * cfg.row_pitch;
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  sim::LaunchCounters ctr;
+  const auto out = run_small(p, cfg, host_in, &ctr);
+  EXPECT_EQ(out.vec(), host_transpose(host_in, p.perm).vec());
+  EXPECT_GT(ctr.smem_bank_conflicts, 0);
+}
+
+TEST(FviSmall, RemainderChunksOnBothBlockedDims) {
+  // extents 11 and 9 blocked by 4: remainders 3 and 1.
+  const auto p = TransposeProblem::make(Shape({8, 11, 9}),
+                                        Permutation({0, 2, 1}), 8);
+  const auto cfg = build_fvi_small_config(p, 4, false);
+  EXPECT_EQ(cfg.i1_rem, 3);
+  EXPECT_EQ(cfg.ik_rem, 1);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  EXPECT_EQ(run_small(p, cfg, host_in).vec(),
+            host_transpose(host_in, p.perm).vec());
+}
+
+TEST(FviSmall, RequiresValidProblem) {
+  const auto bad = TransposeProblem::make(Shape({16, 8, 8}),
+                                          Permutation({2, 1, 0}), 8);
+  EXPECT_THROW(build_fvi_small_config(bad, 4, false), Error);
+  const auto p = TransposeProblem::make(Shape({16, 8, 8}),
+                                        Permutation({0, 2, 1}), 8);
+  EXPECT_THROW(build_fvi_small_config(p, 0, false), Error);
+  EXPECT_THROW(build_fvi_small_config(p, 9, false), Error);  // > min ext
+}
+
+TEST(FviSmall, BlockingEnumerationFitsSharedMemory) {
+  const auto p = TransposeProblem::make(Shape({24, 30, 30}),
+                                        Permutation({0, 2, 1}), 8);
+  const auto bs = enumerate_fvi_small_blockings(p, 6144);
+  ASSERT_FALSE(bs.empty());
+  for (Index b : bs) {
+    const auto cfg = build_fvi_small_config(p, b, false);
+    EXPECT_LE(cfg.smem_elems, 6144);
+  }
+}
+
+TEST(FviLarge, SimpleAndSegmented) {
+  for (Index n0 : {40, 5000}) {
+    const auto p = TransposeProblem::make(Shape({n0, 6, 7}),
+                                          Permutation({0, 2, 1}), 8);
+    const auto cfg = build_fvi_large_config(p, true);
+    Tensor<double> host_in(p.shape);
+    host_in.fill_iota();
+    EXPECT_EQ(run_large(p, cfg, host_in).vec(),
+              host_transpose(host_in, p.perm).vec())
+        << "n0 = " << n0;
+  }
+}
+
+TEST(FviLarge, RowBatchingWithRemainder) {
+  // ext1 = 13 batched: remainder chunk exercised.
+  const auto p = TransposeProblem::make(Shape({64, 13, 64, 9}),
+                                        Permutation({0, 3, 2, 1}), 8);
+  const auto cfg = build_fvi_large_config(p, true);
+  EXPECT_GT(cfg.batch, 1);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  EXPECT_EQ(run_large(p, cfg, host_in).vec(),
+            host_transpose(host_in, p.perm).vec());
+}
+
+TEST(FviLarge, PureCopyRankOne) {
+  const auto p =
+      TransposeProblem::make(Shape({10000}), Permutation({0}), 8);
+  const auto cfg = build_fvi_large_config(p, true);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_random(3);
+  EXPECT_EQ(run_large(p, cfg, host_in).vec(), host_in.vec());
+}
+
+TEST(FviLarge, PerfectCoalescingOnAlignedRows) {
+  const auto p = TransposeProblem::make(Shape({64, 16, 16}),
+                                        Permutation({0, 2, 1}), 8);
+  const auto cfg = build_fvi_large_config(p, true);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  sim::LaunchCounters ctr;
+  run_large(p, cfg, host_in, &ctr);
+  EXPECT_DOUBLE_EQ(ctr.coalescing_efficiency(), 1.0);
+  EXPECT_EQ(ctr.smem_load_ops + ctr.smem_store_ops, 0);  // no staging
+}
+
+TEST(FviLarge, RequiresMatchingFvi) {
+  const auto bad =
+      TransposeProblem::make(Shape({64, 8}), Permutation({1, 0}), 8);
+  EXPECT_THROW(build_fvi_large_config(bad, true), Error);
+}
+
+}  // namespace
+}  // namespace ttlg

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg {
+namespace {
+
+/// Brute-force oracle for the oracle: explicit multi-index loop.
+template <class T>
+Tensor<T> transpose_bruteforce(const Tensor<T>& in, const Permutation& perm) {
+  Tensor<T> out(perm.apply(in.shape()));
+  const Shape& is = in.shape();
+  const Shape& os = out.shape();
+  for (Index lin = 0; lin < is.volume(); ++lin) {
+    const Extents idx = is.delinearize(lin);
+    Extents oidx(static_cast<std::size_t>(perm.rank()));
+    for (Index j = 0; j < perm.rank(); ++j)
+      oidx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(perm[j])];
+    out.at(os.linearize(oidx)) = in.at(lin);
+  }
+  return out;
+}
+
+TEST(HostTranspose, Matrix2x3Manual) {
+  Tensor<double> in(Shape({2, 3}));
+  in.fill_iota();  // column j stored [0,1], [2,3], [4,5]
+  const Tensor<double> out = host_transpose(in, Permutation({1, 0}));
+  EXPECT_EQ(out.shape(), Shape({3, 2}));
+  // out(j,i) = in(i,j): out linear = j + 3*i.
+  EXPECT_EQ(out.at(0), 0.0);
+  EXPECT_EQ(out.at(1), 2.0);
+  EXPECT_EQ(out.at(2), 4.0);
+  EXPECT_EQ(out.at(3), 1.0);
+  EXPECT_EQ(out.at(4), 3.0);
+  EXPECT_EQ(out.at(5), 5.0);
+}
+
+TEST(HostTranspose, IdentityIsCopy) {
+  Tensor<float> in(Shape({4, 3, 2}));
+  in.fill_random(3);
+  const Tensor<float> out = host_transpose(in, Permutation::identity(3));
+  EXPECT_EQ(in.vec(), out.vec());
+}
+
+TEST(HostTranspose, MatchesBruteForceOnRandomShapes) {
+  Rng rng(99);
+  for (int iter = 0; iter < 40; ++iter) {
+    const Index rank = static_cast<Index>(rng.uniform(1, 5));
+    Extents ext;
+    for (Index d = 0; d < rank; ++d)
+      ext.push_back(static_cast<Index>(rng.uniform(1, 9)));
+    std::vector<Index> pv(static_cast<std::size_t>(rank));
+    std::iota(pv.begin(), pv.end(), Index{0});
+    for (std::size_t i = pv.size(); i > 1; --i)
+      std::swap(pv[i - 1], pv[rng.uniform(0, i - 1)]);
+    const Permutation perm(pv);
+    Tensor<double> in{Shape(ext)};
+    in.fill_iota();
+    EXPECT_EQ(host_transpose(in, perm).vec(),
+              transpose_bruteforce(in, perm).vec())
+        << Shape(ext).to_string() << " " << perm.to_string();
+  }
+}
+
+class HostTransposeRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HostTransposeRoundTrip, ForwardThenInverseIsIdentity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Index rank = static_cast<Index>(rng.uniform(2, 6));
+  Extents ext;
+  for (Index d = 0; d < rank; ++d)
+    ext.push_back(static_cast<Index>(rng.uniform(1, 7)));
+  std::vector<Index> pv(static_cast<std::size_t>(rank));
+  std::iota(pv.begin(), pv.end(), Index{0});
+  for (std::size_t i = pv.size(); i > 1; --i)
+    std::swap(pv[i - 1], pv[rng.uniform(0, i - 1)]);
+  const Permutation perm(pv);
+
+  Tensor<double> in{Shape(ext)};
+  in.fill_random(GetParam());
+  const Tensor<double> fwd = host_transpose(in, perm);
+  const Tensor<double> back = host_transpose(fwd, perm.inverse());
+  EXPECT_EQ(back.vec(), in.vec());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HostTransposeRoundTrip,
+                         ::testing::Range(0, 25));
+
+TEST(HostTranspose, RejectsWrongSpanSizes) {
+  const Shape s({4, 4});
+  std::vector<double> small(8), right(16);
+  EXPECT_THROW(host_transpose(std::span<const double>(small),
+                              std::span<double>(right), s,
+                              Permutation({1, 0})),
+               Error);
+  EXPECT_THROW(host_transpose(std::span<const double>(right),
+                              std::span<double>(small), s,
+                              Permutation({1, 0})),
+               Error);
+}
+
+}  // namespace
+}  // namespace ttlg

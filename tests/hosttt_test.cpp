@@ -1,0 +1,128 @@
+// Tuned host transposition (HPTT-role substrate): strategy selection,
+// correctness against the oracle across strategies/threads/tiles, and
+// the alpha/beta epilogue.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "hosttt/host_plan.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg::host {
+namespace {
+
+TEST(HostPlan, StrategySelection) {
+  EXPECT_EQ(HostPlan(Shape({8, 8, 8}), Permutation({0, 1, 2})).strategy(),
+            HostStrategy::kMemcpy);
+  EXPECT_EQ(HostPlan(Shape({8, 8, 8}), Permutation({0, 2, 1})).strategy(),
+            HostStrategy::kRowCopy);
+  EXPECT_EQ(HostPlan(Shape({8, 8, 8}), Permutation({2, 1, 0})).strategy(),
+            HostStrategy::kTiled2D);
+  // (0,1) fuse into the FVI -> row copy even though dim order changed.
+  EXPECT_EQ(HostPlan(Shape({4, 4, 4, 4}), Permutation({0, 1, 3, 2})).strategy(),
+            HostStrategy::kRowCopy);
+}
+
+TEST(HostPlan, Validation) {
+  EXPECT_THROW(HostPlan(Shape({4, 4}), Permutation({1, 0}),
+                        HostOptions{.num_threads = 0}),
+               Error);
+  EXPECT_THROW(HostPlan(Shape({4, 4}), Permutation({1, 0}),
+                        HostOptions{.num_threads = 1, .block0 = 0}),
+               Error);
+  HostPlan plan(Shape({4, 4}), Permutation({1, 0}));
+  std::vector<double> buf(16);
+  EXPECT_THROW(plan.execute(buf.data(), buf.data()), Error);  // in-place
+  EXPECT_THROW(plan.execute(nullptr, buf.data()), Error);
+}
+
+struct SweepParam {
+  int threads;
+  Index block0, block1;
+};
+
+class HostPlanSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HostPlanSweep, MatchesOracleAcrossShapes) {
+  const auto [threads, tile_ix] = GetParam();
+  const Index tiles[] = {1, 5, 64};
+  HostOptions opts;
+  opts.num_threads = threads;
+  opts.block0 = tiles[tile_ix];
+  opts.block1 = tiles[2 - tile_ix];
+
+  Rng rng(static_cast<std::uint64_t>(threads * 100 + tile_ix));
+  for (int iter = 0; iter < 12; ++iter) {
+    const Index rank = static_cast<Index>(rng.uniform(1, 5));
+    Extents ext;
+    for (Index d = 0; d < rank; ++d)
+      ext.push_back(static_cast<Index>(rng.uniform(1, 20)));
+    std::vector<Index> pv(static_cast<std::size_t>(rank));
+    std::iota(pv.begin(), pv.end(), Index{0});
+    for (std::size_t i = pv.size(); i > 1; --i)
+      std::swap(pv[i - 1], pv[rng.uniform(0, i - 1)]);
+    const Shape shape(ext);
+    const Permutation perm(pv);
+
+    Tensor<double> in(shape);
+    in.fill_iota();
+    const Tensor<double> got = host_transpose_tuned(in, perm, opts);
+    EXPECT_EQ(got.vec(), host_transpose(in, perm).vec())
+        << shape.to_string() << perm.to_string() << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, HostPlanSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(HostPlan, LargeMultithreadedTiled) {
+  const Shape shape({96, 40, 50});
+  const Permutation perm({2, 1, 0});
+  Tensor<double> in(shape);
+  in.fill_random(9);
+  HostOptions opts;
+  opts.num_threads = 4;
+  const Tensor<double> got = host_transpose_tuned(in, perm, opts);
+  EXPECT_EQ(got.vec(), host_transpose(in, perm).vec());
+}
+
+TEST(HostPlan, AlphaBetaAllStrategies) {
+  for (auto perm_v : {std::vector<Index>{0, 1, 2}, std::vector<Index>{0, 2, 1},
+                      std::vector<Index>{2, 1, 0}}) {
+    const Shape shape({24, 10, 12});
+    const Permutation perm(perm_v);
+    Tensor<double> in(shape);
+    in.fill_iota();
+    Tensor<double> out(perm.apply(shape));
+    out.fill_random(5);
+    const Tensor<double> out0 = out;
+    const HostPlan plan(shape, perm);
+    plan.execute(in.data(), out.data(), 2.0, -1.0);
+    const Tensor<double> permuted = host_transpose(in, perm);
+    for (Index i = 0; i < shape.volume(); ++i) {
+      ASSERT_DOUBLE_EQ(out.at(i), 2.0 * permuted.at(i) - out0.at(i))
+          << to_string(plan.strategy()) << " at " << i;
+    }
+  }
+}
+
+TEST(HostPlan, FloatPath) {
+  const Shape shape({33, 17, 9});
+  const Permutation perm({1, 2, 0});
+  Tensor<float> in(shape);
+  in.fill_random(3);
+  HostOptions opts;
+  opts.num_threads = 2;
+  const Tensor<float> got = host_transpose_tuned(in, perm, opts);
+  EXPECT_EQ(got.vec(), host_transpose(in, perm).vec());
+}
+
+TEST(HostPlan, DescribeMentionsStrategy) {
+  const HostPlan plan(Shape({32, 32}), Permutation({1, 0}));
+  EXPECT_NE(plan.describe().find("tiled-2d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ttlg::host

@@ -1,0 +1,182 @@
+// End-to-end correctness: every kernel the planner can select, across
+// randomized and structured shapes/permutations, verified element-exact
+// against the host reference transpose.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/ttlg.hpp"
+
+namespace ttlg {
+namespace {
+
+/// Run the full plan+execute pipeline and compare against the oracle.
+/// Returns the schema actually chosen so tests can assert on coverage.
+Schema run_and_check(const Extents& ext, const std::vector<Index>& perm_v,
+                     PlanOptions opts = {}) {
+  const Shape shape(ext);
+  const Permutation perm(perm_v);
+  sim::Device dev;
+
+  Tensor<double> host_in(shape);
+  host_in.fill_iota();
+  const Tensor<double> expected = host_transpose(host_in, perm);
+
+  auto in = dev.alloc_copy<double>(host_in.vec());
+  auto out = dev.alloc<double>(shape.volume());
+  std::fill(out.span().begin(), out.span().end(), -1.0);
+
+  opts.elem_size = 8;
+  Plan plan = make_plan(dev, shape, perm, opts);
+  const auto res = plan.execute<double>(in, out);
+  EXPECT_GT(res.time_s, 0.0);
+
+  const auto got = out.span();
+  for (Index i = 0; i < shape.volume(); ++i) {
+    if (got[static_cast<std::size_t>(i)] != expected.at(i)) {
+      ADD_FAILURE() << "mismatch at " << i << " for shape "
+                    << shape.to_string() << " perm " << perm.to_string()
+                    << " schema " << to_string(plan.schema()) << ": got "
+                    << got[static_cast<std::size_t>(i)] << " want "
+                    << expected.at(i);
+      return plan.schema();
+    }
+  }
+  return plan.schema();
+}
+
+TEST(Integration, Matrix2D) {
+  EXPECT_EQ(run_and_check({64, 64}, {1, 0}), Schema::kOrthogonalDistinct);
+}
+
+TEST(Integration, Matrix2DOdd) { run_and_check({65, 37}, {1, 0}); }
+
+TEST(Integration, Identity3D) {
+  EXPECT_EQ(run_and_check({8, 8, 8}, {0, 1, 2}), Schema::kCopy);
+}
+
+TEST(Integration, FviMatchLarge) {
+  EXPECT_EQ(run_and_check({64, 8, 8}, {0, 2, 1}), Schema::kFviMatchLarge);
+}
+
+TEST(Integration, FviMatchSmall) {
+  EXPECT_EQ(run_and_check({16, 8, 8}, {0, 2, 1}), Schema::kFviMatchSmall);
+}
+
+TEST(Integration, OrthogonalDistinct3D) {
+  EXPECT_EQ(run_and_check({40, 9, 40}, {2, 1, 0}),
+            Schema::kOrthogonalDistinct);
+}
+
+TEST(Integration, OrthogonalArbitrary) {
+  // [a,b,c,d] -> [c,b,d,a] with extents 8,2,8,8: the paper's §III
+  // motivating example for the arbitrary schema. The Fig. 3 flowchart
+  // classifies it OA; the planner may still pick a truncated-prefix OD
+  // slice if the model rates it faster, so only the classification is
+  // pinned here (kernel-level OA coverage lives in oa_kernel_test).
+  const auto problem =
+      TransposeProblem::make(Shape({8, 2, 8, 8}), Permutation({2, 1, 3, 0}), 8);
+  EXPECT_EQ(classify(problem), Schema::kOrthogonalArbitrary);
+  run_and_check({8, 2, 8, 8}, {2, 1, 3, 0});
+  // A larger instance where staged OA transfer genuinely pays off.
+  run_and_check({8, 2, 24, 24, 24}, {2, 1, 3, 0, 4});
+}
+
+TEST(Integration, PaperExampleAllReversed) {
+  run_and_check({16, 2, 32, 32}, {3, 2, 1, 0});
+}
+
+TEST(Integration, Rank6All16SamplePermutations) {
+  const Extents ext{16, 16, 16, 16, 16, 16};
+  std::vector<Index> perm{0, 1, 2, 3, 4, 5};
+  int count = 0;
+  do {
+    // Every 48th permutation (15 total) keeps runtime reasonable while
+    // hitting all schemas; the benchmark harness runs all 720.
+    if (count % 48 == 0) run_and_check(ext, perm);
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(count, 720);
+}
+
+TEST(Integration, RandomShapesAndPermutations) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 60; ++iter) {
+    const Index rank = static_cast<Index>(rng.uniform(1, 6));
+    Extents ext;
+    Index vol = 1;
+    for (Index d = 0; d < rank; ++d) {
+      const Index e = static_cast<Index>(rng.uniform(1, 33));
+      ext.push_back(e);
+      vol *= e;
+    }
+    if (vol > (1 << 20)) {
+      --iter;
+      continue;
+    }
+    std::vector<Index> perm(static_cast<std::size_t>(rank));
+    std::iota(perm.begin(), perm.end(), Index{0});
+    for (std::size_t i = perm.size(); i > 1; --i)
+      std::swap(perm[i - 1], perm[rng.uniform(0, i - 1)]);
+    run_and_check(ext, perm);
+  }
+}
+
+TEST(Integration, HighRankTensors) {
+  // §IV-B: ranks up to 15 are supported. Rank 12 of twos, reversed, and
+  // a rank-10 mixed permutation.
+  {
+    Extents ext(12, 2);
+    std::vector<Index> rev(12);
+    for (Index d = 0; d < 12; ++d) rev[static_cast<std::size_t>(d)] = 11 - d;
+    run_and_check(ext, rev);
+  }
+  {
+    Extents ext{2, 3, 2, 2, 3, 2, 2, 3, 2, 2};
+    run_and_check(ext, {9, 0, 4, 2, 7, 1, 5, 3, 8, 6});
+  }
+  {
+    Extents ext(15, 2);
+    std::vector<Index> rot(15);
+    for (Index d = 0; d < 15; ++d)
+      rot[static_cast<std::size_t>(d)] = (d + 7) % 15;
+    run_and_check(ext, rot);
+  }
+}
+
+TEST(Integration, SizeOneDimensions) {
+  run_and_check({1, 40, 1, 40}, {3, 1, 2, 0});
+  run_and_check({40, 1, 40}, {2, 1, 0});
+  run_and_check({1, 1, 1}, {2, 0, 1});
+}
+
+TEST(Integration, FloatElementType) {
+  const Shape shape({48, 9, 48});
+  const Permutation perm({2, 1, 0});
+  sim::Device dev;
+  Tensor<float> host_in(shape);
+  host_in.fill_iota();
+  const Tensor<float> expected = host_transpose(host_in, perm);
+  auto in = dev.alloc_copy<float>(host_in.vec());
+  auto out = dev.alloc<float>(shape.volume());
+  PlanOptions opts;
+  opts.elem_size = 4;
+  Plan plan = make_plan(dev, shape, perm, opts);
+  plan.execute<float>(in, out);
+  for (Index i = 0; i < shape.volume(); ++i)
+    ASSERT_EQ(out[i], expected.at(i)) << "at " << i;
+}
+
+TEST(Integration, CoarseningOnAndOffAgree) {
+  const Extents ext{17, 15, 8, 17, 9};  // middle dim 8 triggers coarsening
+  const std::vector<Index> perm{3, 1, 4, 0, 2};
+  PlanOptions with, without;
+  with.enable_coarsening = true;
+  without.enable_coarsening = false;
+  run_and_check(ext, perm, with);
+  run_and_check(ext, perm, without);
+}
+
+}  // namespace
+}  // namespace ttlg

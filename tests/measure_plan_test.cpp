@@ -1,0 +1,74 @@
+// Measurement-based planning: correctness, and the defining property
+// that its choice is at least as fast as the model's choice on every
+// candidate it measures.
+#include <gtest/gtest.h>
+
+#include "core/measure_plan.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(MeasurePlan, ProducesCorrectResults) {
+  for (auto [ext, perm_v] :
+       std::vector<std::pair<Extents, std::vector<Index>>>{
+           {{40, 9, 40}, {2, 1, 0}},
+           {{16, 8, 8}, {0, 2, 1}},
+           {{8, 2, 24, 24}, {2, 1, 3, 0}},
+           {{64, 6, 8}, {0, 2, 1}},
+       }) {
+    const Shape shape(ext);
+    const Permutation perm(perm_v);
+    sim::Device dev;
+    Tensor<double> host(shape);
+    host.fill_iota();
+    auto in = dev.alloc_copy<double>(host.vec());
+    auto out = dev.alloc<double>(shape.volume());
+    MeasuredPlanStats stats;
+    Plan plan = make_plan_measured(dev, shape, perm, {}, &stats);
+    EXPECT_GE(stats.candidates_executed, 1);
+    EXPECT_GT(stats.measure_device_s, 0.0);
+    plan.execute<double>(in, out);
+    const Tensor<double> expected = host_transpose(host, perm);
+    for (Index i = 0; i < shape.volume(); ++i)
+      ASSERT_EQ(out[i], expected.at(i))
+          << shape.to_string() << perm.to_string() << " at " << i;
+  }
+}
+
+TEST(MeasurePlan, NeverSlowerThanModelChoice) {
+  for (auto [ext, perm_v] :
+       std::vector<std::pair<Extents, std::vector<Index>>>{
+           {{27, 27, 27, 27}, {3, 1, 0, 2}},
+           {{16, 16, 16, 16, 16}, {4, 2, 0, 1, 3}},
+           {{48, 20, 36}, {2, 0, 1}},
+       }) {
+    const Shape shape(ext);
+    const Permutation perm(perm_v);
+    sim::Device dev;
+    dev.set_mode(sim::ExecMode::kCountOnly);
+    dev.set_sampling(6);
+    auto in = dev.alloc_virtual<double>(shape.volume());
+    auto out = dev.alloc_virtual<double>(shape.volume());
+
+    Plan model_plan = make_plan(dev, shape, perm);
+    Plan measured_plan = make_plan_measured(dev, shape, perm);
+    const double t_model = model_plan.execute<double>(in, out).time_s;
+    const double t_measured = measured_plan.execute<double>(in, out).time_s;
+    // Measuring samples a candidate SUBSET, so allow a tiny tolerance in
+    // case the model found a candidate outside the measured sample.
+    EXPECT_LE(t_measured, t_model * 1.05)
+        << shape.to_string() << perm.to_string();
+  }
+}
+
+TEST(MeasurePlan, RestoresDeviceMode) {
+  sim::Device dev;
+  ASSERT_EQ(dev.mode(), sim::ExecMode::kFunctional);
+  make_plan_measured(dev, Shape({32, 32}), Permutation({1, 0}));
+  EXPECT_EQ(dev.mode(), sim::ExecMode::kFunctional);
+  EXPECT_EQ(dev.sampling(), 0);
+}
+
+}  // namespace
+}  // namespace ttlg

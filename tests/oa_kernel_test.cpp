@@ -1,0 +1,182 @@
+// Orthogonal-Arbitrary kernel (Alg. 5) unit tests: offset arrays
+// (Alg. 4) against brute force, correctness across slice shapes incl.
+// remainder chunks and coarsening, padding behaviour.
+#include <gtest/gtest.h>
+
+#include "core/launch_helpers.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg {
+namespace {
+
+sim::LaunchResult run_oa(sim::Device& dev, const TransposeProblem& p,
+                         const OaConfig& cfg, const Tensor<double>& host_in,
+                         Tensor<double>* host_out) {
+  auto in = dev.alloc_copy<double>(host_in.vec());
+  auto out = dev.alloc<double>(p.volume());
+  auto t0 = dev.alloc_copy<Index>(cfg.input_offset);
+  auto t1 = dev.alloc_copy<Index>(cfg.output_offset);
+  auto t2 = dev.alloc_copy<Index>(cfg.sm_out_offset);
+  const auto res = launch_oa<double>(dev, cfg, in, out, t0, t1, t2);
+  if (host_out) host_out->vec().assign(out.span().begin(), out.span().end());
+  dev.free_all();
+  return res;
+}
+
+void check_correct(const Extents& ext, const std::vector<Index>& perm_v,
+                   const OaSlice& slice, bool coarsen = false) {
+  const Shape shape(ext);
+  const Permutation perm(perm_v);
+  const auto p = TransposeProblem::make(shape, perm, 8);
+  const OaConfig cfg = build_oa_config(p, slice, coarsen);
+  Tensor<double> host_in(shape);
+  host_in.fill_iota();
+  Tensor<double> host_out(perm.apply(shape));
+  sim::Device dev;
+  run_oa(dev, p, cfg, host_in, &host_out);
+  ASSERT_EQ(host_out.vec(), host_transpose(host_in, perm).vec())
+      << shape.to_string() << perm.to_string();
+}
+
+TEST(OaKernel, PaperMotivatingExample) {
+  // [a,b,c,d] = 8,2,8,8 -> [c,b,d,a]: IS={a,b,c}, OOS={d}.
+  OaSlice s{3, 8, 3, 8};
+  check_correct({8, 2, 8, 8}, {2, 1, 3, 0}, s);
+}
+
+TEST(OaKernel, BlockedInputWithRemainder) {
+  OaSlice s{2, 3, 2, 1};  // block_a=3 over extent 7 -> remainder 1
+  check_correct({8, 7, 9}, {2, 0, 1}, s);
+}
+
+TEST(OaKernel, BlockedOosWithRemainder) {
+  OaSlice s{1, 8, 1, 5};  // block_b=5 over extent 9 -> remainder 4
+  check_correct({8, 4, 9}, {2, 1, 0}, s);
+}
+
+TEST(OaKernel, BothBlockedWithRemainders) {
+  OaSlice s{2, 3, 2, 5};  // block_a=3 over 7 (rem 1), block_b=5 over 6 (rem 1)
+  check_correct({4, 7, 6, 9}, {2, 0, 3, 1}, s);
+}
+
+TEST(OaKernel, EmptyOutputOnlySet) {
+  // Output prefix inside the input prefix: OOS empty, oos_vol = 1.
+  OaSlice s{3, 4, 1, 1};
+  check_correct({8, 2, 4, 8}, {2, 0, 1, 3}, s);
+}
+
+TEST(OaKernel, CoarseningCorrect) {
+  // Dim of extent 8 outside the slice triggers §IV-A coarsening once
+  // the tensor exceeds 2 MB.
+  OaSlice s{1, 32, 1, 8};
+  check_correct({32, 8, 16, 8, 9}, {2, 4, 0, 1, 3}, s, true);
+}
+
+TEST(OaKernel, OffsetArraysMatchBruteForce) {
+  const auto p = TransposeProblem::make(Shape({4, 3, 5, 2}),
+                                        Permutation({2, 0, 3, 1}), 8);
+  OaSlice s{2, 3, 2, 5};  // IS={0,1(blocked 3)}, OS positions {0,1}
+  const OaConfig cfg = build_oa_config(p, s, false);
+  // input_offset[r]: walking OOS indices must land on the input offset
+  // of that sub-tensor origin.
+  const Shape& fs = p.fused.shape;
+  ASSERT_EQ(cfg.oos_dims, (std::vector<Index>{2}));
+  for (Index r = 0; r < cfg.oos_vol; ++r) {
+    EXPECT_EQ(cfg.input_offset[static_cast<std::size_t>(r)],
+              r * fs.stride(2));
+  }
+  // Every slice position p maps consistently: out offset must equal the
+  // output linearization of the multi-index reconstructed from
+  // sm_out_offset's (r, c) pair.
+  const Shape fo = p.fused.perm.apply(fs);
+  for (Index pos = 0; pos < cfg.slice_vol; ++pos) {
+    const Index sm = cfg.sm_out_offset[static_cast<std::size_t>(pos)];
+    const Index c = sm % cfg.in_vol;
+    const Index r = sm / cfg.in_vol;
+    // Reconstruct input coordinates of this element.
+    Extents idx(static_cast<std::size_t>(fs.rank()), 0);
+    Index rest = c;
+    for (Index d = 0; d < s.dims_in; ++d) {
+      const Index e = d == cfg.in_blocked_dim ? s.block_a : fs.extent(d);
+      idx[static_cast<std::size_t>(d)] = rest % e;
+      rest /= e;
+    }
+    idx[2] = r;  // the single OOS dim
+    Index expected_out = 0;
+    for (Index d = 0; d < fs.rank(); ++d)
+      expected_out += idx[static_cast<std::size_t>(d)] *
+                      fo.stride(p.fused.perm.position_of(d));
+    EXPECT_EQ(cfg.output_offset[static_cast<std::size_t>(pos)], expected_out)
+        << "pos " << pos;
+  }
+}
+
+TEST(OaKernel, PaddingReducesConflictsSameResult) {
+  const auto p = TransposeProblem::make(Shape({32, 16, 32}),
+                                        Permutation({2, 1, 0}), 8);
+  OaSlice s{1, 32, 1, 32};
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  const Tensor<double> expected = host_transpose(host_in, p.perm);
+
+  OaConfig padded = build_oa_config(p, s, false);
+  OaConfig bare = build_oa_config(p, s, false);
+  bare.smem_padded = false;
+  Tensor<double> out_a(p.perm.apply(p.shape)), out_b(p.perm.apply(p.shape));
+  sim::Device dev;
+  const auto r_pad = run_oa(dev, p, padded, host_in, &out_a);
+  const auto r_bare = run_oa(dev, p, bare, host_in, &out_b);
+  EXPECT_EQ(out_a.vec(), expected.vec());
+  EXPECT_EQ(out_b.vec(), expected.vec());
+  EXPECT_LT(r_pad.counters.smem_bank_conflicts,
+            r_bare.counters.smem_bank_conflicts);
+}
+
+TEST(OaKernel, ConfigValidation) {
+  const auto p = TransposeProblem::make(Shape({8, 8}), Permutation({1, 0}), 8);
+  OaSlice bad{1, 9, 1, 1};  // block_a beyond extent
+  EXPECT_THROW(build_oa_config(p, bad, false), Error);
+  OaSlice bad2{1, 8, 1, 2};  // OOS blocked dim has extent 8; fine — but
+  EXPECT_NO_THROW(build_oa_config(p, bad2, false));
+  // block_b without any output-only dim is rejected.
+  const auto pid =
+      TransposeProblem::make(Shape({8, 4, 8}), Permutation({1, 0, 2}), 8);
+  OaSlice bad3{3, 8, 2, 2};  // OS subset of IS
+  EXPECT_THROW(build_oa_config(pid, bad3, false), Error);
+}
+
+TEST(OaKernel, EnumerationRespectsSharedMemory) {
+  const auto p = TransposeProblem::make(Shape({40, 50, 60}),
+                                        Permutation({2, 0, 1}), 8);
+  const Index max_elems = 6144;
+  const auto slices = enumerate_oa_slices(p, max_elems);
+  ASSERT_FALSE(slices.empty());
+  for (const auto& s : slices) {
+    const OaConfig cfg = build_oa_config(p, s, false, false);
+    EXPECT_LE(cfg.smem_elems(), max_elems) << "slice too big for smem";
+  }
+}
+
+class OaEnumerated : public ::testing::TestWithParam<int> {};
+
+TEST_P(OaEnumerated, EnumeratedSlicesAreCorrect) {
+  const auto p = TransposeProblem::make(Shape({6, 4, 9, 5}),
+                                        Permutation({2, 1, 3, 0}), 8);
+  const auto slices = enumerate_oa_slices(p, 6000);
+  ASSERT_FALSE(slices.empty());
+  const std::size_t idx =
+      static_cast<std::size_t>(GetParam()) * slices.size() / 8;
+  const OaConfig cfg = build_oa_config(p, slices[idx], false);
+  Tensor<double> host_in(p.shape);
+  host_in.fill_iota();
+  Tensor<double> host_out(p.perm.apply(p.shape));
+  sim::Device dev;
+  run_oa(dev, p, cfg, host_in, &host_out);
+  EXPECT_EQ(host_out.vec(), host_transpose(host_in, p.perm).vec())
+      << "slice #" << idx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OaEnumerated, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ttlg

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "mlr/ols.hpp"
+
+namespace ttlg::mlr {
+namespace {
+
+TEST(Ols, RecoversExactLinearModel) {
+  Dataset d({"x1", "x2", "intercept"});
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x1 = rng.uniform01() * 10;
+    const double x2 = rng.uniform01() * 5;
+    d.add_row({x1, x2, 1.0}, 3.0 * x1 - 2.0 * x2 + 7.0);
+  }
+  const auto fit = fit_ols(d);
+  EXPECT_NEAR(fit.coefficients[0].estimate, 3.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[1].estimate, -2.0, 1e-9);
+  EXPECT_NEAR(fit.coefficients[2].estimate, 7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_LT(fit.error_percent(d), 1e-6);
+}
+
+TEST(Ols, SignificanceSeparatesSignalFromNoise) {
+  Dataset d({"signal", "noise"});
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform01();
+    const double z = rng.uniform01();
+    const double eps = (rng.uniform01() - 0.5) * 0.1;
+    d.add_row({x, z}, 5.0 * x + eps);
+  }
+  const auto fit = fit_ols(d);
+  EXPECT_LT(fit.coefficients[0].p_value, 1e-10);  // signal significant
+  EXPECT_GT(fit.coefficients[1].p_value, 1e-4);   // noise not
+  EXPECT_GT(std::abs(fit.coefficients[0].t_value), 50);
+}
+
+TEST(Ols, ThrowsOnCollinearFeatures) {
+  Dataset d({"x", "x_again"});
+  for (int i = 0; i < 10; ++i) d.add_row({double(i), double(i)}, double(i));
+  EXPECT_THROW(fit_ols(d), Error);
+}
+
+TEST(Ols, RequiresMoreRowsThanFeatures) {
+  Dataset d({"a", "b", "c"});
+  d.add_row({1, 2, 3}, 1);
+  d.add_row({2, 3, 5}, 2);
+  EXPECT_THROW(fit_ols(d), Error);
+}
+
+TEST(Ols, SplitIsDeterministicAndProportional) {
+  Dataset d({"x"});
+  for (int i = 0; i < 1000; ++i) d.add_row({double(i)}, double(i));
+  Dataset tr1({"x"}), te1({"x"}), tr2({"x"}), te2({"x"});
+  d.split(0.2, 42, tr1, te1);
+  d.split(0.2, 42, tr2, te2);
+  EXPECT_EQ(tr1.num_rows(), tr2.num_rows());
+  EXPECT_EQ(tr1.num_rows() + te1.num_rows(), 1000u);
+  EXPECT_NEAR(static_cast<double>(te1.num_rows()), 200.0, 40.0);
+  EXPECT_THROW(d.split(0.0, 1, tr1, te1), Error);
+}
+
+TEST(Ols, RelativeWeightsImproveRelativeError) {
+  // Responses spanning 4 decades with 5% multiplicative noise: plain
+  // OLS chases the big rows; weighted OLS balances relative error.
+  Dataset d({"x", "intercept"});
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = std::pow(10.0, rng.uniform01() * 4.0);
+    const double noise = 1.0 + (rng.uniform01() - 0.5) * 0.1;
+    d.add_row({x, 1.0}, (2.0 * x + 1.0) * noise);
+  }
+  const auto plain = fit_ols(d, false);
+  const auto weighted = fit_ols(d, true);
+  EXPECT_LT(weighted.error_percent(d), plain.error_percent(d));
+}
+
+TEST(Ols, PredictValidatesWidth) {
+  Dataset d({"a", "b"});
+  for (int i = 0; i < 10; ++i) d.add_row({double(i), 1.0}, double(i));
+  const auto fit = fit_ols(d);
+  EXPECT_THROW((fit.predict({1.0})), Error);
+  EXPECT_NEAR(fit.predict({3.0, 1.0}), 3.0, 1e-9);
+}
+
+TEST(Ols, ErrorPercentRejectsZeroResponse) {
+  Dataset d({"a"});
+  d.add_row({1.0}, 0.0);
+  d.add_row({2.0}, 1.0);
+  const auto fit_data = Dataset({"a"});
+  Dataset good({"a"});
+  good.add_row({1.0}, 1.0);
+  good.add_row({2.0}, 2.0);
+  good.add_row({3.0}, 3.0);
+  const auto fit = fit_ols(good);
+  EXPECT_THROW(fit.error_percent(d), Error);
+}
+
+}  // namespace
+}  // namespace ttlg::mlr

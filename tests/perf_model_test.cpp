@@ -1,0 +1,139 @@
+// §V performance model: feature extraction, regression vs analytic
+// prediction, and — most importantly — slice RANKING quality (the model
+// only needs to order candidates well for Alg. 3 to work).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/launch_helpers.hpp"
+#include "core/perf_model.hpp"
+#include "core/planner.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(PerfModel, FeatureWidthsMatchNames) {
+  const auto p =
+      TransposeProblem::make(Shape({64, 64}), Permutation({1, 0}), 8);
+  const OdConfig od = build_od_config(p, OdSlice{1, 1, 32, 32, 32, 32});
+  EXPECT_EQ(PerfModel::od_features(p, od).size(),
+            PerfModel::od_feature_names().size());
+  const auto p2 = TransposeProblem::make(Shape({8, 2, 8, 8}),
+                                         Permutation({2, 1, 3, 0}), 8);
+  const OaConfig oa = build_oa_config(p2, OaSlice{3, 8, 3, 8}, false);
+  EXPECT_EQ(PerfModel::oa_features(p2, oa).size(),
+            PerfModel::oa_feature_names().size());
+}
+
+TEST(PerfModel, DefaultCoefficientsPresentAndUsed) {
+  const auto coeffs = PerfModel::default_coefficients();
+  EXPECT_EQ(coeffs.od.size(), PerfModel::od_feature_names().size());
+  EXPECT_EQ(coeffs.oa.size(), PerfModel::oa_feature_names().size());
+}
+
+TEST(PerfModel, RegressionWithoutCoefficientsThrows) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const PerfModel model(props, ModelKind::kRegression,
+                        RegressionCoefficients{});
+  const auto p =
+      TransposeProblem::make(Shape({64, 64}), Permutation({1, 0}), 8);
+  const OdConfig od = build_od_config(p, OdSlice{1, 1, 32, 32, 32, 32});
+  EXPECT_THROW(model.predict_od(p, od), Error);
+}
+
+TEST(PerfModel, AutoFallsBackToAnalyticWhenUntrained) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const PerfModel analytic(props, ModelKind::kAnalytic);
+  const PerfModel auto_untrained(props, ModelKind::kAuto,
+                                 RegressionCoefficients{});
+  const auto p =
+      TransposeProblem::make(Shape({64, 64}), Permutation({1, 0}), 8);
+  const OdConfig od = build_od_config(p, OdSlice{1, 1, 32, 32, 32, 32});
+  EXPECT_DOUBLE_EQ(analytic.predict_od(p, od),
+                   auto_untrained.predict_od(p, od));
+}
+
+TEST(PerfModel, PredictionsArePositiveAndFinite) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  for (const ModelKind kind : {ModelKind::kRegression, ModelKind::kAnalytic}) {
+    const PerfModel model(props, kind);
+    const auto p = TransposeProblem::make(Shape({32, 20, 28}),
+                                          Permutation({2, 0, 1}), 8);
+    for (const auto& s : enumerate_od_slices(p, 8192)) {
+      const double t =
+          model.predict_od(p, build_od_config(p, s, false));
+      EXPECT_GT(t, 0.0);
+      EXPECT_TRUE(std::isfinite(t));
+    }
+  }
+}
+
+/// The property Alg. 3 actually needs: the model's chosen slice must be
+/// within a modest factor of the oracle-best slice's true time.
+class RankingQuality
+    : public ::testing::TestWithParam<std::tuple<ModelKind, int>> {};
+
+TEST_P(RankingQuality, ChoiceWithin25PercentOfOracle) {
+  const auto [kind, case_id] = GetParam();
+  struct CaseSpec {
+    Extents ext;
+    std::vector<Index> perm;
+  };
+  const CaseSpec cases[] = {
+      {{64, 48, 40}, {2, 1, 0}},
+      {{27, 27, 27, 27}, {3, 1, 0, 2}},
+      {{16, 16, 16, 16, 16}, {4, 2, 0, 1, 3}},
+  };
+  const auto& c = cases[case_id];
+  const auto p =
+      TransposeProblem::make(Shape(c.ext), Permutation(c.perm), 8);
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const PerfModel model(props, kind);
+
+  sim::Device dev(props);
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(6);
+  auto in = dev.alloc_virtual<double>(p.volume());
+  auto out = dev.alloc_virtual<double>(p.volume());
+
+  double best_pred = 1e30, chosen_actual = 0, oracle = 1e30;
+  for (const auto& s : enumerate_od_slices(p, od_max_slice_vol(p, props, 4))) {
+    const OdConfig cfg = build_od_config(p, s);
+    auto t0 = dev.alloc_copy<Index>(cfg.in_offset);
+    auto t1 = dev.alloc_copy<Index>(cfg.out_offset);
+    const double actual =
+        launch_od<double>(dev, cfg, in, out, t0, t1).time_s;
+    dev.free(t0);
+    dev.free(t1);
+    const double pred = model.predict_od(p, cfg);
+    if (pred < best_pred) {
+      best_pred = pred;
+      chosen_actual = actual;
+    }
+    oracle = std::min(oracle, actual);
+  }
+  EXPECT_LE(chosen_actual, oracle * 1.25)
+      << "model choice " << chosen_actual << " vs oracle " << oracle;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, RankingQuality,
+    ::testing::Combine(::testing::Values(ModelKind::kRegression,
+                                         ModelKind::kAnalytic),
+                       ::testing::Range(0, 3)));
+
+TEST(PerfModel, FviPredictionsAnalytic) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const PerfModel model(props);
+  const auto ps = TransposeProblem::make(Shape({16, 8, 8}),
+                                         Permutation({0, 2, 1}), 8);
+  EXPECT_GT(model.predict_fvi_small(ps, build_fvi_small_config(ps, 4, false)),
+            0.0);
+  const auto pl = TransposeProblem::make(Shape({64, 8, 8}),
+                                         Permutation({0, 2, 1}), 8);
+  EXPECT_GT(model.predict_fvi_large(pl, build_fvi_large_config(pl, true)),
+            0.0);
+}
+
+}  // namespace
+}  // namespace ttlg

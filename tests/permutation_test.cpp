@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "tensor/permutation.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Permutation, ValidatesEntries) {
+  EXPECT_NO_THROW(Permutation({2, 0, 1}));
+  EXPECT_THROW((Permutation({0, 0, 1})), Error);  // repeated
+  EXPECT_THROW((Permutation({0, 3, 1})), Error);  // out of range
+  EXPECT_THROW((Permutation({-1, 0})), Error);
+}
+
+TEST(Permutation, IdentityFactoryAndPredicate) {
+  const auto id = Permutation::identity(4);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_TRUE(id.fvi_matches());
+  EXPECT_FALSE(Permutation({0, 2, 1}).is_identity());
+  EXPECT_TRUE(Permutation({0, 2, 1}).fvi_matches());
+  EXPECT_FALSE(Permutation({1, 0, 2}).fvi_matches());
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation p({3, 1, 4, 0, 2});
+  const Permutation inv = p.inverse();
+  for (Index k = 0; k < p.rank(); ++k) {
+    EXPECT_EQ(inv[p[k]], k);
+    EXPECT_EQ(p[inv[k]], k);
+  }
+}
+
+TEST(Permutation, PositionOfIsInverseLookup) {
+  const Permutation p({2, 0, 1});
+  EXPECT_EQ(p.position_of(2), 0);
+  EXPECT_EQ(p.position_of(0), 1);
+  EXPECT_EQ(p.position_of(1), 2);
+  EXPECT_THROW(p.position_of(3), Error);
+}
+
+TEST(Permutation, ApplyPermutesExtents) {
+  // Output dim j has extent of input dim perm[j].
+  const Shape in({7, 8, 9});
+  const Shape out = Permutation({2, 0, 1}).apply(in);
+  EXPECT_EQ(out, Shape({9, 7, 8}));
+  EXPECT_THROW((Permutation({1, 0}).apply(in)), Error);
+}
+
+TEST(Permutation, RoundTripThroughApply) {
+  const Shape in({3, 5, 2, 7});
+  const Permutation p({1, 3, 0, 2});
+  EXPECT_EQ(p.inverse().apply(p.apply(in)), in);
+}
+
+TEST(Permutation, ToString) {
+  EXPECT_EQ(Permutation({1, 0}).to_string(), "(1 0)");
+}
+
+}  // namespace
+}  // namespace ttlg

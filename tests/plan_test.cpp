@@ -1,0 +1,141 @@
+// Plan layer: make_plan/execute across schemas, plan cache, move
+// semantics, error paths, and the queryable model API.
+#include <gtest/gtest.h>
+
+#include "core/ttlg.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Plan, DescribeAndPredictedTime) {
+  sim::Device dev;
+  Plan plan = make_plan(dev, Shape({64, 64}), Permutation({1, 0}));
+  EXPECT_TRUE(plan.valid());
+  EXPECT_EQ(plan.schema(), Schema::kOrthogonalDistinct);
+  EXPECT_GT(plan.predicted_time_s(), 0.0);
+  EXPECT_GE(plan.plan_wall_s(), 0.0);
+  EXPECT_NE(plan.describe().find("Orthogonal-Distinct"), std::string::npos);
+}
+
+TEST(Plan, ExecuteValidatesBuffers) {
+  sim::Device dev;
+  const Shape shape({32, 32});
+  Plan plan = make_plan(dev, shape, Permutation({1, 0}));
+  auto in = dev.alloc<double>(shape.volume());
+  auto small = dev.alloc<double>(10);
+  EXPECT_THROW(plan.execute<double>(in, small), Error);
+  // Element type must match the planned element size (default 8).
+  auto fin = dev.alloc<float>(shape.volume());
+  auto fout = dev.alloc<float>(shape.volume());
+  EXPECT_THROW(plan.execute<float>(fin, fout), Error);
+}
+
+TEST(Plan, EmptyPlanRejectsExecution) {
+  Plan plan;
+  sim::Device dev;
+  auto buf = dev.alloc<double>(4);
+  EXPECT_FALSE(plan.valid());
+  EXPECT_THROW(plan.execute<double>(buf, buf), Error);
+}
+
+TEST(Plan, MoveTransfersOwnership) {
+  sim::Device dev;
+  Plan a = make_plan(dev, Shape({64, 64}), Permutation({1, 0}));
+  const std::int64_t before = dev.bytes_allocated();
+  Plan b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(dev.bytes_allocated(), before);  // no double-ownership
+  auto in = dev.alloc<double>(64 * 64);
+  auto out = dev.alloc<double>(64 * 64);
+  EXPECT_NO_THROW(b.execute<double>(in, out));
+}
+
+TEST(Plan, DestructorFreesOffsetArrays) {
+  sim::Device dev;
+  const std::int64_t base = dev.bytes_allocated();
+  {
+    Plan plan = make_plan(dev, Shape({64, 64}), Permutation({1, 0}));
+    EXPECT_GT(dev.bytes_allocated(), base);
+  }
+  EXPECT_EQ(dev.bytes_allocated(), base);
+}
+
+TEST(Plan, SurvivesDeviceFreeAll) {
+  sim::Device dev;
+  Plan plan = make_plan(dev, Shape({64, 64}), Permutation({1, 0}));
+  dev.free_all();
+  // Destruction must not throw even though the device reclaimed the
+  // arrays out from under the plan.
+}
+
+TEST(PlanCacheTest, HitsAfterFirstCall) {
+  sim::Device dev;
+  PlanCache cache;
+  bool hit = true;
+  const Plan& p1 =
+      cache.get(dev, Shape({32, 32}), Permutation({1, 0}), {}, &hit);
+  EXPECT_FALSE(hit);
+  const Plan& p2 =
+      cache.get(dev, Shape({32, 32}), Permutation({1, 0}), {}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(&p1, &p2);
+  // Different key -> new plan.
+  cache.get(dev, Shape({32, 32}), Permutation({0, 1}), {}, &hit);
+  EXPECT_FALSE(hit);
+  PlanOptions fopts;
+  fopts.elem_size = 4;
+  cache.get(dev, Shape({32, 32}), Permutation({1, 0}), fopts, &hit);
+  EXPECT_FALSE(hit);  // element size participates in the key
+  EXPECT_EQ(cache.size(), 3u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PredictApi, PositiveAndConsistentWithPlan) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const Shape shape({24, 18, 30});
+  const Permutation perm({2, 0, 1});
+  const double q = predict_transpose_time(props, shape, perm);
+  EXPECT_GT(q, 0.0);
+  sim::Device dev(props);
+  Plan plan = make_plan(dev, shape, perm);
+  EXPECT_DOUBLE_EQ(plan.predicted_time_s(), q);
+}
+
+TEST(PredictApi, ModelKindsBothWork) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  PlanOptions reg, ana;
+  reg.model = ModelKind::kRegression;
+  ana.model = ModelKind::kAnalytic;
+  const Shape shape({40, 40, 40});
+  const Permutation perm({2, 1, 0});
+  EXPECT_GT(predict_transpose_time(props, shape, perm, reg), 0.0);
+  EXPECT_GT(predict_transpose_time(props, shape, perm, ana), 0.0);
+}
+
+TEST(Plan, BandwidthHelper) {
+  // 2 * 1e9 bytes in 1 second = 2 GB/s.
+  EXPECT_DOUBLE_EQ(achieved_bandwidth_gbps(125'000'000, 8, 1.0), 2.0);
+  EXPECT_THROW(achieved_bandwidth_gbps(1, 8, 0.0), Error);
+}
+
+TEST(Plan, TransposeConvenienceWrapper) {
+  sim::Device dev;
+  const Shape shape({20, 30});
+  Tensor<double> host(shape);
+  host.fill_iota();
+  auto in = dev.alloc_copy<double>(host.vec());
+  auto out = dev.alloc<double>(shape.volume());
+  Plan plan;
+  const auto res =
+      transpose<double>(dev, in, out, shape, Permutation({1, 0}), {}, &plan);
+  EXPECT_GT(res.time_s, 0.0);
+  EXPECT_TRUE(plan.valid());
+  const Tensor<double> expected = host_transpose(host, Permutation({1, 0}));
+  for (Index i = 0; i < shape.volume(); ++i)
+    ASSERT_EQ(out[i], expected.at(i));
+}
+
+}  // namespace
+}  // namespace ttlg

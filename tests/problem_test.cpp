@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "core/problem.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Problem, MakeValidates) {
+  EXPECT_THROW(
+      TransposeProblem::make(Shape({4}), Permutation({0}), 2),  // bad size
+      Error);
+  EXPECT_THROW(
+      TransposeProblem::make(Shape({4, 4}), Permutation({0}), 8),
+      Error);
+  EXPECT_THROW(TransposeProblem::make(Shape(Extents{}),
+                                      Permutation(std::vector<Index>{}), 8),
+               Error);
+  const auto p =
+      TransposeProblem::make(Shape({4, 4}), Permutation({1, 0}), 4);
+  EXPECT_EQ(p.elem_size, 4);
+  EXPECT_EQ(p.payload_bytes(), 2 * 16 * 4);
+}
+
+TEST(Problem, FusedFieldsPopulated) {
+  const auto p = TransposeProblem::make(Shape({3, 4, 5, 6}),
+                                        Permutation({3, 1, 2, 0}), 8);
+  EXPECT_EQ(p.scaled_rank(), 3);
+  EXPECT_EQ(p.fused_out, Shape({6, 20, 3}));
+}
+
+TEST(Problem, InputPrefixReaching) {
+  const Shape s({4, 8, 16});
+  EXPECT_EQ(input_prefix_reaching(s, 1), 0);
+  EXPECT_EQ(input_prefix_reaching(s, 4), 1);
+  EXPECT_EQ(input_prefix_reaching(s, 5), 2);
+  EXPECT_EQ(input_prefix_reaching(s, 32), 2);
+  EXPECT_EQ(input_prefix_reaching(s, 33), 3);
+  EXPECT_EQ(input_prefix_reaching(s, 1'000'000), 3);  // exhausts rank
+}
+
+TEST(Problem, OutputPrefixReaching) {
+  const Shape s({4, 8, 16});
+  const Permutation p({2, 0, 1});  // output extents 16, 4, 8
+  EXPECT_EQ(output_prefix_reaching(s, p, 16), 1);
+  EXPECT_EQ(output_prefix_reaching(s, p, 17), 2);
+  EXPECT_EQ(output_prefix_reaching(s, p, 64), 2);
+}
+
+TEST(Problem, DisjointnessPaperExamples) {
+  // [a,b,c,d] all 32 -> [d,c,b,a]: I={a}, O={d} disjoint.
+  EXPECT_TRUE(fvi_prefixes_disjoint(Shape({32, 32, 32, 32}),
+                                    Permutation({3, 2, 1, 0}), 32));
+  // [a,b,c,d] = 8,2,8,8 -> [c,b,d,a]: I={a,b,c}, O={c,b,d} overlap
+  // (§III's motivating Orthogonal-Arbitrary example).
+  EXPECT_FALSE(fvi_prefixes_disjoint(Shape({8, 2, 8, 8}),
+                                     Permutation({2, 1, 3, 0}), 32));
+  // Matching FVI always overlaps (dim 0 on both sides).
+  EXPECT_FALSE(fvi_prefixes_disjoint(Shape({64, 64}),
+                                     Permutation({0, 1}), 32));
+}
+
+TEST(Problem, DisjointnessDependsOnTarget) {
+  // [16,2,32,32] -> reversed: with target 32, I={0,1} (16*2=32) and
+  // O={3} disjoint; with target 64, I={0,1,2} and O={3,2} overlap.
+  const Shape s({16, 2, 32, 32});
+  const Permutation p({3, 2, 1, 0});
+  EXPECT_TRUE(fvi_prefixes_disjoint(s, p, 32));
+  EXPECT_FALSE(fvi_prefixes_disjoint(s, p, 64));
+}
+
+}  // namespace
+}  // namespace ttlg

@@ -1,0 +1,107 @@
+// Profiler aggregation and the batched-plan API.
+#include <gtest/gtest.h>
+
+#include "core/batched_plan.hpp"
+#include "gpusim/profiler.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Profiler, AggregatesByKernel) {
+  sim::Device dev;
+  const Shape shape({64, 64});
+  auto in = dev.alloc<double>(shape.volume());
+  auto out = dev.alloc<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, Permutation({1, 0}));
+
+  sim::Profiler prof;
+  for (int i = 0; i < 3; ++i)
+    prof.record("orthogonal_distinct", plan.execute<double>(in, out));
+  Plan copy_plan = make_plan(dev, shape, Permutation({0, 1}));
+  prof.record("fvi_match_large", copy_plan.execute<double>(in, out));
+
+  EXPECT_EQ(prof.distinct_kernels(), 2u);
+  EXPECT_GT(prof.total_time_s(), 0.0);
+  const std::string report = prof.report();
+  EXPECT_NE(report.find("orthogonal_distinct"), std::string::npos);
+  EXPECT_NE(report.find("fvi_match_large"), std::string::npos);
+  prof.clear();
+  EXPECT_EQ(prof.distinct_kernels(), 0u);
+}
+
+TEST(BatchedPlanTest, ReusesOnePlanAcrossBatch) {
+  sim::Device dev;
+  const Shape shape({32, 24, 8});
+  const Permutation perm({2, 0, 1});
+  BatchedPlan batched(dev, shape, perm);
+
+  constexpr int kBatch = 4;
+  std::vector<Tensor<double>> hosts;
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      pairs;
+  for (int i = 0; i < kBatch; ++i) {
+    hosts.emplace_back(shape);
+    hosts.back().fill_random(static_cast<std::uint64_t>(i));
+    pairs.emplace_back(dev.alloc_copy<double>(hosts.back().vec()),
+                       dev.alloc<double>(shape.volume()));
+  }
+  const auto res = batched.execute<double>(pairs);
+  ASSERT_EQ(res.per_call_s.size(), static_cast<std::size_t>(kBatch));
+  EXPECT_GT(res.total_time_s, 0.0);
+  for (int i = 0; i < kBatch; ++i) {
+    const Tensor<double> expected = host_transpose(hosts[i], perm);
+    for (Index j = 0; j < shape.volume(); ++j)
+      ASSERT_EQ(pairs[i].second[j], expected.at(j)) << "member " << i;
+  }
+}
+
+TEST(BatchedPlanTest, EpilogueAndValidation) {
+  sim::Device dev;
+  const Shape shape({16, 16});
+  BatchedPlan batched(dev, shape, Permutation({1, 0}));
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      empty;
+  EXPECT_THROW(batched.execute<double>(empty), Error);
+
+  Tensor<double> host(shape);
+  host.fill_iota();
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      one{{dev.alloc_copy<double>(host.vec()),
+           dev.alloc<double>(shape.volume())}};
+  batched.execute<double>(one, 3.0, 0.0);
+  const Tensor<double> permuted = host_transpose(host, Permutation({1, 0}));
+  for (Index j = 0; j < shape.volume(); ++j)
+    ASSERT_DOUBLE_EQ(one[0].second[j], 3.0 * permuted.at(j));
+}
+
+TEST(DevicePresets, GenerationsAreOrdered) {
+  const auto k40 = sim::DeviceProperties::tesla_k40c();
+  const auto p100 = sim::DeviceProperties::pascal_p100();
+  const auto v100 = sim::DeviceProperties::volta_v100();
+  EXPECT_LT(k40.effective_bandwidth_gbps, p100.effective_bandwidth_gbps);
+  EXPECT_LT(p100.effective_bandwidth_gbps, v100.effective_bandwidth_gbps);
+  EXPECT_LT(k40.num_sms, p100.num_sms);
+  EXPECT_NE(p100.to_string().find("P100"), std::string::npos);
+
+  // A large streaming transpose should run faster on newer profiles.
+  const Shape shape({256, 64, 256});
+  const Permutation perm({2, 1, 0});
+  double prev = 1e9;
+  for (const auto& props : {k40, p100, v100}) {
+    sim::Device dev(props);
+    dev.set_mode(sim::ExecMode::kCountOnly);
+    dev.set_sampling(4);
+    auto in = dev.alloc_virtual<double>(shape.volume());
+    auto out = dev.alloc_virtual<double>(shape.volume());
+    PlanOptions opts;
+    opts.model = ModelKind::kAnalytic;
+    Plan plan = make_plan(dev, shape, perm, opts);
+    const double t = plan.execute<double>(in, out).time_s;
+    EXPECT_LT(t, prev) << props.name;
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace ttlg

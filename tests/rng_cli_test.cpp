@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a(), vb = b(), vc = c();
+    all_equal &= (va == vb);
+    any_diff_from_c |= (va != vc);
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(3, 17);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng rng(11);
+  double min = 1, max = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    min = std::min(min, v);
+    max = std::max(max, v);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  EXPECT_LT(min, 0.1);  // covers the range
+  EXPECT_GT(max, 0.9);
+}
+
+TEST(Cli, ParsesFlagFormats) {
+  const char* argv[] = {"prog",    "--alpha", "3",          "--beta=hi",
+                        "--gamma", "--delta", "4.5",        "positional"};
+  const Cli cli(8, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("beta", ""), "hi");
+  EXPECT_TRUE(cli.get_bool("gamma"));
+  EXPECT_DOUBLE_EQ(cli.get_double("delta", 0.0), 4.5);
+  EXPECT_EQ(cli.positional(), std::vector<std::string>{"positional"});
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_FALSE(cli.get_bool("missing"));
+}
+
+TEST(Cli, BooleanNegations) {
+  const char* argv[] = {"prog", "--x=false", "--y=0", "--z=no", "--w=yes"};
+  const Cli cli(5, argv);
+  EXPECT_FALSE(cli.get_bool("x", true));
+  EXPECT_FALSE(cli.get_bool("y", true));
+  EXPECT_FALSE(cli.get_bool("z", true));
+  EXPECT_TRUE(cli.get_bool("w", false));
+}
+
+TEST(Cli, ParseIntList) {
+  EXPECT_EQ(parse_int_list("1,2,3"), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(parse_int_list("32x16x8"), (std::vector<std::int64_t>{32, 16, 8}));
+  EXPECT_EQ(parse_int_list("7"), (std::vector<std::int64_t>{7}));
+  EXPECT_THROW(parse_int_list(""), Error);
+  EXPECT_THROW(parse_int_list("a,b"), Error);
+  EXPECT_THROW(parse_int_list("1,2a"), Error);
+  // 'x' is a separator, so "1,2x" parses as {1, 2}.
+  EXPECT_EQ(parse_int_list("1,2x"), (std::vector<std::int64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace ttlg

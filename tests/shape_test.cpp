@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "tensor/shape.hpp"
+
+namespace ttlg {
+namespace {
+
+TEST(Shape, StridesAreFastestFirst) {
+  const Shape s({4, 5, 6});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.volume(), 120);
+  EXPECT_EQ(s.stride(0), 1);
+  EXPECT_EQ(s.stride(1), 4);
+  EXPECT_EQ(s.stride(2), 20);
+}
+
+TEST(Shape, LinearizeMatchesManualFormula) {
+  const Shape s({3, 4, 5});
+  EXPECT_EQ(s.linearize({0, 0, 0}), 0);
+  EXPECT_EQ(s.linearize({2, 0, 0}), 2);
+  EXPECT_EQ(s.linearize({0, 1, 0}), 3);
+  EXPECT_EQ(s.linearize({0, 0, 1}), 12);
+  EXPECT_EQ(s.linearize({2, 3, 4}), 2 + 3 * 3 + 4 * 12);
+}
+
+TEST(Shape, DelinearizeRoundTripsEveryOffset) {
+  const Shape s({3, 1, 4, 2});
+  for (Index off = 0; off < s.volume(); ++off) {
+    EXPECT_EQ(s.linearize(s.delinearize(off)), off);
+  }
+}
+
+TEST(Shape, RejectsNonPositiveExtents) {
+  EXPECT_THROW((Shape({4, 0, 2})), Error);
+  EXPECT_THROW((Shape({-3})), Error);
+}
+
+TEST(Shape, RejectsOutOfRangeAccess) {
+  const Shape s({2, 2});
+  EXPECT_THROW(s.extent(2), Error);
+  EXPECT_THROW(s.stride(-1), Error);
+  EXPECT_THROW((s.linearize({0, 2})), Error);
+  EXPECT_THROW((s.linearize({0})), Error);
+  EXPECT_THROW(s.delinearize(4), Error);
+}
+
+TEST(Shape, SizeOneDimensionsBehave) {
+  const Shape s({1, 7, 1});
+  EXPECT_EQ(s.volume(), 7);
+  EXPECT_EQ(s.stride(2), 7);
+  EXPECT_EQ(s.delinearize(6), (Extents{0, 6, 0}));
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Shape, RankZeroHasVolumeOne) {
+  const Shape s(Extents{});
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.volume(), 1);
+}
+
+}  // namespace
+}  // namespace ttlg

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "core/planner.hpp"
+
+namespace ttlg {
+namespace {
+
+Schema classify_case(const Extents& ext, const std::vector<Index>& perm) {
+  return classify(
+      TransposeProblem::make(Shape(ext), Permutation(perm), 8));
+}
+
+TEST(Taxonomy, IdentityIsCopy) {
+  EXPECT_EQ(classify_case({8, 8, 8}, {0, 1, 2}), Schema::kCopy);
+  EXPECT_EQ(classify_case({64}, {0}), Schema::kCopy);
+  // Fusible to identity even when written as a permutation of rank 3.
+  EXPECT_EQ(classify_case({4, 4, 4}, {0, 1, 2}), Schema::kCopy);
+}
+
+TEST(Taxonomy, FviMatchThresholdAtWarpSize) {
+  EXPECT_EQ(classify_case({32, 8, 8}, {0, 2, 1}), Schema::kFviMatchLarge);
+  EXPECT_EQ(classify_case({31, 8, 8}, {0, 2, 1}), Schema::kFviMatchSmall);
+  EXPECT_EQ(classify_case({33, 8, 8}, {0, 2, 1}), Schema::kFviMatchLarge);
+}
+
+TEST(Taxonomy, FviMatchSmallNeedsWarpFillingPairs) {
+  // n0 * ext(i1) must reach 32 on input AND n0 * ext(perm[1]) on output.
+  EXPECT_EQ(classify_case({16, 2, 2, 64}, {0, 3, 1, 2}),
+            Schema::kFviMatchSmall);  // 16*2=32 in, 16*64 out
+  EXPECT_EQ(classify_case({8, 2, 8}, {0, 2, 1}),
+            Schema::kOrthogonalArbitrary);  // 8*2 < 32 -> model decides
+}
+
+TEST(Taxonomy, DisjointPrefixesAreOrthogonalDistinct) {
+  EXPECT_EQ(classify_case({64, 64}, {1, 0}), Schema::kOrthogonalDistinct);
+  EXPECT_EQ(classify_case({32, 32, 32, 32}, {3, 2, 1, 0}),
+            Schema::kOrthogonalDistinct);
+  // Paper §III: combined dims a,b on input vs d on output, all disjoint.
+  EXPECT_EQ(classify_case({16, 2, 32, 32}, {3, 2, 1, 0}),
+            Schema::kOrthogonalDistinct);
+}
+
+TEST(Taxonomy, OverlappingPrefixesAreOrthogonalArbitrary) {
+  // Paper §III example: [8,2,8,8] -> [c,b,d,a].
+  EXPECT_EQ(classify_case({8, 2, 8, 8}, {2, 1, 3, 0}),
+            Schema::kOrthogonalArbitrary);
+}
+
+TEST(Taxonomy, FusionHappensBeforeClassification) {
+  // (1,2) fuse into a 64-wide FVI on both sides -> FVI-Match-Large
+  // after fusion even though raw dim 0 moved.
+  EXPECT_EQ(classify_case({8, 8, 4, 4}, {0, 1, 3, 2}),
+            Schema::kFviMatchLarge);
+}
+
+TEST(Taxonomy, SelectKernelProducesValidConfigs) {
+  const sim::DeviceProperties props = sim::DeviceProperties::tesla_k40c();
+  const PerfModel model(props);
+  const PlanOptions opts;
+  // One problem per schema; selection must agree with classify (or, for
+  // the overlapping case, be one of the two model-arbitrated schemas).
+  struct CaseSpec {
+    Extents ext;
+    std::vector<Index> perm;
+  };
+  for (const auto& c : std::vector<CaseSpec>{
+           {{8, 8, 8}, {0, 1, 2}},
+           {{64, 8, 8}, {0, 2, 1}},
+           {{16, 8, 8}, {0, 2, 1}},
+           {{64, 64}, {1, 0}},
+           {{8, 2, 8, 8}, {2, 1, 3, 0}},
+       }) {
+    const auto problem =
+        TransposeProblem::make(Shape(c.ext), Permutation(c.perm), 8);
+    const auto sel = select_kernel(problem, model, opts);
+    EXPECT_GT(sel.predicted_s, 0.0);
+    EXPECT_GE(sel.candidates_considered, 1);
+    if (classify(problem) != Schema::kOrthogonalArbitrary) {
+      EXPECT_EQ(sel.schema, classify(problem));
+    } else {
+      EXPECT_TRUE(sel.schema == Schema::kOrthogonalArbitrary ||
+                  sel.schema == Schema::kOrthogonalDistinct ||
+                  sel.schema == Schema::kFviMatchSmall);
+    }
+  }
+}
+
+TEST(Taxonomy, OdMaxSliceVolScalesWithVolume) {
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const auto small =
+      TransposeProblem::make(Shape({64, 64}), Permutation({1, 0}), 8);
+  const auto big = TransposeProblem::make(Shape({2048, 2048}),
+                                          Permutation({1, 0}), 8);
+  EXPECT_LE(od_max_slice_vol(small, props, 4),
+            od_max_slice_vol(big, props, 4));
+  EXPECT_GE(od_max_slice_vol(small, props, 4), 64 * 64);
+}
+
+}  // namespace
+}  // namespace ttlg

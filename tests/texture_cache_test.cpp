@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "gpusim/texture_cache.hpp"
+
+namespace ttlg::sim {
+namespace {
+
+TEST(TextureCache, ColdMissThenHit) {
+  TextureCache c(16, 32);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(31));  // same 32-byte line
+  EXPECT_FALSE(c.access(32)); // next line
+  EXPECT_EQ(c.misses(), 2);
+  EXPECT_EQ(c.hits(), 2);
+}
+
+TEST(TextureCache, DirectMappedEviction) {
+  TextureCache c(4, 32);  // lines 0 and 4 collide (slot = line % 4)
+  EXPECT_FALSE(c.access(0 * 32));
+  EXPECT_FALSE(c.access(4 * 32));
+  EXPECT_FALSE(c.access(0 * 32));  // evicted by line 4
+}
+
+TEST(TextureCache, DisjointLinesAllFit) {
+  TextureCache c(8, 32);
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(c.access(i * 32));
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(c.access(i * 32));
+}
+
+TEST(TextureCache, ResetClearsState) {
+  TextureCache c(8, 32);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0);
+  EXPECT_EQ(c.misses(), 0);
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(TextureCache, RejectsBadGeometry) {
+  EXPECT_THROW(TextureCache(0, 32), Error);
+  EXPECT_THROW(TextureCache(8, 0), Error);
+}
+
+}  // namespace
+}  // namespace ttlg::sim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/timing_model.hpp"
+
+namespace ttlg::sim {
+namespace {
+
+LaunchCounters base_counters() {
+  LaunchCounters c;
+  c.grid_blocks = 1000;
+  c.block_threads = 256;
+  c.gld_transactions = 500'000;
+  c.gst_transactions = 500'000;
+  c.smem_load_ops = 100'000;
+  c.smem_store_ops = 100'000;
+  c.payload_bytes = 1'000'000 * 128;
+  return c;
+}
+
+TEST(TimingModel, MoreTrafficTakesLonger) {
+  const auto props = DeviceProperties::tesla_k40c();
+  auto c = base_counters();
+  const double t1 = kernel_time_seconds(props, c);
+  c.gld_transactions *= 2;
+  const double t2 = kernel_time_seconds(props, c);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(TimingModel, BandwidthBoundCaseMatchesEffectiveBandwidth) {
+  const auto props = DeviceProperties::tesla_k40c();
+  const auto c = base_counters();
+  const auto t = kernel_timing(props, c);
+  const double bytes = 1e6 * 128;
+  EXPECT_NEAR(t.dram_s, bytes / (props.effective_bandwidth_gbps * 1e9),
+              t.dram_s * 0.01);
+  EXPECT_GE(t.total_s, t.dram_s);
+  EXPECT_EQ(t.occupancy, 1.0);
+}
+
+TEST(TimingModel, FewBlocksStarveBandwidth) {
+  const auto props = DeviceProperties::tesla_k40c();
+  auto c = base_counters();
+  c.grid_blocks = 2;  // far below saturation
+  const auto starved = kernel_timing(props, c);
+  EXPECT_LT(starved.occupancy, 0.2);
+  EXPECT_GT(starved.dram_s, kernel_timing(props, base_counters()).dram_s);
+}
+
+TEST(TimingModel, BankConflictsCanDominate) {
+  const auto props = DeviceProperties::tesla_k40c();
+  auto c = base_counters();
+  const double before = kernel_time_seconds(props, c);
+  c.smem_bank_conflicts = 31 * (c.smem_load_ops + c.smem_store_ops) * 10;
+  const double after = kernel_time_seconds(props, c);
+  EXPECT_GT(after, before * 2);
+}
+
+TEST(TimingModel, SpecialOpsCanDominate) {
+  const auto props = DeviceProperties::tesla_k40c();
+  auto c = base_counters();
+  c.special_ops = 100'000'000;
+  const auto t = kernel_timing(props, c);
+  EXPECT_GT(t.alu_s, t.dram_s);
+  EXPECT_GE(t.total_s, t.alu_s);
+}
+
+TEST(TimingModel, SharedMemoryLimitsResidency) {
+  const auto props = DeviceProperties::tesla_k40c();
+  auto c = base_counters();
+  c.grid_blocks = 60;  // two blocks per SM at most when smem-bound
+  c.shared_bytes_per_block = 24 * 1024;
+  const auto heavy = kernel_timing(props, c);
+  c.shared_bytes_per_block = 1024;
+  const auto light = kernel_timing(props, c);
+  EXPECT_LE(light.total_s, heavy.total_s);
+}
+
+TEST(TimingModel, WaveQuantizationAddsOverhead) {
+  const auto props = DeviceProperties::tesla_k40c();
+  auto c = base_counters();
+  c.grid_blocks = 1'000'000;
+  const auto t = kernel_timing(props, c);
+  EXPECT_GT(t.waves, 1000);
+  EXPECT_GT(t.overhead_s, 1000 * props.wave_overhead_s);
+}
+
+TEST(TimingModel, EmptyLaunchIsJustOverhead) {
+  const auto props = DeviceProperties::tesla_k40c();
+  LaunchCounters c;
+  EXPECT_DOUBLE_EQ(kernel_time_seconds(props, c), props.launch_overhead_s);
+}
+
+TEST(Counters, CoalescingEfficiency) {
+  LaunchCounters c;
+  c.gld_transactions = 10;
+  c.payload_bytes = 10 * 128;
+  EXPECT_DOUBLE_EQ(c.coalescing_efficiency(), 1.0);
+  c.gld_transactions = 20;
+  EXPECT_DOUBLE_EQ(c.coalescing_efficiency(), 0.5);
+}
+
+TEST(Counters, Accumulation) {
+  LaunchCounters a, b;
+  a.gld_transactions = 5;
+  b.gld_transactions = 7;
+  b.smem_bank_conflicts = 3;
+  a += b;
+  EXPECT_EQ(a.gld_transactions, 12);
+  EXPECT_EQ(a.smem_bank_conflicts, 3);
+}
+
+}  // namespace
+}  // namespace ttlg::sim

@@ -1,0 +1,253 @@
+// ttlg — command-line front end for the library.
+//
+//   ttlg plan    --dims 32,16,24 --perm 2,0,1 [--float] [--analytic]
+//   ttlg run     --dims 32,16,24 --perm 2,0,1 [--alpha A --beta B]
+//   ttlg predict --dims 32,16,24 --perm 2,0,1
+//   ttlg sweep   --dims 16,16,16,16 [--csv]
+//   ttlg contract --spec "iak,kbj->abij" --a 12,10,14 --b 14,9,11
+//
+// `run` executes functionally (data verified against the host reference)
+// and reports simulated time, bandwidth and hardware-event counters.
+#include <cstdio>
+#include <numeric>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "core/measure_plan.hpp"
+#include "core/plan_io.hpp"
+#include "gpusim/profiler.hpp"
+#include "common/table.hpp"
+#include "core/ttlg.hpp"
+#include "ttgt/contraction.hpp"
+
+using namespace ttlg;
+
+namespace {
+
+PlanOptions options_from(const Cli& cli) {
+  PlanOptions opts;
+  opts.elem_size = cli.get_bool("float") ? 4 : 8;
+  if (cli.get_bool("analytic")) opts.model = ModelKind::kAnalytic;
+  opts.enable_coarsening = !cli.get_bool("no-coarsening");
+  return opts;
+}
+
+int cmd_plan(const Cli& cli) {
+  const Shape shape(parse_int_list(cli.get("dims", "32,16,24")));
+  const Permutation perm(parse_int_list(cli.get("perm", "2,0,1")));
+  sim::Device dev;
+  Plan plan;
+  if (cli.get_bool("measure")) {
+    MeasuredPlanStats stats;
+    plan = make_plan_measured(dev, shape, perm, options_from(cli), &stats);
+    std::printf("%s\n", plan.describe().c_str());
+    std::printf("measured %lld candidates (%.3f ms simulated device time)\n",
+                static_cast<long long>(stats.candidates_executed),
+                stats.measure_device_s * 1e3);
+  } else {
+    plan = make_plan(dev, shape, perm, options_from(cli));
+    std::printf("%s\n", plan.describe().c_str());
+    std::printf("planning wall time: %.3f ms\n", plan.plan_wall_s() * 1e3);
+    std::printf("candidates considered: %lld\n",
+                static_cast<long long>(
+                    plan.selection().candidates_considered));
+  }
+  const std::string save = cli.get("save", "");
+  if (!save.empty()) {
+    std::ofstream out(save);
+    TTLG_CHECK(out.good(), "cannot open '" + save + "' for writing");
+    save_plan(out, plan);
+    std::printf("saved plan to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+template <class T>
+int run_typed(const Cli& cli, const Shape& shape, const Permutation& perm,
+              const PlanOptions& opts) {
+  sim::Device dev;
+  Tensor<T> host(shape);
+  host.fill_iota();
+  auto in = dev.alloc_copy<T>(host.vec());
+  auto out = dev.alloc<T>(shape.volume());
+  Plan plan;
+  const std::string load = cli.get("load", "");
+  if (!load.empty()) {
+    std::ifstream file(load);
+    TTLG_CHECK(file.good(), "cannot open plan file '" + load + "'");
+    plan = load_plan(dev, file);
+    TTLG_CHECK(plan.problem().shape == shape &&
+                   plan.problem().perm == perm,
+               "loaded plan is for a different transposition");
+  } else {
+    plan = make_plan(dev, shape, perm, opts);
+  }
+  const T alpha = static_cast<T>(cli.get_double("alpha", 1.0));
+  const T beta = static_cast<T>(cli.get_double("beta", 0.0));
+  const auto res = plan.execute<T>(in, out, alpha, beta);
+
+  std::printf("%s\n", plan.describe().c_str());
+  std::printf("simulated kernel time: %.4f ms  ->  %.1f GB/s\n",
+              res.time_s * 1e3,
+              achieved_bandwidth_gbps(shape.volume(), sizeof(T), res.time_s));
+  std::printf("counters: %s\n", res.counters.to_string().c_str());
+  if (alpha == T{1} && beta == T{0}) {
+    const Tensor<T> expected = host_transpose(host, perm);
+    for (Index i = 0; i < shape.volume(); ++i) {
+      if (out[i] != expected.at(i)) {
+        std::printf("VERIFY FAILED at %lld\n", static_cast<long long>(i));
+        return 1;
+      }
+    }
+    std::printf("verify: OK\n");
+  }
+  return 0;
+}
+
+int cmd_run(const Cli& cli) {
+  const Shape shape(parse_int_list(cli.get("dims", "32,16,24")));
+  const Permutation perm(parse_int_list(cli.get("perm", "2,0,1")));
+  const PlanOptions opts = options_from(cli);
+  return opts.elem_size == 4 ? run_typed<float>(cli, shape, perm, opts)
+                             : run_typed<double>(cli, shape, perm, opts);
+}
+
+int cmd_predict(const Cli& cli) {
+  const Shape shape(parse_int_list(cli.get("dims", "32,16,24")));
+  const Permutation perm(parse_int_list(cli.get("perm", "2,0,1")));
+  const auto props = sim::DeviceProperties::tesla_k40c();
+  const double t =
+      predict_transpose_time(props, shape, perm, options_from(cli));
+  std::printf("predicted: %.4f ms  (~%.1f GB/s) on %s\n", t * 1e3,
+              achieved_bandwidth_gbps(shape.volume(),
+                                      options_from(cli).elem_size, t),
+              props.name.c_str());
+  return 0;
+}
+
+int cmd_sweep(const Cli& cli) {
+  const Shape shape(parse_int_list(cli.get("dims", "16,16,16,16")));
+  sim::Device dev;
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(6);
+  auto in = dev.alloc_virtual<double>(shape.volume());
+  auto out = dev.alloc_virtual<double>(shape.volume());
+
+  Table t({"perm", "schema", "kernel_ms", "bw_GBps"});
+  std::vector<Index> p(static_cast<std::size_t>(shape.rank()));
+  std::iota(p.begin(), p.end(), Index{0});
+  do {
+    const Permutation perm(p);
+    Plan plan = make_plan(dev, shape, perm, options_from(cli));
+    const auto res = plan.execute<double>(in, out);
+    t.add_row({perm.to_string(), to_string(plan.schema()),
+               Table::num(res.time_s * 1e3, 4),
+               Table::num(achieved_bandwidth_gbps(shape.volume(), 8,
+                                                  res.time_s),
+                          1)});
+  } while (std::next_permutation(p.begin(), p.end()));
+  std::ostringstream os;
+  if (cli.get_bool("csv")) {
+    t.print_csv(os);
+  } else {
+    t.print(os);
+  }
+  std::fputs(os.str().c_str(), stdout);
+  return 0;
+}
+
+int cmd_profile(const Cli& cli) {
+  // Run every permutation of the given dims under one device and print
+  // an nvprof-style per-kernel profile of the simulated launches.
+  const Shape shape(parse_int_list(cli.get("dims", "16,16,16,16")));
+  sim::Device dev;
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(6);
+  auto in = dev.alloc_virtual<double>(shape.volume());
+  auto out = dev.alloc_virtual<double>(shape.volume());
+  sim::Profiler prof;
+  std::vector<Index> p(static_cast<std::size_t>(shape.rank()));
+  std::iota(p.begin(), p.end(), Index{0});
+  do {
+    Plan plan = make_plan(dev, shape, Permutation(p), options_from(cli));
+    std::string kernel;
+    switch (plan.schema()) {
+      case Schema::kCopy:
+      case Schema::kFviMatchLarge:
+        kernel = "fvi_match_large";
+        break;
+      case Schema::kFviMatchSmall:
+        kernel = "fvi_match_small";
+        break;
+      case Schema::kOrthogonalDistinct:
+        kernel = "orthogonal_distinct";
+        break;
+      case Schema::kOrthogonalArbitrary:
+        kernel = "orthogonal_arbitrary";
+        break;
+    }
+    prof.record(kernel, plan.execute<double>(in, out));
+  } while (std::next_permutation(p.begin(), p.end()));
+  std::printf("profile over all %lld! permutations of %s\n",
+              static_cast<long long>(shape.rank()),
+              shape.to_string().c_str());
+  std::fputs(prof.report().c_str(), stdout);
+  std::printf("total simulated kernel time: %.3f ms\n",
+              prof.total_time_s() * 1e3);
+  return 0;
+}
+
+int cmd_contract(const Cli& cli) {
+  const auto spec = ttgt::ContractionSpec::parse(
+      cli.get("spec", "iak,kbj->abij"));
+  const Shape a_shape(parse_int_list(cli.get("a", "12,10,14")));
+  const Shape b_shape(parse_int_list(cli.get("b", "14,9,11")));
+  sim::Device dev;
+  const auto plan = ttgt::plan_ttgt(dev.props(), spec, a_shape, b_shape);
+  std::printf("%s\n", plan.describe().c_str());
+
+  Tensor<double> a(a_shape), b(b_shape);
+  a.fill_random(1);
+  b.fill_random(2);
+  const auto res = ttgt::execute_ttgt(dev, plan, a, b);
+  std::printf("executed: transposes %.3f ms + GEMM %.3f ms = %.3f ms\n",
+              res.transpose_s * 1e3, res.gemm_s * 1e3, res.total_s * 1e3);
+  const auto ref = ttgt::contract_reference(spec, a, b);
+  double max_err = 0;
+  for (Index i = 0; i < ref.volume(); ++i)
+    max_err = std::max(max_err, std::abs(res.c.at(i) - ref.at(i)));
+  std::printf("verify: max error %.3e %s\n", max_err,
+              max_err < 1e-9 ? "OK" : "FAIL");
+  return max_err < 1e-9 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string cmd =
+      cli.positional().empty() ? "help" : cli.positional().front();
+  try {
+    if (cmd == "plan") return cmd_plan(cli);
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "predict") return cmd_predict(cli);
+    if (cmd == "sweep") return cmd_sweep(cli);
+    if (cmd == "profile") return cmd_profile(cli);
+    if (cmd == "contract") return cmd_contract(cli);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf(
+      "ttlg <command> [flags]\n"
+      "  plan     --dims d0,d1,... --perm p0,p1,...   show the chosen kernel\n"
+      "  run      --dims ... --perm ... [--alpha A --beta B] [--float]\n"
+      "  predict  --dims ... --perm ...               model query only\n"
+      "  sweep    --dims ...                          all permutations\n"
+      "  profile  --dims ...                          per-kernel profile\n"
+      "  contract --spec \"iak,kbj->abij\" --a ... --b ...   TTGT demo\n"
+      "Common flags: --float, --analytic, --no-coarsening, --csv,\n"
+      "              --measure, --save <file> (plan), --load <file> (run)\n");
+  return cmd == "help" ? 0 : 2;
+}
