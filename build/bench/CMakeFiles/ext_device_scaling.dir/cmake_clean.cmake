@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_device_scaling.dir/ext_device_scaling.cpp.o"
+  "CMakeFiles/ext_device_scaling.dir/ext_device_scaling.cpp.o.d"
+  "ext_device_scaling"
+  "ext_device_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_device_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_elem_size.cpp" "bench/CMakeFiles/ext_elem_size.dir/ext_elem_size.cpp.o" "gcc" "bench/CMakeFiles/ext_elem_size.dir/ext_elem_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/ttlg_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ttlg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ttlg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttlg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ttlg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlr/CMakeFiles/ttlg_mlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_elem_size.dir/ext_elem_size.cpp.o"
+  "CMakeFiles/ext_elem_size.dir/ext_elem_size.cpp.o.d"
+  "ext_elem_size"
+  "ext_elem_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_elem_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

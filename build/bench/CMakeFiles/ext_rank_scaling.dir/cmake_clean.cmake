@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_rank_scaling.dir/ext_rank_scaling.cpp.o"
+  "CMakeFiles/ext_rank_scaling.dir/ext_rank_scaling.cpp.o.d"
+  "ext_rank_scaling"
+  "ext_rank_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_rank_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

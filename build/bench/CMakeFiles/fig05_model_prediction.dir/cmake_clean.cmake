@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_model_prediction.dir/fig05_model_prediction.cpp.o"
+  "CMakeFiles/fig05_model_prediction.dir/fig05_model_prediction.cpp.o.d"
+  "fig05_model_prediction"
+  "fig05_model_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_model_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

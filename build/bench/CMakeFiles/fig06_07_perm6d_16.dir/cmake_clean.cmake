@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_07_perm6d_16.dir/fig06_07_perm6d_16.cpp.o"
+  "CMakeFiles/fig06_07_perm6d_16.dir/fig06_07_perm6d_16.cpp.o.d"
+  "fig06_07_perm6d_16"
+  "fig06_07_perm6d_16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_07_perm6d_16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

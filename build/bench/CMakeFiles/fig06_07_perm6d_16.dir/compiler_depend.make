@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_07_perm6d_16.
+# This may be replaced when dependencies are built.

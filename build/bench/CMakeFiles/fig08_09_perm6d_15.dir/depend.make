@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_09_perm6d_15.
+# This may be replaced when dependencies are built.

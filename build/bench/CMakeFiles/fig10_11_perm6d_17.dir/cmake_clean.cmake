@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_11_perm6d_17.dir/fig10_11_perm6d_17.cpp.o"
+  "CMakeFiles/fig10_11_perm6d_17.dir/fig10_11_perm6d_17.cpp.o.d"
+  "fig10_11_perm6d_17"
+  "fig10_11_perm6d_17.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_perm6d_17.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_11_perm6d_17.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_repeated_calls.dir/fig12_repeated_calls.cpp.o"
+  "CMakeFiles/fig12_repeated_calls.dir/fig12_repeated_calls.cpp.o.d"
+  "fig12_repeated_calls"
+  "fig12_repeated_calls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_repeated_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_varying_dims.dir/fig13_varying_dims.cpp.o"
+  "CMakeFiles/fig13_varying_dims.dir/fig13_varying_dims.cpp.o.d"
+  "fig13_varying_dims"
+  "fig13_varying_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_varying_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ttc_suite.dir/fig14_ttc_suite.cpp.o"
+  "CMakeFiles/fig14_ttc_suite.dir/fig14_ttc_suite.cpp.o.d"
+  "fig14_ttc_suite"
+  "fig14_ttc_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ttc_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_transactions.dir/table1_transactions.cpp.o"
+  "CMakeFiles/table1_transactions.dir/table1_transactions.cpp.o.d"
+  "table1_transactions"
+  "table1_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_model_fit.dir/table2_model_fit.cpp.o"
+  "CMakeFiles/table2_model_fit.dir/table2_model_fit.cpp.o.d"
+  "table2_model_fit"
+  "table2_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_layout_nchw_nhwc.dir/ml_layout_nchw_nhwc.cpp.o"
+  "CMakeFiles/ml_layout_nchw_nhwc.dir/ml_layout_nchw_nhwc.cpp.o.d"
+  "ml_layout_nchw_nhwc"
+  "ml_layout_nchw_nhwc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_layout_nchw_nhwc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

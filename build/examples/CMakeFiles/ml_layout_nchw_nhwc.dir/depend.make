@@ -1,0 +1,2 @@
+# Empty dependencies file for ml_layout_nchw_nhwc.
+# This may be replaced when dependencies are built.

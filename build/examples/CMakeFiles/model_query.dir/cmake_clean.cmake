@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_query.dir/model_query.cpp.o"
+  "CMakeFiles/model_query.dir/model_query.cpp.o.d"
+  "model_query"
+  "model_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

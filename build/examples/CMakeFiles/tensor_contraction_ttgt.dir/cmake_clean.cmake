@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_contraction_ttgt.dir/tensor_contraction_ttgt.cpp.o"
+  "CMakeFiles/tensor_contraction_ttgt.dir/tensor_contraction_ttgt.cpp.o.d"
+  "tensor_contraction_ttgt"
+  "tensor_contraction_ttgt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_contraction_ttgt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tensor_contraction_ttgt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/training_pipeline.cpp" "examples/CMakeFiles/training_pipeline.dir/training_pipeline.cpp.o" "gcc" "examples/CMakeFiles/training_pipeline.dir/training_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttlg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttgt/CMakeFiles/ttlg_ttgt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttlg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ttlg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlr/CMakeFiles/ttlg_mlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

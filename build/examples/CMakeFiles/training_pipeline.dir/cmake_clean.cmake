@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_pipeline.dir/training_pipeline.cpp.o"
+  "CMakeFiles/training_pipeline.dir/training_pipeline.cpp.o.d"
+  "training_pipeline"
+  "training_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cutt_sim.cpp" "src/baselines/CMakeFiles/ttlg_baselines.dir/cutt_sim.cpp.o" "gcc" "src/baselines/CMakeFiles/ttlg_baselines.dir/cutt_sim.cpp.o.d"
+  "/root/repo/src/baselines/naive.cpp" "src/baselines/CMakeFiles/ttlg_baselines.dir/naive.cpp.o" "gcc" "src/baselines/CMakeFiles/ttlg_baselines.dir/naive.cpp.o.d"
+  "/root/repo/src/baselines/ttc_sim.cpp" "src/baselines/CMakeFiles/ttlg_baselines.dir/ttc_sim.cpp.o" "gcc" "src/baselines/CMakeFiles/ttlg_baselines.dir/ttc_sim.cpp.o.d"
+  "/root/repo/src/baselines/ttlg_backend.cpp" "src/baselines/CMakeFiles/ttlg_baselines.dir/ttlg_backend.cpp.o" "gcc" "src/baselines/CMakeFiles/ttlg_baselines.dir/ttlg_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttlg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttlg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ttlg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlr/CMakeFiles/ttlg_mlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

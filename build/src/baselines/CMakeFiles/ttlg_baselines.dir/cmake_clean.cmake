@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_baselines.dir/cutt_sim.cpp.o"
+  "CMakeFiles/ttlg_baselines.dir/cutt_sim.cpp.o.d"
+  "CMakeFiles/ttlg_baselines.dir/naive.cpp.o"
+  "CMakeFiles/ttlg_baselines.dir/naive.cpp.o.d"
+  "CMakeFiles/ttlg_baselines.dir/ttc_sim.cpp.o"
+  "CMakeFiles/ttlg_baselines.dir/ttc_sim.cpp.o.d"
+  "CMakeFiles/ttlg_baselines.dir/ttlg_backend.cpp.o"
+  "CMakeFiles/ttlg_baselines.dir/ttlg_backend.cpp.o.d"
+  "libttlg_baselines.a"
+  "libttlg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

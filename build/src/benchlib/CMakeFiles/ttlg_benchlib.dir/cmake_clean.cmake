@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_benchlib.dir/cases.cpp.o"
+  "CMakeFiles/ttlg_benchlib.dir/cases.cpp.o.d"
+  "CMakeFiles/ttlg_benchlib.dir/perm_sweep.cpp.o"
+  "CMakeFiles/ttlg_benchlib.dir/perm_sweep.cpp.o.d"
+  "CMakeFiles/ttlg_benchlib.dir/runner.cpp.o"
+  "CMakeFiles/ttlg_benchlib.dir/runner.cpp.o.d"
+  "libttlg_benchlib.a"
+  "libttlg_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_common.dir/cli.cpp.o"
+  "CMakeFiles/ttlg_common.dir/cli.cpp.o.d"
+  "CMakeFiles/ttlg_common.dir/table.cpp.o"
+  "CMakeFiles/ttlg_common.dir/table.cpp.o.d"
+  "libttlg_common.a"
+  "libttlg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/ttlg_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/fvi_config.cpp" "src/core/CMakeFiles/ttlg_core.dir/fvi_config.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/fvi_config.cpp.o.d"
+  "/root/repo/src/core/measure_plan.cpp" "src/core/CMakeFiles/ttlg_core.dir/measure_plan.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/measure_plan.cpp.o.d"
+  "/root/repo/src/core/oa_config.cpp" "src/core/CMakeFiles/ttlg_core.dir/oa_config.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/oa_config.cpp.o.d"
+  "/root/repo/src/core/od_config.cpp" "src/core/CMakeFiles/ttlg_core.dir/od_config.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/od_config.cpp.o.d"
+  "/root/repo/src/core/perf_model.cpp" "src/core/CMakeFiles/ttlg_core.dir/perf_model.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/perf_model.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/ttlg_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/plan_cache.cpp" "src/core/CMakeFiles/ttlg_core.dir/plan_cache.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/plan_cache.cpp.o.d"
+  "/root/repo/src/core/plan_io.cpp" "src/core/CMakeFiles/ttlg_core.dir/plan_io.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/plan_io.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/ttlg_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/ttlg_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/ttlg_core.dir/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ttlg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ttlg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlr/CMakeFiles/ttlg_mlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_core.dir/analysis.cpp.o"
+  "CMakeFiles/ttlg_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/fvi_config.cpp.o"
+  "CMakeFiles/ttlg_core.dir/fvi_config.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/measure_plan.cpp.o"
+  "CMakeFiles/ttlg_core.dir/measure_plan.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/oa_config.cpp.o"
+  "CMakeFiles/ttlg_core.dir/oa_config.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/od_config.cpp.o"
+  "CMakeFiles/ttlg_core.dir/od_config.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/perf_model.cpp.o"
+  "CMakeFiles/ttlg_core.dir/perf_model.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/plan.cpp.o"
+  "CMakeFiles/ttlg_core.dir/plan.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/plan_cache.cpp.o"
+  "CMakeFiles/ttlg_core.dir/plan_cache.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/plan_io.cpp.o"
+  "CMakeFiles/ttlg_core.dir/plan_io.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/planner.cpp.o"
+  "CMakeFiles/ttlg_core.dir/planner.cpp.o.d"
+  "CMakeFiles/ttlg_core.dir/problem.cpp.o"
+  "CMakeFiles/ttlg_core.dir/problem.cpp.o.d"
+  "libttlg_core.a"
+  "libttlg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/coalescing.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/coalescing.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/coalescing.cpp.o.d"
+  "/root/repo/src/gpusim/counters.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/counters.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/counters.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_properties.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/device_properties.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/device_properties.cpp.o.d"
+  "/root/repo/src/gpusim/profiler.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/profiler.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/profiler.cpp.o.d"
+  "/root/repo/src/gpusim/texture_cache.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/texture_cache.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/texture_cache.cpp.o.d"
+  "/root/repo/src/gpusim/timing_model.cpp" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/timing_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/ttlg_gpusim.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

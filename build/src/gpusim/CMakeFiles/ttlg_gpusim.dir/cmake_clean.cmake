@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_gpusim.dir/coalescing.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/coalescing.cpp.o.d"
+  "CMakeFiles/ttlg_gpusim.dir/counters.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/counters.cpp.o.d"
+  "CMakeFiles/ttlg_gpusim.dir/device.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/ttlg_gpusim.dir/device_properties.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/device_properties.cpp.o.d"
+  "CMakeFiles/ttlg_gpusim.dir/profiler.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/profiler.cpp.o.d"
+  "CMakeFiles/ttlg_gpusim.dir/texture_cache.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/texture_cache.cpp.o.d"
+  "CMakeFiles/ttlg_gpusim.dir/timing_model.cpp.o"
+  "CMakeFiles/ttlg_gpusim.dir/timing_model.cpp.o.d"
+  "libttlg_gpusim.a"
+  "libttlg_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

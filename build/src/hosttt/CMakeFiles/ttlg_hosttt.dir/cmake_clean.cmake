@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_hosttt.dir/host_plan.cpp.o"
+  "CMakeFiles/ttlg_hosttt.dir/host_plan.cpp.o.d"
+  "libttlg_hosttt.a"
+  "libttlg_hosttt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_hosttt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

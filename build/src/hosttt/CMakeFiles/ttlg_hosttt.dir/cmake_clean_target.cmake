@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libttlg_hosttt.a"
+)

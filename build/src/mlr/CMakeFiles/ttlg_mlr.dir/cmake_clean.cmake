@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_mlr.dir/ols.cpp.o"
+  "CMakeFiles/ttlg_mlr.dir/ols.cpp.o.d"
+  "libttlg_mlr.a"
+  "libttlg_mlr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_mlr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/fusion.cpp" "src/tensor/CMakeFiles/ttlg_tensor.dir/fusion.cpp.o" "gcc" "src/tensor/CMakeFiles/ttlg_tensor.dir/fusion.cpp.o.d"
+  "/root/repo/src/tensor/host_transpose.cpp" "src/tensor/CMakeFiles/ttlg_tensor.dir/host_transpose.cpp.o" "gcc" "src/tensor/CMakeFiles/ttlg_tensor.dir/host_transpose.cpp.o.d"
+  "/root/repo/src/tensor/permutation.cpp" "src/tensor/CMakeFiles/ttlg_tensor.dir/permutation.cpp.o" "gcc" "src/tensor/CMakeFiles/ttlg_tensor.dir/permutation.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/tensor/CMakeFiles/ttlg_tensor.dir/shape.cpp.o" "gcc" "src/tensor/CMakeFiles/ttlg_tensor.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

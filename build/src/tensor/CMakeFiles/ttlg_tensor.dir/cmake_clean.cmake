@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_tensor.dir/fusion.cpp.o"
+  "CMakeFiles/ttlg_tensor.dir/fusion.cpp.o.d"
+  "CMakeFiles/ttlg_tensor.dir/host_transpose.cpp.o"
+  "CMakeFiles/ttlg_tensor.dir/host_transpose.cpp.o.d"
+  "CMakeFiles/ttlg_tensor.dir/permutation.cpp.o"
+  "CMakeFiles/ttlg_tensor.dir/permutation.cpp.o.d"
+  "CMakeFiles/ttlg_tensor.dir/shape.cpp.o"
+  "CMakeFiles/ttlg_tensor.dir/shape.cpp.o.d"
+  "libttlg_tensor.a"
+  "libttlg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

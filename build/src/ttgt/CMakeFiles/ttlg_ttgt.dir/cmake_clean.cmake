@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_ttgt.dir/contraction.cpp.o"
+  "CMakeFiles/ttlg_ttgt.dir/contraction.cpp.o.d"
+  "libttlg_ttgt.a"
+  "libttlg_ttgt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_ttgt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_benchlib.dir/benchlib_test.cpp.o"
+  "CMakeFiles/test_benchlib.dir/benchlib_test.cpp.o.d"
+  "test_benchlib"
+  "test_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalescing.dir/coalescing_test.cpp.o"
+  "CMakeFiles/test_coalescing.dir/coalescing_test.cpp.o.d"
+  "test_coalescing"
+  "test_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

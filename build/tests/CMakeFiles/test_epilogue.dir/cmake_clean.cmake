@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epilogue.dir/epilogue_test.cpp.o"
+  "CMakeFiles/test_epilogue.dir/epilogue_test.cpp.o.d"
+  "test_epilogue"
+  "test_epilogue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epilogue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

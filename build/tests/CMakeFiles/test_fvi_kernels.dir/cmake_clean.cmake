@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fvi_kernels.dir/fvi_kernels_test.cpp.o"
+  "CMakeFiles/test_fvi_kernels.dir/fvi_kernels_test.cpp.o.d"
+  "test_fvi_kernels"
+  "test_fvi_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fvi_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

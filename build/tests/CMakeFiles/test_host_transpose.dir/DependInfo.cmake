@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/host_transpose_test.cpp" "tests/CMakeFiles/test_host_transpose.dir/host_transpose_test.cpp.o" "gcc" "tests/CMakeFiles/test_host_transpose.dir/host_transpose_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ttlg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ttlg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchlib/CMakeFiles/ttlg_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttgt/CMakeFiles/ttlg_ttgt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hosttt/CMakeFiles/ttlg_hosttt.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ttlg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/ttlg_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlr/CMakeFiles/ttlg_mlr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ttlg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_transpose.dir/host_transpose_test.cpp.o"
+  "CMakeFiles/test_host_transpose.dir/host_transpose_test.cpp.o.d"
+  "test_host_transpose"
+  "test_host_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hosttt.dir/hosttt_test.cpp.o"
+  "CMakeFiles/test_hosttt.dir/hosttt_test.cpp.o.d"
+  "test_hosttt"
+  "test_hosttt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hosttt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

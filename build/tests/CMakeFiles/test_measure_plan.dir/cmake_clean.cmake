@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_measure_plan.dir/measure_plan_test.cpp.o"
+  "CMakeFiles/test_measure_plan.dir/measure_plan_test.cpp.o.d"
+  "test_measure_plan"
+  "test_measure_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_measure_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

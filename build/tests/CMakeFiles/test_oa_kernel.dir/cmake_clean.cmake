@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oa_kernel.dir/oa_kernel_test.cpp.o"
+  "CMakeFiles/test_oa_kernel.dir/oa_kernel_test.cpp.o.d"
+  "test_oa_kernel"
+  "test_oa_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oa_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_od_kernel.dir/od_kernel_test.cpp.o"
+  "CMakeFiles/test_od_kernel.dir/od_kernel_test.cpp.o.d"
+  "test_od_kernel"
+  "test_od_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_od_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ols.dir/ols_test.cpp.o"
+  "CMakeFiles/test_ols.dir/ols_test.cpp.o.d"
+  "test_ols"
+  "test_ols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

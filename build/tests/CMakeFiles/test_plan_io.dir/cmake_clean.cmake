@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_io.dir/plan_io_test.cpp.o"
+  "CMakeFiles/test_plan_io.dir/plan_io_test.cpp.o.d"
+  "test_plan_io"
+  "test_plan_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

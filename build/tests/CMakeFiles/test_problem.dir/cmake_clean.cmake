@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_problem.dir/problem_test.cpp.o"
+  "CMakeFiles/test_problem.dir/problem_test.cpp.o.d"
+  "test_problem"
+  "test_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler_batched.dir/profiler_batched_test.cpp.o"
+  "CMakeFiles/test_profiler_batched.dir/profiler_batched_test.cpp.o.d"
+  "test_profiler_batched"
+  "test_profiler_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

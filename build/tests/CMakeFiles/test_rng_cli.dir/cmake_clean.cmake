@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_cli.dir/rng_cli_test.cpp.o"
+  "CMakeFiles/test_rng_cli.dir/rng_cli_test.cpp.o.d"
+  "test_rng_cli"
+  "test_rng_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_texture_cache.dir/texture_cache_test.cpp.o"
+  "CMakeFiles/test_texture_cache.dir/texture_cache_test.cpp.o.d"
+  "test_texture_cache"
+  "test_texture_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_texture_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_model.dir/timing_model_test.cpp.o"
+  "CMakeFiles/test_timing_model.dir/timing_model_test.cpp.o.d"
+  "test_timing_model"
+  "test_timing_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

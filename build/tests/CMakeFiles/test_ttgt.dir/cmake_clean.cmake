@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttgt.dir/ttgt_test.cpp.o"
+  "CMakeFiles/test_ttgt.dir/ttgt_test.cpp.o.d"
+  "test_ttgt"
+  "test_ttgt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttgt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

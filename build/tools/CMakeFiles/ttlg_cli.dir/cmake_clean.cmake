@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttlg_cli.dir/ttlg_cli.cpp.o"
+  "CMakeFiles/ttlg_cli.dir/ttlg_cli.cpp.o.d"
+  "ttlg"
+  "ttlg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttlg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
