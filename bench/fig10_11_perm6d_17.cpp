@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   opts.csv = cli.get_bool("csv");
   opts.sampling = static_cast<int>(cli.get_int("sampling", 6));
   opts.include_ttc = !cli.get_bool("no-ttc");
+  opts.report_name = "fig10_11_perm6d_17";
   std::cout << "# Fig. 10/11: 6D all-" << opts.dim_size
             << " permutation sweep (stride " << opts.stride << ")\n";
   ttlg::bench::run_perm_sweep(std::cout, opts);

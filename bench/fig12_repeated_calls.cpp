@@ -6,9 +6,11 @@
 // Flags: --csv, --size N
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace ttlg;
 
@@ -18,7 +20,11 @@ int main(int argc, char** argv) {
   const bool csv = cli.get_bool("csv");
   const Shape shape({n, n, n, n, n, n});
 
+  telemetry::ensure_at_least(telemetry::Level::kCounters);
   bench::RunnerOptions ropts;
+  bench::BenchReport report("fig12_repeated_calls", ropts.props);
+  report.set_config("size", n);
+  ropts.report = &report;
   bench::Runner runner(ropts);
   bench::print_machine_header(std::cout, runner.props());
 
@@ -67,5 +73,6 @@ int main(int argc, char** argv) {
                 << ")\n";
     }
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   return 0;
 }

@@ -5,9 +5,11 @@
 // Flags: --csv
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace ttlg;
 
@@ -15,7 +17,11 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const bool csv = cli.get_bool("csv");
 
-  bench::Runner runner{bench::RunnerOptions{}};
+  telemetry::ensure_at_least(telemetry::Level::kCounters);
+  bench::RunnerOptions ropts;
+  bench::BenchReport report("fig13_varying_dims", ropts.props);
+  ropts.report = &report;
+  bench::Runner runner(ropts);
   bench::print_machine_header(std::cout, runner.props());
   std::cout << "# Fig. 13: varying dimension sizes, permutation 0 2 1 3\n";
 
@@ -45,5 +51,6 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   return 0;
 }

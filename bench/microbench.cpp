@@ -4,6 +4,9 @@
 #include <benchmark/benchmark.h>
 
 #include "core/ttlg.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -86,6 +89,30 @@ void BM_SimulatorCountSampled(benchmark::State& state) {
                           shape.volume() * 16);
 }
 BENCHMARK(BM_SimulatorCountSampled);
+
+// Telemetry overhead guard for the Fig. 12 repeated-use hot path: a
+// cached plan executed in count-only mode, with telemetry off (Arg 0)
+// vs counters (Arg 1) vs trace (Arg 2). The acceptance bar is that the
+// off path stays within noise (<2%) of the pre-telemetry baseline —
+// every instrumentation site must cost one branch when disabled.
+void BM_RepeatedExecuteTelemetry(benchmark::State& state) {
+  const telemetry::ScopedLevel scoped(
+      static_cast<telemetry::Level>(state.range(0)));
+  const Shape shape({16, 16, 16, 16, 16, 16});
+  const Permutation perm({4, 1, 2, 5, 3, 0});
+  sim::Device dev;
+  auto in = dev.alloc_virtual<double>(shape.volume());
+  auto out = dev.alloc_virtual<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  dev.set_mode(sim::ExecMode::kCountOnly);
+  dev.set_sampling(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.execute<double>(in, out).time_s);
+  }
+  telemetry::MetricsRegistry::global().clear();  // don't bloat later runs
+  telemetry::TraceCollector::global().clear();
+}
+BENCHMARK(BM_RepeatedExecuteTelemetry)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

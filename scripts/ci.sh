@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification (configure, build, full test
+# suite) followed by an AddressSanitizer build+test pass in a separate
+# build tree. Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . -G Ninja
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== sanitizer pass: -DTTLG_SANITIZE=address =="
+cmake -B build-asan -S . -G Ninja -DTTLG_SANITIZE=address \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTTLG_BUILD_BENCH=OFF \
+  -DTTLG_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "CI passed."

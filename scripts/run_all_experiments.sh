@@ -11,6 +11,8 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 
 mkdir -p results
+# Benches that emit machine-readable BENCH_<name>.json write them here.
+export TTLG_BENCH_JSON_DIR=results
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name="$(basename "$b")"

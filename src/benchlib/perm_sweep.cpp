@@ -1,16 +1,29 @@
 #include "benchlib/perm_sweep.hpp"
 
 #include <map>
+#include <memory>
 #include <ostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ttlg::bench {
 
 void run_perm_sweep(std::ostream& os, const PermSweepOptions& opts) {
   RunnerOptions ropts;
   ropts.sampling = opts.sampling;
+  std::unique_ptr<BenchReport> report;
+  if (!opts.report_name.empty()) {
+    telemetry::ensure_at_least(telemetry::Level::kCounters);
+    report = std::make_unique<BenchReport>(opts.report_name, ropts.props);
+    report->set_config("dim_size", opts.dim_size);
+    report->set_config("rank", opts.rank);
+    report->set_config("stride", opts.stride);
+    report->set_config("sampling", opts.sampling);
+    ropts.report = report.get();
+  }
   Runner runner(ropts);
   print_machine_header(os, runner.props());
 
@@ -102,6 +115,11 @@ void run_perm_sweep(std::ostream& os, const PermSweepOptions& opts) {
   summary.print(os);
   os << "\nTTLG >= cuTT-measure (repeated use): " << ttlg_wins_vs_measure
      << " / " << comparisons << " cases\n";
+
+  if (report) {
+    const std::string path = report->write();
+    os << "\nWrote machine-readable report: " << path << "\n";
+  }
 }
 
 }  // namespace ttlg::bench

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "tensor/shape.hpp"
 
@@ -17,6 +18,10 @@ struct PermSweepOptions {
   int sampling = 6;
   bool include_ttc = true;   ///< TTC appears in repeated-use charts only
   bool include_naive = false;
+  /// When non-empty, enable the telemetry counters level and write a
+  /// machine-readable BENCH_<report_name>.json next to the text output
+  /// (directory from $TTLG_BENCH_JSON_DIR, default ".").
+  std::string report_name;
 };
 
 /// Runs the sweep and prints per-case rows plus per-scaled-rank and

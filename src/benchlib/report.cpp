@@ -1,0 +1,82 @@
+#include "benchlib/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "telemetry/accuracy.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace ttlg::bench {
+namespace {
+
+telemetry::Json device_json(const sim::DeviceProperties& p) {
+  telemetry::Json d = telemetry::Json::object();
+  d["name"] = p.name;
+  d["num_sms"] = p.num_sms;
+  d["clock_ghz"] = p.clock_ghz;
+  d["shared_mem_per_sm_bytes"] = p.shared_mem_per_sm_bytes;
+  d["dram_transaction_bytes"] = p.dram_transaction_bytes;
+  d["peak_bandwidth_gbps"] = p.peak_bandwidth_gbps;
+  d["effective_bandwidth_gbps"] = p.effective_bandwidth_gbps;
+  d["launch_overhead_us"] = p.launch_overhead_s * 1e6;
+  return d;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name, const sim::DeviceProperties& props)
+    : name_(std::move(name)),
+      config_(telemetry::Json::object()),
+      cases_(telemetry::Json::array()) {
+  config_["device"] = device_json(props);
+}
+
+void BenchReport::set_config(const std::string& key, telemetry::Json value) {
+  config_[key] = std::move(value);
+}
+
+void BenchReport::add_case(const CaseResult& r) {
+  telemetry::Json c = telemetry::Json::object();
+  c["case_id"] = r.case_id;
+  c["backend"] = r.backend;
+  c["volume"] = r.volume;
+  c["scaled_rank"] = r.scaled_rank;
+  c["plan_ms"] = r.plan_s * 1e3;
+  c["kernel_ms"] = r.kernel_s * 1e3;
+  c["bw_repeated_gbps"] = r.bw_repeated_gbps;
+  c["bw_single_gbps"] = r.bw_single_gbps;
+  c["detail"] = r.detail;
+  c["counters"] = r.counters.to_json();
+  cases_.push_back(std::move(c));
+}
+
+telemetry::Json BenchReport::to_json() const {
+  telemetry::Json j = telemetry::Json::object();
+  j["bench"] = name_;
+  j["schema_version"] = 1;
+  j["config"] = config_;
+  j["cases"] = cases_;
+  if (!telemetry::MetricsRegistry::global().empty())
+    j["metrics"] = telemetry::MetricsRegistry::global().to_json();
+  if (!telemetry::ModelAccuracy::global().empty())
+    j["model_accuracy"] = telemetry::ModelAccuracy::global().to_json();
+  return j;
+}
+
+std::string BenchReport::default_path() const {
+  const char* dir = std::getenv("TTLG_BENCH_JSON_DIR");
+  std::string d = (dir && *dir) ? dir : ".";
+  return d + "/BENCH_" + name_ + ".json";
+}
+
+std::string BenchReport::write(const std::string& path) const {
+  const std::string out = path.empty() ? default_path() : path;
+  std::ofstream os(out);
+  TTLG_CHECK(os.good(), "cannot open bench report file: " + out);
+  os << to_json().dump(2) << "\n";
+  TTLG_CHECK(os.good(), "failed writing bench report file: " + out);
+  return out;
+}
+
+}  // namespace ttlg::bench

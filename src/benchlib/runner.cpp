@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "benchlib/report.hpp"
 #include "common/table.hpp"
 #include "tensor/fusion.hpp"
 
@@ -37,7 +38,9 @@ std::vector<CaseResult> Runner::run_case(
     res.bw_repeated_gbps = achieved_bandwidth_gbps(volume, 8, r.kernel_s);
     res.bw_single_gbps =
         achieved_bandwidth_gbps(volume, 8, r.kernel_s + r.plan_s);
+    res.counters = r.counters;
     res.detail = r.detail;
+    if (opts_.report) opts_.report->add_case(res);
     out.push_back(std::move(res));
   }
   return out;

@@ -12,10 +12,15 @@
 
 namespace ttlg::bench {
 
+class BenchReport;
+
 struct RunnerOptions {
   bool count_only = true;
   int sampling = 6;
   sim::DeviceProperties props = sim::DeviceProperties::tesla_k40c();
+  /// When non-null, every CaseResult is also appended to this report
+  /// (not owned; must outlive the Runner).
+  BenchReport* report = nullptr;
 };
 
 struct CaseResult {
@@ -27,6 +32,7 @@ struct CaseResult {
   double kernel_s = 0;
   double bw_repeated_gbps = 0;  ///< kernel time only (paper Figs. 6/8/10)
   double bw_single_gbps = 0;    ///< plan + kernel (paper Figs. 7/9/11)
+  sim::LaunchCounters counters;
   std::string detail;
 };
 

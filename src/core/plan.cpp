@@ -3,6 +3,9 @@
 #include <sstream>
 
 #include "common/timer.hpp"
+#include "telemetry/accuracy.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ttlg {
 
@@ -51,8 +54,15 @@ std::string Plan::describe() const {
   return os.str();
 }
 
+void Plan::record_execution(const sim::LaunchResult& res) const {
+  telemetry::MetricsRegistry::global().counter("plan.executions").inc();
+  telemetry::ModelAccuracy::global().record(to_string(sel_.schema),
+                                            sel_.predicted_s, res.time_s);
+}
+
 Plan Plan::from_selection(sim::Device& dev, TransposeProblem problem,
                           KernelSelection sel) {
+  telemetry::TraceSpan span("plan.upload_offsets", "planner");
   Plan plan;
   plan.dev_ = &dev;
   plan.problem_ = std::move(problem);
@@ -78,18 +88,30 @@ Plan Plan::from_selection(sim::Device& dev, TransposeProblem problem,
 
 Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
                const PlanOptions& opts) {
+  const telemetry::ScopedLevel scoped_level(opts.telemetry);
+  telemetry::TraceSpan span("make_plan", "planner");
   WallTimer timer;
   auto problem = TransposeProblem::make(shape, perm, opts.elem_size);
   const PerfModel model(dev.props(), opts.model);
   auto sel = select_kernel(problem, model, opts);
   Plan plan = Plan::from_selection(dev, std::move(problem), std::move(sel));
   plan.plan_wall_s_ = timer.seconds();
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global().counter("plan.created").inc();
+  if (span.active()) {
+    span.arg("shape", shape.to_string());
+    span.arg("perm", perm.to_string());
+    span.arg("schema", to_string(plan.schema()));
+    span.arg("predicted_us", plan.predicted_time_s() * 1e6);
+    span.arg("plan_wall_ms", plan.plan_wall_s() * 1e3);
+  }
   return plan;
 }
 
 double predict_transpose_time(const sim::DeviceProperties& props,
                               const Shape& shape, const Permutation& perm,
                               const PlanOptions& opts) {
+  const telemetry::ScopedLevel scoped_level(opts.telemetry);
   const TransposeProblem problem =
       TransposeProblem::make(shape, perm, opts.elem_size);
   const PerfModel model(props, opts.model);

@@ -58,19 +58,24 @@ class Plan {
                    out.size() == problem_.volume(),
                "buffer sizes must equal the tensor volume");
     const Epilogue<T> epi{alpha, beta};
+    sim::LaunchResult res;
     switch (sel_.schema) {
       case Schema::kCopy:
       case Schema::kFviMatchLarge:
-        return launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi);
+        res = launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi);
+        break;
       case Schema::kFviMatchSmall:
-        return launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi);
+        res = launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi);
+        break;
       case Schema::kOrthogonalDistinct:
-        return launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi);
+        res = launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi);
+        break;
       case Schema::kOrthogonalArbitrary:
-        return launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_,
-                            epi);
+        res = launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_, epi);
+        break;
     }
-    TTLG_ASSERT(false, "unreachable schema");
+    if (telemetry::counters_enabled()) record_execution(res);
+    return res;
   }
 
  private:
@@ -78,6 +83,9 @@ class Plan {
                         const PlanOptions&);
   void release();
   void move_from(Plan& o);
+  /// Telemetry sink for execute(): execution counters plus the
+  /// predicted-vs-measured residual feeding the model-accuracy report.
+  void record_execution(const sim::LaunchResult& res) const;
 
   sim::Device* dev_ = nullptr;
   TransposeProblem problem_;

@@ -1,5 +1,8 @@
 #include "core/plan_cache.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace ttlg {
 
 const Plan& PlanCache::get(sim::Device& dev, const Shape& shape,
@@ -8,13 +11,45 @@ const Plan& PlanCache::get(sim::Device& dev, const Shape& shape,
   Key key{shape.extents(), perm.vec(), opts.elem_size};
   auto it = cache_.find(key);
   if (it != cache_.end()) {
+    ++stats_.hits;
+    it->second.last_use = ++tick_;
+    if (telemetry::counters_enabled())
+      telemetry::MetricsRegistry::global().counter("plan_cache.hit").inc();
     if (was_hit) *was_hit = true;
-    return it->second;
+    return it->second.plan;
   }
+  ++stats_.misses;
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global().counter("plan_cache.miss").inc();
   if (was_hit) *was_hit = false;
-  auto [pos, inserted] =
-      cache_.emplace(std::move(key), make_plan(dev, shape, perm, opts));
-  return pos->second;
+  Entry entry;
+  entry.plan = make_plan(dev, shape, perm, opts);
+  entry.last_use = ++tick_;
+  auto [pos, inserted] = cache_.emplace(std::move(key), std::move(entry));
+  // Evict AFTER inserting so the entry just built is never the victim
+  // (it is the most recently used one by construction).
+  if (capacity_ > 0) {
+    while (cache_.size() > capacity_) evict_lru();
+  }
+  return pos->second.plan;
+}
+
+void PlanCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ > 0) {
+    while (cache_.size() > capacity_) evict_lru();
+  }
+}
+
+void PlanCache::evict_lru() {
+  auto victim = cache_.begin();
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->second.last_use < victim->second.last_use) victim = it;
+  }
+  cache_.erase(victim);  // ~Plan frees the device-resident offset arrays
+  ++stats_.evictions;
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global().counter("plan_cache.eviction").inc();
 }
 
 }  // namespace ttlg

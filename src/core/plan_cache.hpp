@@ -1,8 +1,15 @@
 // Plan cache for the repeated-use scenario (paper Fig. 12): the first
 // call for a (shape, permutation, element-size) key pays the planning
 // cost; subsequent calls reuse the resident plan and offset arrays.
+//
+// The cache is optionally capacity-bounded: when more than `capacity`
+// plans are resident the least-recently-used one is evicted (its offset
+// arrays are freed from the device). Hit/miss/eviction counts are
+// always tracked locally and mirrored into the global telemetry
+// registry when the counters level is enabled.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <tuple>
 #include <vector>
@@ -13,18 +20,43 @@ namespace ttlg {
 
 class PlanCache {
  public:
+  /// capacity 0 (default) = unbounded.
+  explicit PlanCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
   /// Fetch (or create and remember) the plan for this transposition.
   /// `was_hit`, if non-null, reports whether planning was skipped.
+  /// On a capacity-bounded cache the returned reference is only
+  /// guaranteed valid until the next get() (which may evict).
   const Plan& get(sim::Device& dev, const Shape& shape,
                   const Permutation& perm, const PlanOptions& opts = {},
                   bool* was_hit = nullptr);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t evictions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Change the bound; evicts immediately if the cache is over it.
+  void set_capacity(std::size_t capacity);
 
   std::size_t size() const { return cache_.size(); }
   void clear() { cache_.clear(); }
 
  private:
   using Key = std::tuple<std::vector<Index>, std::vector<Index>, int>;
-  std::map<Key, Plan> cache_;
+  struct Entry {
+    Plan plan;
+    std::uint64_t last_use = 0;
+  };
+  void evict_lru();
+
+  std::map<Key, Entry> cache_;
+  std::size_t capacity_ = 0;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
 };
 
 }  // namespace ttlg

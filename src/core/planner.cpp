@@ -5,6 +5,8 @@
 #include "common/error.hpp"
 #include "core/kernels.hpp"
 #include "gpusim/lane.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace ttlg {
 namespace {
@@ -25,14 +27,42 @@ bool fvi_small_conditions_hold(const TransposeProblem& p) {
 Schema classify(const TransposeProblem& problem) {
   const Shape& fs = problem.fused.shape;
   const Permutation& fp = problem.fused.perm;
-  if (fs.rank() == 1) return Schema::kCopy;  // fused to a pure copy
-  if (fvi_prefixes_disjoint(fs, fp, kWS)) return Schema::kOrthogonalDistinct;
-  if (fp.fvi_matches()) {
-    if (fs.extent(0) >= kWS) return Schema::kFviMatchLarge;
-    if (fvi_small_conditions_hold(problem)) return Schema::kFviMatchSmall;
-    return Schema::kOrthogonalArbitrary;  // resolved by model vs Alg. 6
+  telemetry::TraceSpan span("classify", "planner");
+
+  Schema schema;
+  const char* path;
+  if (fs.rank() == 1) {  // fused to a pure copy
+    schema = Schema::kCopy;
+    path = "fused rank 1 -> Copy";
+  } else if (fvi_prefixes_disjoint(fs, fp, kWS)) {
+    schema = Schema::kOrthogonalDistinct;
+    path = "WS-prefixes disjoint -> Orthogonal-Distinct (Alg. 2)";
+  } else if (fp.fvi_matches()) {
+    if (fs.extent(0) >= kWS) {
+      schema = Schema::kFviMatchLarge;
+      path = "FVI matches, extent(0) >= WS -> FVI-Match-Large (Alg. 7)";
+    } else if (fvi_small_conditions_hold(problem)) {
+      schema = Schema::kFviMatchSmall;
+      path = "FVI matches, Alg. 1 line 13 holds -> FVI-Match-Small (Alg. 6)";
+    } else {
+      // Resolved by model vs Alg. 6 in select_kernel.
+      schema = Schema::kOrthogonalArbitrary;
+      path = "FVI matches, two-dim products < WS -> model resolves "
+             "OA (Alg. 5) vs FVI-Match-Small (Alg. 6)";
+    }
+  } else {
+    schema = Schema::kOrthogonalArbitrary;
+    path = "WS-prefixes overlap -> Orthogonal-Arbitrary (model may "
+           "still pick a truncated OD slice)";
   }
-  return Schema::kOrthogonalArbitrary;
+  if (span.active()) {
+    span.arg("fused_rank", fs.rank());
+    span.arg("fused_shape", fs.to_string());
+    span.arg("fvi_matches", fp.fvi_matches());
+    span.arg("decision", to_string(schema));
+    span.arg("path", path);
+  }
+  return schema;
 }
 
 Index od_max_slice_vol(const TransposeProblem& problem,
@@ -53,10 +83,33 @@ KernelSelection select_kernel(const TransposeProblem& problem,
   const sim::DeviceProperties& props = model.props();
   const Index max_smem_elems =
       props.shared_mem_per_block_bytes / problem.elem_size;
+  telemetry::TraceSpan span("select_kernel", "planner");
+  if (span.active()) {
+    span.arg("shape", problem.shape.to_string());
+    span.arg("perm", problem.perm.to_string());
+    span.arg("elem_size", problem.elem_size);
+  }
   KernelSelection sel;
   sel.schema = classify(problem);
 
+  auto finish = [&](KernelSelection s) {
+    if (telemetry::counters_enabled()) {
+      auto& reg = telemetry::MetricsRegistry::global();
+      reg.counter("planner.selections").inc();
+      reg.counter("planner.candidates_considered")
+          .inc(s.candidates_considered);
+      reg.counter("planner.schema." + to_string(s.schema)).inc();
+    }
+    if (span.active()) {
+      span.arg("schema", to_string(s.schema));
+      span.arg("predicted_us", s.predicted_s * 1e6);
+      span.arg("candidates_considered", s.candidates_considered);
+    }
+    return s;
+  };
+
   auto select_oa = [&]() -> std::optional<std::pair<OaConfig, double>> {
+    telemetry::TraceSpan search("slice_search.oa", "planner");
     auto cands = enumerate_oa_slices(problem, max_smem_elems);
     std::optional<std::pair<OaSlice, double>> best;
     for (const auto& s : cands) {
@@ -64,7 +117,20 @@ KernelSelection select_kernel(const TransposeProblem& problem,
                                             /*with_offsets=*/false);
       const double t = model.predict_oa(problem, geom);
       ++sel.candidates_considered;
+      if (search.active()) {
+        telemetry::Json a = telemetry::Json::object();
+        a["in_vol"] = geom.in_vol;
+        a["oos_vol"] = geom.oos_vol;
+        a["block_a"] = s.block_a;
+        a["block_b"] = s.block_b;
+        a["predicted_us"] = t * 1e6;
+        search.instant("oa_candidate", std::move(a));
+      }
       if (!best || t < best->second) best = {s, t};
+    }
+    if (search.active()) {
+      search.arg("candidates", static_cast<std::int64_t>(cands.size()));
+      if (best) search.arg("best_predicted_us", best->second * 1e6);
     }
     if (!best) return std::nullopt;
     return std::make_pair(
@@ -73,13 +139,27 @@ KernelSelection select_kernel(const TransposeProblem& problem,
   };
 
   auto select_fvi_small = [&]() -> std::optional<std::pair<FviSmallConfig, double>> {
+    telemetry::TraceSpan search("slice_search.fvi_small", "planner");
     std::optional<std::pair<FviSmallConfig, double>> best;
+    Index evaluated = 0;
     for (Index b : enumerate_fvi_small_blockings(problem, max_smem_elems)) {
       FviSmallConfig cfg =
           build_fvi_small_config(problem, b, opts.enable_coarsening);
       const double t = model.predict_fvi_small(problem, cfg);
       ++sel.candidates_considered;
+      ++evaluated;
+      if (search.active()) {
+        telemetry::Json a = telemetry::Json::object();
+        a["b"] = b;
+        a["pad"] = cfg.pad;
+        a["predicted_us"] = t * 1e6;
+        search.instant("fvi_small_candidate", std::move(a));
+      }
       if (!best || t < best->second) best = {std::move(cfg), t};
+    }
+    if (search.active()) {
+      search.arg("candidates", evaluated);
+      if (best) search.arg("best_predicted_us", best->second * 1e6);
     }
     return best;
   };
@@ -90,14 +170,14 @@ KernelSelection select_kernel(const TransposeProblem& problem,
       sel.fvi_large = build_fvi_large_config(problem, opts.enable_coarsening);
       sel.predicted_s = model.predict_fvi_large(problem, sel.fvi_large);
       sel.candidates_considered = 1;
-      return sel;
+      return finish(std::move(sel));
     }
     case Schema::kFviMatchSmall: {
       auto best = select_fvi_small();
       TTLG_ASSERT(best.has_value(), "b = 1 is always a feasible blocking");
       sel.fvi_small = std::move(best->first);
       sel.predicted_s = best->second;
-      return sel;
+      return finish(std::move(sel));
     }
     case Schema::kOrthogonalDistinct:
     case Schema::kOrthogonalArbitrary: {
@@ -111,9 +191,11 @@ KernelSelection select_kernel(const TransposeProblem& problem,
       // 189x27 slice).
       std::optional<std::pair<OdSlice, double>> best_od;
       if (!problem.fused.perm.fvi_matches()) {
+        telemetry::TraceSpan search("slice_search.od", "planner");
         const Index max_vol =
             od_max_slice_vol(problem, props, opts.overbooking_factor);
         auto cands = enumerate_od_slices(problem, max_vol);
+        const std::size_t enumerated = cands.size();
         constexpr std::size_t kMaxEval = 256;
         if (cands.size() > kMaxEval) {
           std::vector<OdSlice> sub;
@@ -127,13 +209,28 @@ KernelSelection select_kernel(const TransposeProblem& problem,
               build_od_config(problem, s, /*with_offsets=*/false);
           const double t = model.predict_od(problem, geom);
           ++sel.candidates_considered;
+          if (search.active()) {
+            telemetry::Json a = telemetry::Json::object();
+            a["a_vol"] = s.a_vol;
+            a["b_vol"] = s.b_vol;
+            a["block_a"] = s.block_a;
+            a["block_b"] = s.block_b;
+            a["predicted_us"] = t * 1e6;
+            search.instant("od_candidate", std::move(a));
+          }
           if (!best_od || t < best_od->second) best_od = {s, t};
+        }
+        if (search.active()) {
+          search.arg("max_slice_vol", max_vol);
+          search.arg("enumerated", static_cast<std::int64_t>(enumerated));
+          search.arg("evaluated", static_cast<std::int64_t>(cands.size()));
+          if (best_od) search.arg("best_predicted_us", best_od->second * 1e6);
         }
       }
       if (sel.schema == Schema::kOrthogonalDistinct && best_od) {
         sel.od = build_od_config(problem, best_od->first);
         sel.predicted_s = best_od->second;
-        return sel;
+        return finish(std::move(sel));
       }
 
       auto best_oa = select_oa();
@@ -147,19 +244,19 @@ KernelSelection select_kernel(const TransposeProblem& problem,
           sel.schema = Schema::kFviMatchSmall;
           sel.fvi_small = std::move(best_fvis->first);
           sel.predicted_s = best_fvis->second;
-          return sel;
+          return finish(std::move(sel));
         }
       }
       if (best_od && best_od->second < best_oa->second) {
         sel.schema = Schema::kOrthogonalDistinct;
         sel.od = build_od_config(problem, best_od->first);
         sel.predicted_s = best_od->second;
-        return sel;
+        return finish(std::move(sel));
       }
       sel.schema = Schema::kOrthogonalArbitrary;
       sel.oa = std::move(best_oa->first);
       sel.predicted_s = best_oa->second;
-      return sel;
+      return finish(std::move(sel));
     }
   }
   TTLG_ASSERT(false, "unreachable schema");

@@ -10,6 +10,7 @@
 #include "core/perf_model.hpp"
 #include "core/problem.hpp"
 #include "core/schema.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ttlg {
 
@@ -18,6 +19,9 @@ struct PlanOptions {
   ModelKind model = ModelKind::kAuto;     ///< predictor for slice choice
   bool enable_coarsening = true;          ///< §IV-A heuristic
   Index overbooking_factor = 4;           ///< Alg. 3 occupancy headroom
+  /// Per-call override of the global TTLG_TELEMETRY level, applied for
+  /// the duration of make_plan (nullopt = leave the global level alone).
+  std::optional<telemetry::Level> telemetry;
 };
 
 /// Static Fig. 3 flowchart decision (no model evaluation). The

@@ -15,4 +15,25 @@ std::string LaunchCounters::to_string() const {
   return os.str();
 }
 
+telemetry::Json LaunchCounters::to_json() const {
+  telemetry::Json j = telemetry::Json::object();
+  j["gld_transactions"] = gld_transactions;
+  j["gst_transactions"] = gst_transactions;
+  j["smem_load_ops"] = smem_load_ops;
+  j["smem_store_ops"] = smem_store_ops;
+  j["smem_bank_conflicts"] = smem_bank_conflicts;
+  j["tex_transactions"] = tex_transactions;
+  j["tex_misses"] = tex_misses;
+  j["special_ops"] = special_ops;
+  j["fma_ops"] = fma_ops;
+  j["grid_blocks"] = grid_blocks;
+  j["block_threads"] = block_threads;
+  j["shared_bytes_per_block"] = shared_bytes_per_block;
+  j["barriers"] = barriers;
+  j["payload_bytes"] = payload_bytes;
+  j["dram_transactions"] = dram_transactions();
+  j["coalescing_efficiency"] = coalescing_efficiency();
+  return j;
+}
+
 }  // namespace ttlg::sim

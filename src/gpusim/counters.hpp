@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/json.hpp"
+
 namespace ttlg::sim {
 
 struct LaunchCounters {
@@ -61,6 +63,8 @@ struct LaunchCounters {
   }
 
   std::string to_string() const;
+  /// Full counter set as a JSON object (trace args, BENCH_* profiles).
+  telemetry::Json to_json() const;
 };
 
 }  // namespace ttlg::sim

@@ -1,5 +1,8 @@
 #include "gpusim/device.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 namespace ttlg::sim {
 
 Device::Device(DeviceProperties props) : props_(std::move(props)) {}
@@ -74,6 +77,46 @@ void Device::validate(const LaunchConfig& cfg) const {
                  "' exceeds shared memory per block (" +
                  std::to_string(cfg.shared_elems * cfg.elem_size) + " > " +
                  std::to_string(props_.shared_mem_per_block_bytes) + " bytes)");
+}
+
+double Device::telemetry_now_us() {
+  return telemetry::TraceCollector::global().now_us();
+}
+
+void Device::record_launch_telemetry(const LaunchConfig& cfg,
+                                     const LaunchResult& res,
+                                     double start_us) const {
+  const std::string& name =
+      cfg.kernel_name.empty() ? std::string("kernel") : cfg.kernel_name;
+
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("sim.launches").inc();
+  reg.counter("sim.blocks").inc(cfg.grid_blocks);
+  reg.counter("sim.dram_transactions").inc(res.counters.dram_transactions());
+  reg.counter("sim.payload_bytes").inc(res.counters.payload_bytes);
+  reg.counter("sim.smem_bank_conflicts").inc(res.counters.smem_bank_conflicts);
+  reg.gauge("sim.kernel_time_s").add(res.time_s);
+
+  if (!telemetry::trace_enabled()) return;
+  auto& tc = telemetry::TraceCollector::global();
+  telemetry::TraceEvent ev;
+  ev.name = "launch:" + name;
+  ev.cat = "sim";
+  ev.ph = 'X';
+  ev.ts_us = start_us;
+  ev.dur_us = tc.now_us() - start_us;  // host time spent simulating
+  ev.depth = tc.depth();
+  telemetry::Json args = res.counters.to_json();
+  args["simulated_time_us"] = res.time_s * 1e6;
+  args["occupancy"] = res.timing.occupancy;
+  args["waves"] = res.timing.waves;
+  args["dram_us"] = res.timing.dram_s * 1e6;
+  args["smem_us"] = res.timing.smem_s * 1e6;
+  args["alu_us"] = res.timing.alu_s * 1e6;
+  args["tex_us"] = res.timing.tex_s * 1e6;
+  args["mode"] = mode_ == ExecMode::kFunctional ? "functional" : "count_only";
+  ev.args = std::move(args);
+  tc.add(std::move(ev));
 }
 
 }  // namespace ttlg::sim

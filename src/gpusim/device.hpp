@@ -19,6 +19,7 @@
 #include "gpusim/dbuffer.hpp"
 #include "gpusim/device_properties.hpp"
 #include "gpusim/timing_model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace ttlg::sim {
 
@@ -116,6 +117,9 @@ class Device {
   template <class Kernel>
   LaunchResult launch(Kernel&& kernel, const LaunchConfig& cfg) {
     validate(cfg);
+    // One branch on the off path; everything else lives in device.cpp.
+    const bool telem = telemetry::counters_enabled();
+    const double telem_start_us = telem ? telemetry_now_us() : 0.0;
     LaunchResult res;
     res.counters.grid_blocks = cfg.grid_blocks;
     res.counters.block_threads = cfg.block_threads;
@@ -137,6 +141,7 @@ class Device {
     }
     res.timing = kernel_timing(props_, res.counters);
     res.time_s = res.timing.total_s;
+    if (telem) record_launch_telemetry(cfg, res, telem_start_us);
     return res;
   }
 
@@ -201,6 +206,14 @@ class Device {
       res.counters.payload_bytes += scaled(cls.payload_bytes);
     }
   }
+
+  /// Telemetry sinks for launch(), kept out of the template: registry
+  /// counters at kCounters and a per-launch trace event (with the full
+  /// LaunchCounters as args) at kTrace.
+  static double telemetry_now_us();
+  void record_launch_telemetry(const LaunchConfig& cfg,
+                               const LaunchResult& res,
+                               double start_us) const;
 
   std::byte* allocate_bytes(std::int64_t bytes);
   std::int64_t register_virtual(std::int64_t bytes);

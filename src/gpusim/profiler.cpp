@@ -8,47 +8,105 @@
 
 namespace ttlg::sim {
 
+namespace {
+std::string key(const std::string& kernel, const char* field) {
+  return "kernel." + kernel + "." + field;
+}
+}  // namespace
+
 void Profiler::record(const std::string& kernel, const LaunchResult& result) {
-  Row& row = rows_[kernel];
-  ++row.calls;
-  row.time_s += result.time_s;
-  row.counters += result.counters;
-  row.occupancy_sum += result.timing.occupancy;
+  kernels_.insert(kernel);
+  telemetry::MetricsRegistry& reg = *registry_;
+  reg.counter(key(kernel, "calls")).inc();
+  reg.gauge(key(kernel, "time_s")).add(result.time_s);
+  reg.counter(key(kernel, "gld_transactions"))
+      .inc(result.counters.gld_transactions);
+  reg.counter(key(kernel, "gst_transactions"))
+      .inc(result.counters.gst_transactions);
+  reg.counter(key(kernel, "payload_bytes")).inc(result.counters.payload_bytes);
+  reg.counter(key(kernel, "smem_bank_conflicts"))
+      .inc(result.counters.smem_bank_conflicts);
+  reg.counter(key(kernel, "tex_transactions"))
+      .inc(result.counters.tex_transactions);
+  reg.counter(key(kernel, "special_ops")).inc(result.counters.special_ops);
+  reg.gauge(key(kernel, "occupancy_sum")).add(result.timing.occupancy);
+}
+
+Profiler::Row Profiler::row_of(const std::string& kernel) const {
+  const telemetry::MetricsRegistry& reg = *registry_;
+  Row row;
+  row.calls = reg.counter_value(key(kernel, "calls"));
+  row.time_s = reg.gauge_value(key(kernel, "time_s"));
+  row.dram_txn = reg.counter_value(key(kernel, "gld_transactions")) +
+                 reg.counter_value(key(kernel, "gst_transactions"));
+  row.payload_bytes = reg.counter_value(key(kernel, "payload_bytes"));
+  row.conflicts = reg.counter_value(key(kernel, "smem_bank_conflicts"));
+  row.occupancy_sum = reg.gauge_value(key(kernel, "occupancy_sum"));
+  return row;
 }
 
 double Profiler::total_time_s() const {
   double t = 0;
-  for (const auto& [name, row] : rows_) t += row.time_s;
+  for (const std::string& kernel : kernels_)
+    t += registry_->gauge_value(key(kernel, "time_s"));
   return t;
 }
 
+void Profiler::clear() {
+  // Only safe to wipe a registry this profiler owns; a shared sink may
+  // carry other components' metrics, so just detach from the rows.
+  if (registry_ == &owned_) owned_.clear();
+  kernels_.clear();
+}
+
 std::string Profiler::report() const {
-  std::vector<std::pair<std::string, const Row*>> order;
-  order.reserve(rows_.size());
-  for (const auto& [name, row] : rows_) order.emplace_back(name, &row);
+  std::vector<std::pair<std::string, Row>> order;
+  order.reserve(kernels_.size());
+  for (const std::string& kernel : kernels_)
+    order.emplace_back(kernel, row_of(kernel));
   std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
-    return a.second->time_s > b.second->time_s;
+    return a.second.time_s > b.second.time_s;
   });
 
   const double total = total_time_s();
   Table t({"kernel", "calls", "time_ms", "time_%", "avg_us", "dram_txn",
            "coalesce_eff", "conflicts", "avg_occupancy"});
   for (const auto& [name, row] : order) {
-    t.add_row({name, Table::num(row->calls),
-               Table::num(row->time_s * 1e3, 3),
-               Table::num(total > 0 ? row->time_s / total * 100 : 0, 1),
-               Table::num(row->time_s / static_cast<double>(row->calls) * 1e6,
-                          1),
-               Table::num(row->counters.dram_transactions()),
-               Table::num(row->counters.coalescing_efficiency(), 3),
-               Table::num(row->counters.smem_bank_conflicts),
-               Table::num(row->occupancy_sum /
-                              static_cast<double>(row->calls),
-                          2)});
+    const double calls = row.calls > 0 ? static_cast<double>(row.calls) : 1.0;
+    const double moved = static_cast<double>(row.dram_txn) * 128.0;
+    t.add_row({name, Table::num(row.calls),
+               Table::num(row.time_s * 1e3, 3),
+               Table::num(total > 0 ? row.time_s / total * 100 : 0, 1),
+               Table::num(row.time_s / calls * 1e6, 1),
+               Table::num(row.dram_txn),
+               Table::num(moved > 0
+                              ? static_cast<double>(row.payload_bytes) / moved
+                              : 1.0,
+                          3),
+               Table::num(row.conflicts),
+               Table::num(row.occupancy_sum / calls, 2)});
   }
   std::ostringstream os;
   t.print(os);
   return os.str();
+}
+
+telemetry::Json Profiler::to_json() const {
+  telemetry::Json j = telemetry::Json::object();
+  telemetry::Json& kernels = j["kernels"] = telemetry::Json::object();
+  for (const std::string& kernel : kernels_) {
+    const Row row = row_of(kernel);
+    telemetry::Json& k = kernels[kernel] = telemetry::Json::object();
+    k["calls"] = row.calls;
+    k["time_s"] = row.time_s;
+    k["dram_transactions"] = row.dram_txn;
+    k["payload_bytes"] = row.payload_bytes;
+    k["smem_bank_conflicts"] = row.conflicts;
+    k["avg_occupancy"] =
+        row.calls > 0 ? row.occupancy_sum / static_cast<double>(row.calls) : 0;
+  }
+  j["total_time_s"] = total_time_s();
+  return j;
 }
 
 }  // namespace ttlg::sim

@@ -1,36 +1,57 @@
-// nvprof-style aggregation of simulated kernel launches: collects
-// LaunchResults by kernel name and renders a profile table (calls,
-// simulated time, transaction counts, coalescing efficiency, conflicts,
-// occupancy). Used by the CLI and available to applications.
+// nvprof-style aggregation of simulated kernel launches, implemented as
+// a thin view over a telemetry::MetricsRegistry: record() writes
+// per-kernel metrics ("kernel.<name>.*") into the registry, report()
+// renders the classic profile table (calls, simulated time, transaction
+// counts, coalescing efficiency, conflicts, occupancy) back out of it,
+// and to_json() exposes the same data machine-readably. By default a
+// profiler owns a private registry; pass an external one to aggregate
+// into a shared sink (e.g. the global registry).
 #pragma once
 
-#include <map>
+#include <set>
 #include <string>
 
 #include "gpusim/device.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ttlg::sim {
 
 class Profiler {
  public:
+  Profiler() : registry_(&owned_) {}
+  /// View over an external registry (not owned; must outlive this).
+  explicit Profiler(telemetry::MetricsRegistry* registry)
+      : registry_(registry) {}
+
   /// Record one launch under a kernel name.
   void record(const std::string& kernel, const LaunchResult& result);
 
   /// Render the aggregated table, sorted by total simulated time.
   std::string report() const;
 
-  std::size_t distinct_kernels() const { return rows_.size(); }
+  /// Per-kernel aggregates as a JSON object, plus the raw registry view.
+  telemetry::Json to_json() const;
+
+  telemetry::MetricsRegistry& registry() { return *registry_; }
+
+  std::size_t distinct_kernels() const { return kernels_.size(); }
   double total_time_s() const;
-  void clear() { rows_.clear(); }
+  void clear();
 
  private:
   struct Row {
     std::int64_t calls = 0;
     double time_s = 0;
-    LaunchCounters counters;
+    std::int64_t dram_txn = 0;
+    std::int64_t payload_bytes = 0;
+    std::int64_t conflicts = 0;
     double occupancy_sum = 0;
   };
-  std::map<std::string, Row> rows_;
+  Row row_of(const std::string& kernel) const;
+
+  telemetry::MetricsRegistry owned_;
+  telemetry::MetricsRegistry* registry_;
+  std::set<std::string> kernels_;
 };
 
 }  // namespace ttlg::sim

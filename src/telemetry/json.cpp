@@ -1,0 +1,383 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ttlg::telemetry {
+
+bool Json::as_bool() const {
+  TTLG_CHECK(is_bool(), "JSON value is not a boolean");
+  return std::get<bool>(v_);
+}
+
+std::int64_t Json::as_int() const {
+  TTLG_CHECK(is_int(), "JSON value is not an integer");
+  return std::get<std::int64_t>(v_);
+}
+
+double Json::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  TTLG_CHECK(is_double(), "JSON value is not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& Json::as_str() const {
+  TTLG_CHECK(is_string(), "JSON value is not a string");
+  return std::get<std::string>(v_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  TTLG_CHECK(is_object(), "JSON value is not an object");
+  Object& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj)
+    if (k == key) return v;
+  obj.emplace_back(key, Json());
+  return obj.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  TTLG_CHECK(v != nullptr, "JSON object has no key '" + key + "'");
+  return *v;
+}
+
+const Json::Object& Json::items() const {
+  TTLG_CHECK(is_object(), "JSON value is not an object");
+  return std::get<Object>(v_);
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) v_ = Array{};
+  TTLG_CHECK(is_array(), "JSON value is not an array");
+  std::get<Array>(v_).push_back(std::move(v));
+}
+
+const Json& Json::at(std::size_t i) const {
+  TTLG_CHECK(is_array(), "JSON value is not an array");
+  const Array& a = std::get<Array>(v_);
+  TTLG_CHECK(i < a.size(), "JSON array index out of range");
+  return a[i];
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no inf/nan; emit null like most serializers.
+    os << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+    double back;
+    std::sscanf(shorter, "%lf", &back);
+    if (back == d) {
+      os << shorter;
+      return;
+    }
+  }
+  os << buf;
+}
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent < 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::dump_impl(std::ostream& os, int indent, int depth) const {
+  if (is_null()) {
+    os << "null";
+  } else if (is_bool()) {
+    os << (std::get<bool>(v_) ? "true" : "false");
+  } else if (is_int()) {
+    os << std::get<std::int64_t>(v_);
+  } else if (is_double()) {
+    dump_double(os, std::get<double>(v_));
+  } else if (is_string()) {
+    dump_string(os, std::get<std::string>(v_));
+  } else if (is_array()) {
+    const Array& a = std::get<Array>(v_);
+    os << '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) os << ',';
+      newline_indent(os, indent, depth + 1);
+      a[i].dump_impl(os, indent, depth + 1);
+    }
+    if (!a.empty()) newline_indent(os, indent, depth);
+    os << ']';
+  } else {
+    const Object& o = std::get<Object>(v_);
+    os << '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i) os << ',';
+      newline_indent(os, indent, depth + 1);
+      dump_string(os, o[i].first);
+      os << (indent < 0 ? ":" : ": ");
+      o[i].second.dump_impl(os, indent, depth + 1);
+    }
+    if (!o.empty()) newline_indent(os, indent, depth);
+    os << '}';
+  }
+}
+
+void Json::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  dump_impl(os, indent, 0);
+  return os.str();
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    TTLG_CHECK(pos_ == s_.size(), "trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  Json parse_value() {
+    skip_ws();
+    TTLG_CHECK(pos_ < s_.size(), "unexpected end of JSON input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Json(parse_string());
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      expect_word("null");
+      return Json();
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      TTLG_CHECK(peek() == '"', "expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      TTLG_CHECK(peek() == ':', "expected ':' in object");
+      ++pos_;
+      obj[key] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      TTLG_CHECK(peek() == '}', "expected ',' or '}' in object");
+      ++pos_;
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      TTLG_CHECK(peek() == ']', "expected ',' or ']' in array");
+      ++pos_;
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      TTLG_CHECK(pos_ < s_.size(), "unterminated JSON string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      TTLG_CHECK(pos_ < s_.size(), "unterminated escape in JSON string");
+      c = s_[pos_++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          TTLG_CHECK(pos_ + 4 <= s_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else TTLG_CHECK(false, "invalid hex digit in \\u escape");
+          }
+          // The telemetry writer only emits \u for control characters;
+          // encode the general case as UTF-8 for completeness.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          TTLG_CHECK(false, std::string("invalid escape '\\") + c + "'");
+      }
+    }
+  }
+
+  Json parse_bool() {
+    if (s_[pos_] == 't') {
+      expect_word("true");
+      return Json(true);
+    }
+    expect_word("false");
+    return Json(false);
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    bool is_float = false;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      is_float = true;
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      is_float = true;
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    TTLG_CHECK(!tok.empty() && tok != "-", "invalid JSON number");
+    if (!is_float) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0')
+        return Json(static_cast<std::int64_t>(v));
+    }
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    TTLG_CHECK(end && *end == '\0', "invalid JSON number '" + tok + "'");
+    return Json(d);
+  }
+
+  void expect_word(const char* w) {
+    const std::size_t n = std::string(w).size();
+    TTLG_CHECK(s_.compare(pos_, n, w) == 0,
+               std::string("invalid JSON token (expected '") + w + "')");
+    pos_ += n;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ttlg::telemetry

@@ -1,0 +1,84 @@
+// Minimal JSON document type for the telemetry subsystem: metrics
+// export, chrome://tracing event streams, and the BENCH_*.json machine-
+// readable profiles. Objects preserve insertion order so emitted files
+// are stable and diffable. A small parser is included so tests (and
+// downstream tooling) can round-trip what the library writes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace ttlg::telemetry {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(int n) : v_(static_cast<std::int64_t>(n)) {}
+  Json(std::int64_t n) : v_(n) {}
+  Json(double d) : v_(d) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  /// Numeric value as double (accepts both int and double nodes).
+  double as_double() const;
+  const std::string& as_str() const;
+
+  /// Object access: inserts a null member when the key is absent (a
+  /// null document silently becomes an object first).
+  Json& operator[](const std::string& key);
+  /// Object lookup without insertion; nullptr when absent.
+  const Json* find(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  const Object& items() const;
+
+  /// Array access (a null document silently becomes an array first).
+  void push_back(Json v);
+  const Json& at(std::size_t i) const;
+  /// Element count of an array or object; 0 for scalars.
+  std::size_t size() const;
+
+  bool operator==(const Json& o) const { return v_ == o.v_; }
+
+  /// Serialize. indent < 0 emits the compact one-line form.
+  std::string dump(int indent = -1) const;
+  void dump(std::ostream& os, int indent = -1) const;
+
+  /// Parse a complete JSON document; throws ttlg::Error on malformed
+  /// input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  using Value =
+      std::variant<std::nullptr_t, bool, std::int64_t, double, std::string,
+                   Array, Object>;
+  explicit Json(Value v) : v_(std::move(v)) {}
+  void dump_impl(std::ostream& os, int indent, int depth) const;
+
+  Value v_;
+};
+
+}  // namespace ttlg::telemetry

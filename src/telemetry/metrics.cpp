@@ -1,0 +1,134 @@
+#include "telemetry/metrics.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace ttlg::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    TTLG_CHECK(bounds_[i - 1] < bounds_[i],
+               "histogram bucket bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  ++counts_[b];
+  ++count_;
+  sum_ += x;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
+  return it->second;
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+std::vector<std::string> MetricsRegistry::counter_names(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, c] : counters_)
+    if (name.compare(0, prefix.size(), prefix) == 0) names.push_back(name);
+  return names;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  Json& counters = out["counters"] = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = c.value();
+  Json& gauges = out["gauges"] = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g.value();
+  Json& hists = out["histograms"] = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json& j = hists[name] = Json::object();
+    Json& bounds = j["bounds"] = Json::array();
+    for (double b : h.bounds()) bounds.push_back(b);
+    Json& counts = j["counts"] = Json::array();
+    for (std::int64_t c : h.bucket_counts()) counts.push_back(c);
+    j["sum"] = h.sum();
+    j["count"] = h.count();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_table() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  if (!counters_.empty()) {
+    Table t({"counter", "value"});
+    for (const auto& [name, c] : counters_)
+      t.add_row({name, Table::num(c.value())});
+    t.print(os);
+  }
+  if (!gauges_.empty()) {
+    Table t({"gauge", "value"});
+    for (const auto& [name, g] : gauges_)
+      t.add_row({name, Table::num(g.value(), 6)});
+    t.print(os);
+  }
+  if (!histograms_.empty()) {
+    Table t({"histogram", "count", "mean", "buckets"});
+    for (const auto& [name, h] : histograms_) {
+      std::ostringstream buckets;
+      const auto& counts = h.bucket_counts();
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i) buckets << ' ';
+        buckets << counts[i];
+      }
+      t.add_row({name, Table::num(h.count()), Table::num(h.mean(), 6),
+                 buckets.str()});
+    }
+    t.print(os);
+  }
+  return os.str();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace ttlg::telemetry

@@ -1,0 +1,94 @@
+// MetricsRegistry: named counters, gauges, and fixed-bucket histograms,
+// exportable as JSON (machine-readable profiles) or as the library's
+// text tables. One global registry backs library-wide instrumentation
+// (plan cache, planner, simulator); components that want isolated
+// aggregation (sim::Profiler) own a private registry instead.
+//
+// Handles returned by counter()/gauge()/histogram() stay valid until
+// clear() — the registries are node-based maps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace ttlg::telemetry {
+
+class Counter {
+ public:
+  void inc(std::int64_t d = 1) { v_ += d; }
+  std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of
+/// the first bounds.size() buckets; one overflow bucket follows.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = {});
+
+  void observe(double x);
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::int64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
+  std::int64_t count_ = 0;
+  double sum_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first creation only; later calls fetch.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  /// Value lookups that do NOT create the metric; 0 when absent.
+  std::int64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+
+  /// Counter names carrying the given prefix (sorted).
+  std::vector<std::string> counter_names(const std::string& prefix = "") const;
+
+  bool empty() const;
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"bounds": [...], "counts": [...], "sum": s, "count": n}}}
+  Json to_json() const;
+  /// Text rendering: one table per metric kind.
+  std::string to_table() const;
+
+  /// The library-wide registry that built-in instrumentation feeds.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace ttlg::telemetry

@@ -1,0 +1,53 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ttlg::telemetry {
+namespace detail {
+
+namespace {
+int initial_level() {
+  const char* env = std::getenv("TTLG_TELEMETRY");
+  if (!env || !*env) return static_cast<int>(Level::kOff);
+  if (auto l = parse_level(env)) return static_cast<int>(*l);
+  std::fprintf(stderr,
+               "ttlg: ignoring unknown TTLG_TELEMETRY value '%s' "
+               "(expected off|counters|trace)\n",
+               env);
+  return static_cast<int>(Level::kOff);
+}
+}  // namespace
+
+std::atomic<int>& level_ref() {
+  static std::atomic<int> level{initial_level()};
+  return level;
+}
+
+}  // namespace detail
+
+void set_level(Level l) {
+  detail::level_ref().store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+void ensure_at_least(Level l) {
+  if (level() < l) set_level(l);
+}
+
+std::optional<Level> parse_level(const std::string& text) {
+  if (text == "off") return Level::kOff;
+  if (text == "counters") return Level::kCounters;
+  if (text == "trace") return Level::kTrace;
+  return std::nullopt;
+}
+
+std::string to_string(Level l) {
+  switch (l) {
+    case Level::kOff: return "off";
+    case Level::kCounters: return "counters";
+    case Level::kTrace: return "trace";
+  }
+  return "?";
+}
+
+}  // namespace ttlg::telemetry

@@ -1,0 +1,144 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+
+namespace ttlg::telemetry {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() : epoch_s_(steady_seconds()) {}
+
+double TraceCollector::now_us() const {
+  return (steady_seconds() - epoch_s_) * 1e6;
+}
+
+void TraceCollector::add(TraceEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceCollector::instant(std::string name, std::string cat, Json args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = std::move(cat);
+  ev.ph = 'i';
+  ev.ts_us = now_us();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ev.depth = depth_;
+    ev.args = std::move(args);
+    events_.push_back(std::move(ev));
+  }
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  depth_ = 0;
+}
+
+int TraceCollector::enter_span() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_++;
+}
+
+void TraceCollector::exit_span() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (depth_ > 0) --depth_;
+}
+
+int TraceCollector::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+Json TraceCollector::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json doc = Json::object();
+  Json& arr = doc["traceEvents"] = Json::array();
+  for (const TraceEvent& ev : events_) {
+    Json j = Json::object();
+    j["name"] = ev.name;
+    j["cat"] = ev.cat;
+    j["ph"] = std::string(1, ev.ph);
+    j["ts"] = ev.ts_us;
+    if (ev.ph == 'X') j["dur"] = ev.dur_us;
+    if (ev.ph == 'i') j["s"] = "t";  // instant scope: thread
+    j["pid"] = 1;
+    j["tid"] = 1;
+    Json args = ev.args.is_null() ? Json::object() : ev.args;
+    args["depth"] = ev.depth;
+    j["args"] = std::move(args);
+    arr.push_back(std::move(j));
+  }
+  doc["displayTimeUnit"] = "ms";
+  return doc;
+}
+
+bool TraceCollector::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  to_json().dump(out, 2);
+  out << '\n';
+  return out.good();
+}
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+TraceSpan::TraceSpan(std::string name, std::string cat) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  name_ = std::move(name);
+  cat_ = std::move(cat);
+  TraceCollector& tc = TraceCollector::global();
+  depth_ = tc.enter_span();
+  start_us_ = tc.now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  TraceCollector& tc = TraceCollector::global();
+  TraceEvent ev;
+  ev.name = std::move(name_);
+  ev.cat = std::move(cat_);
+  ev.ph = 'X';
+  ev.ts_us = start_us_;
+  ev.dur_us = tc.now_us() - start_us_;
+  ev.depth = depth_;
+  ev.args = std::move(args_);
+  tc.exit_span();
+  tc.add(std::move(ev));
+}
+
+void TraceSpan::arg(const std::string& key, Json value) {
+  if (!active_) return;
+  args_[key] = std::move(value);
+}
+
+void TraceSpan::instant(std::string name, Json args) {
+  if (!active_) return;
+  TraceCollector::global().instant(std::move(name), cat_, std::move(args));
+}
+
+}  // namespace ttlg::telemetry

@@ -1,0 +1,91 @@
+// Chrome-tracing event stream (chrome://tracing / Perfetto "Trace Event
+// Format", JSON array flavour). TraceSpan is the RAII instrumentation
+// primitive: construction samples the wall clock, destruction appends a
+// complete ('X') event carrying whatever args the span accumulated.
+// Spans nest lexically; nesting is reconstructed by the viewer from
+// [ts, ts+dur] containment and recorded explicitly as a `depth` arg.
+//
+// All span work is gated on trace_enabled() at construction: with the
+// trace level off a span is a bool check and nothing else.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ttlg::telemetry {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';      ///< 'X' complete span, 'i' instant
+  double ts_us = 0;   ///< wall-clock microseconds since collector epoch
+  double dur_us = 0;  ///< 'X' events only
+  int depth = 0;      ///< span nesting depth at emission
+  Json args;          ///< object (or null when the event has no args)
+};
+
+class TraceCollector {
+ public:
+  TraceCollector();
+
+  /// Microseconds since this collector's epoch (process start for the
+  /// global collector).
+  double now_us() const;
+
+  void add(TraceEvent ev);
+  /// Append an instant ('i') event at the current time.
+  void instant(std::string name, std::string cat, Json args = Json());
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"} — what
+  /// chrome://tracing and Perfetto load directly.
+  Json to_json() const;
+  /// Write to_json() to a file; false (no throw) on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  static TraceCollector& global();
+
+  // Span-depth bookkeeping (used by TraceSpan).
+  int enter_span();
+  void exit_span();
+  int depth() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  double epoch_s_ = 0;
+  int depth_ = 0;
+};
+
+class TraceSpan {
+ public:
+  /// Active (and timed) only when trace_enabled() at construction.
+  explicit TraceSpan(std::string name, std::string cat = "ttlg");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+  /// Attach an argument to the span's event; no-op when inactive.
+  void arg(const std::string& key, Json value);
+  /// Emit an instant event nested under this span; no-op when inactive.
+  void instant(std::string name, Json args = Json());
+
+ private:
+  bool active_ = false;
+  double start_us_ = 0;
+  int depth_ = 0;
+  std::string name_;
+  std::string cat_;
+  Json args_;
+};
+
+}  // namespace ttlg::telemetry

@@ -1,0 +1,92 @@
+// Profiler report rendering: multi-kernel aggregation, sort order, and
+// degenerate inputs (empty profiler, zero-time launches — the division
+// guards in the percentage/efficiency columns).
+#include <gtest/gtest.h>
+
+#include "gpusim/profiler.hpp"
+
+namespace ttlg {
+namespace {
+
+sim::LaunchResult synthetic_launch(double time_s, std::int64_t gld,
+                                   std::int64_t gst,
+                                   std::int64_t payload_bytes) {
+  sim::LaunchResult res;
+  res.time_s = time_s;
+  res.counters.gld_transactions = gld;
+  res.counters.gst_transactions = gst;
+  res.counters.payload_bytes = payload_bytes;
+  res.timing.occupancy = 0.5;
+  return res;
+}
+
+TEST(ProfilerReport, AggregatesAcrossCalls) {
+  sim::Profiler prof;
+  prof.record("alpha", synthetic_launch(1e-3, 100, 100, 25600));
+  prof.record("alpha", synthetic_launch(3e-3, 300, 300, 76800));
+  prof.record("beta", synthetic_launch(2e-3, 50, 50, 12800));
+
+  EXPECT_EQ(prof.distinct_kernels(), 2u);
+  EXPECT_DOUBLE_EQ(prof.total_time_s(), 6e-3);
+  EXPECT_EQ(prof.registry().counter_value("kernel.alpha.calls"), 2);
+  EXPECT_EQ(prof.registry().counter_value("kernel.alpha.gld_transactions"),
+            400);
+  EXPECT_EQ(prof.registry().counter_value("kernel.beta.calls"), 1);
+}
+
+TEST(ProfilerReport, SortsByTotalTimeDescending) {
+  sim::Profiler prof;
+  prof.record("small", synthetic_launch(1e-4, 10, 10, 2560));
+  prof.record("large", synthetic_launch(5e-3, 500, 500, 128000));
+  prof.record("medium", synthetic_launch(1e-3, 100, 100, 25600));
+
+  const std::string report = prof.report();
+  const auto p_large = report.find("large");
+  const auto p_medium = report.find("medium");
+  const auto p_small = report.find("small");
+  ASSERT_NE(p_large, std::string::npos);
+  ASSERT_NE(p_medium, std::string::npos);
+  ASSERT_NE(p_small, std::string::npos);
+  EXPECT_LT(p_large, p_medium);
+  EXPECT_LT(p_medium, p_small);
+}
+
+TEST(ProfilerReport, EmptyProfilerDoesNotDivideByZero) {
+  sim::Profiler prof;
+  EXPECT_EQ(prof.distinct_kernels(), 0u);
+  EXPECT_DOUBLE_EQ(prof.total_time_s(), 0.0);
+  const std::string report = prof.report();  // must not crash or emit nan
+  EXPECT_EQ(report.find("nan"), std::string::npos);
+  EXPECT_EQ(report.find("inf"), std::string::npos);
+}
+
+TEST(ProfilerReport, ZeroTimeAndZeroTrafficLaunches) {
+  sim::Profiler prof;
+  prof.record("noop", synthetic_launch(0.0, 0, 0, 0));
+  const std::string report = prof.report();
+  EXPECT_NE(report.find("noop"), std::string::npos);
+  EXPECT_EQ(report.find("nan"), std::string::npos);
+  EXPECT_EQ(report.find("inf"), std::string::npos);
+}
+
+TEST(ProfilerReport, ClearResetsOwnedRegistry) {
+  sim::Profiler prof;
+  prof.record("alpha", synthetic_launch(1e-3, 1, 1, 256));
+  prof.clear();
+  EXPECT_EQ(prof.distinct_kernels(), 0u);
+  EXPECT_DOUBLE_EQ(prof.total_time_s(), 0.0);
+  EXPECT_TRUE(prof.registry().empty());
+}
+
+TEST(ProfilerReport, ExternalRegistrySink) {
+  telemetry::MetricsRegistry sink;
+  sim::Profiler prof(&sink);
+  prof.record("alpha", synthetic_launch(2e-3, 20, 20, 5120));
+  EXPECT_EQ(sink.counter_value("kernel.alpha.calls"), 1);
+  const auto j = prof.to_json();
+  ASSERT_TRUE(j.contains("kernels"));
+  EXPECT_TRUE(j.at("kernels").contains("alpha"));
+}
+
+}  // namespace
+}  // namespace ttlg

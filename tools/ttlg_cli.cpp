@@ -19,6 +19,10 @@
 #include "gpusim/profiler.hpp"
 #include "common/table.hpp"
 #include "core/ttlg.hpp"
+#include "telemetry/accuracy.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "ttgt/contraction.hpp"
 
 using namespace ttlg;
@@ -222,23 +226,13 @@ int cmd_contract(const Cli& cli) {
   return max_err < 1e-9 ? 0 : 1;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Cli cli(argc, argv);
-  const std::string cmd =
-      cli.positional().empty() ? "help" : cli.positional().front();
-  try {
-    if (cmd == "plan") return cmd_plan(cli);
-    if (cmd == "run") return cmd_run(cli);
-    if (cmd == "predict") return cmd_predict(cli);
-    if (cmd == "sweep") return cmd_sweep(cli);
-    if (cmd == "profile") return cmd_profile(cli);
-    if (cmd == "contract") return cmd_contract(cli);
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
+int dispatch(const std::string& cmd, const Cli& cli) {
+  if (cmd == "plan") return cmd_plan(cli);
+  if (cmd == "run") return cmd_run(cli);
+  if (cmd == "predict") return cmd_predict(cli);
+  if (cmd == "sweep") return cmd_sweep(cli);
+  if (cmd == "profile") return cmd_profile(cli);
+  if (cmd == "contract") return cmd_contract(cli);
   std::printf(
       "ttlg <command> [flags]\n"
       "  plan     --dims d0,d1,... --perm p0,p1,...   show the chosen kernel\n"
@@ -248,6 +242,53 @@ int main(int argc, char** argv) {
       "  profile  --dims ...                          per-kernel profile\n"
       "  contract --spec \"iak,kbj->abij\" --a ... --b ...   TTGT demo\n"
       "Common flags: --float, --analytic, --no-coarsening, --csv,\n"
-      "              --measure, --save <file> (plan), --load <file> (run)\n");
+      "              --measure, --save <file> (plan), --load <file> (run),\n"
+      "              --telemetry off|counters|trace, --trace-out <file>\n");
   return cmd == "help" ? 0 : 2;
+}
+
+/// Post-command telemetry dump: the planner-decision trace (chrome://
+/// tracing JSON) at trace level, plus the counters table and the model
+/// accuracy report at counters level and above.
+void finish_telemetry(const Cli& cli) {
+  if (telemetry::trace_enabled() && !telemetry::TraceCollector::global().empty()) {
+    const std::string path = cli.get("trace-out", "ttlg_trace.json");
+    telemetry::TraceCollector::global().write_file(path);
+    std::printf("\nwrote trace (%zu events) to %s — load in chrome://tracing\n",
+                telemetry::TraceCollector::global().size(), path.c_str());
+  }
+  if (telemetry::counters_enabled() &&
+      !telemetry::MetricsRegistry::global().empty()) {
+    std::printf("\n== telemetry counters ==\n%s",
+                telemetry::MetricsRegistry::global().to_table().c_str());
+  }
+  if (telemetry::counters_enabled() && !telemetry::ModelAccuracy::global().empty()) {
+    std::printf("\n== model accuracy (predicted vs measured) ==\n%s",
+                telemetry::ModelAccuracy::global().report().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string cmd =
+      cli.positional().empty() ? "help" : cli.positional().front();
+  int rc = 2;
+  try {
+    const std::string telem = cli.get("telemetry", "");
+    if (!telem.empty()) {
+      const auto lvl = telemetry::parse_level(telem);
+      TTLG_CHECK(lvl.has_value(),
+                 "--telemetry must be off, counters or trace (got '" + telem +
+                     "')");
+      telemetry::set_level(*lvl);
+    }
+    rc = dispatch(cmd, cli);
+    finish_telemetry(cli);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  return rc;
 }
