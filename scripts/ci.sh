@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verification (configure, build, full test
-# suite) followed by an AddressSanitizer build+test pass in a separate
-# build tree. Usage: scripts/ci.sh
+# suite) followed by AddressSanitizer and UndefinedBehaviorSanitizer
+# build+test passes in separate build trees, each of which also runs
+# the fault-injection suite with an extra environment-driven fault
+# sweep and the randomized `ttlg fuzz` harness. Usage: scripts/ci.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Fault-injection shakedown shared by both sanitizer trees: the fault
+# suite re-runs with an extra TTLG_FAULTS spec from the environment,
+# then the CLI fuzz harness sweeps every fault class.
+fault_shakedown() {
+  local build_dir="$1"
+  echo "== fault-injection shakedown ($build_dir) =="
+  TTLG_FAULTS="seed=99,alloc.p=0.2,launch.p=0.2,tex.p=0.2,smem.p=0.2" \
+    "$build_dir/tests/test_fault_injection" --gtest_brief=1
+  "$build_dir/tools/ttlg" fuzz --iters 60
+}
 
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . -G Ninja
@@ -16,5 +29,14 @@ cmake -B build-asan -S . -G Ninja -DTTLG_SANITIZE=address \
   -DTTLG_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+fault_shakedown build-asan
+
+echo "== sanitizer pass: -DTTLG_SANITIZE=undefined =="
+cmake -B build-ubsan -S . -G Ninja -DTTLG_SANITIZE=undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTTLG_BUILD_BENCH=OFF \
+  -DTTLG_BUILD_EXAMPLES=OFF
+cmake --build build-ubsan -j
+ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
+fault_shakedown build-ubsan
 
 echo "CI passed."

@@ -4,22 +4,6 @@
 #include "common/timer.hpp"
 
 namespace ttlg::baselines {
-
-NaiveConfig build_naive_config(const TransposeProblem& problem) {
-  const Shape& fs = problem.fused.shape;
-  const Permutation& fp = problem.fused.perm;
-  const Shape& fo = problem.fused_out;
-  NaiveConfig cfg;
-  cfg.volume = fs.volume();
-  for (Index d = 0; d < fs.rank(); ++d) {
-    cfg.extents.push_back(fs.extent(d));
-    cfg.out_strides.push_back(fo.stride(fp.position_of(d)));
-  }
-  cfg.grid_blocks =
-      (cfg.volume + cfg.block_threads - 1) / cfg.block_threads;
-  return cfg;
-}
-
 namespace {
 
 class NaiveBackend final : public Backend {
@@ -35,19 +19,7 @@ class NaiveBackend final : public Backend {
     BackendResult res;
     res.plan_s = timer.seconds();
 
-    sim::LaunchConfig lc;
-    lc.elem_size = 8;
-    lc.grid_blocks = cfg.grid_blocks;
-    lc.block_threads = cfg.block_threads;
-    lc.kernel_name = "naive";
-    // All interior blocks are equivalent; only the tail block differs.
-    const Index grid = cfg.grid_blocks;
-    const bool has_tail = cfg.volume % cfg.block_threads != 0;
-    lc.block_class = [grid, has_tail](std::int64_t b) -> std::int64_t {
-      return (has_tail && b == grid - 1) ? 1 : 0;
-    };
-    lc.num_classes = 2;
-    const auto launch = dev.launch(NaiveKernel<double>{cfg, in, out}, lc);
+    const auto launch = launch_naive<double>(dev, cfg, in, out);
     res.kernel_s = launch.time_s;
     res.counters = launch.counters;
     res.detail = "naive one-thread-per-element";

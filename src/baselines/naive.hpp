@@ -1,56 +1,16 @@
-// Naive transposition baseline: a d-nested loop mapped one element per
-// thread. Reads are coalesced (consecutive threads walk consecutive
-// input elements); writes scatter through a full per-element mod/div
-// index computation — the inefficient strawman of the paper's §I.
+// The naive baseline's kernel now lives in core/naive_fallback.hpp —
+// it doubles as the last rung of the plan-execution degradation ladder.
+// This header keeps the baselines-namespace spelling for the benchmark
+// and test code comparing against the "Naive" backend.
 #pragma once
 
-#include "core/problem.hpp"
-#include "gpusim/device.hpp"
+#include "core/naive_fallback.hpp"
 
 namespace ttlg::baselines {
 
-struct NaiveConfig {
-  Index volume = 0;
-  /// Output stride for each input dimension (fused problem).
-  std::vector<Index> extents;
-  std::vector<Index> out_strides;
-  Index grid_blocks = 1;
-  int block_threads = 256;
-};
-
-NaiveConfig build_naive_config(const TransposeProblem& problem);
-
+using ttlg::NaiveConfig;
+using ttlg::build_naive_config;
 template <class T>
-struct NaiveKernel {
-  const NaiveConfig& cfg;
-  sim::DeviceBuffer<T> in;
-  sim::DeviceBuffer<T> out;
-
-  void operator()(sim::BlockCtx& blk) const {
-    const Index base = blk.block_id() * blk.block_dim();
-    for (int w = 0; w < blk.num_warps(); ++w) {
-      const Index wbase = base + static_cast<Index>(w) * sim::kWarpSize;
-      if (wbase >= cfg.volume) break;
-      sim::LaneArray ga, go;
-      sim::LaneValues<T> v{};
-      for (int l = 0; l < sim::kWarpSize; ++l) {
-        const Index i = wbase + l;
-        if (i >= cfg.volume) break;
-        ga[l] = i;
-        Index rest = i, off = 0;
-        for (std::size_t d = 0; d < cfg.extents.size(); ++d) {
-          off += (rest % cfg.extents[d]) * cfg.out_strides[d];
-          rest /= cfg.extents[d];
-        }
-        go[l] = off;
-      }
-      // Per-element index arithmetic: 2 mod/div per dimension, per lane
-      // step — executed once per warp in lock-step.
-      blk.count_special(2 * static_cast<Index>(cfg.extents.size()));
-      blk.gld(in, ga, v);
-      blk.gst(out, go, v);
-    }
-  }
-};
+using NaiveKernel = ttlg::NaiveKernel<T>;
 
 }  // namespace ttlg::baselines

@@ -1,8 +1,12 @@
 // Error handling primitives shared by all TTLG modules.
 //
-// The library reports user errors (bad permutations, shape mismatches,
-// out-of-range arguments) by throwing ttlg::Error; internal invariant
-// violations use TTLG_ASSERT which also throws, so tests can observe them.
+// Every error the library raises carries an ErrorCode so callers (and
+// the plan-execution degradation ladder) can react by CLASS instead of
+// parsing messages: user errors are kInvalidArgument, transient device
+// conditions are kResourceExhausted / kFaultInjected (both retryable —
+// the fallback ladder may recover from them), corrupted persisted state
+// is kDataLoss, and internal invariant violations are kInternal.
+// TTLG_ASSERT throws like TTLG_CHECK so tests can observe invariants.
 #pragma once
 
 #include <stdexcept>
@@ -10,29 +14,87 @@
 
 namespace ttlg {
 
+/// Classification of everything that can go wrong, modeled after the
+/// canonical gRPC/absl status codes the library's fallback logic needs.
+enum class ErrorCode : int {
+  kInvalidArgument = 0,   ///< caller error: bad shapes, sizes, flags
+  kUnsupported = 1,       ///< valid request the implementation cannot serve
+  kResourceExhausted = 2, ///< device memory / shared memory pressure
+  kDataLoss = 3,          ///< corrupted persisted state (plan files)
+  kFaultInjected = 4,     ///< failure raised by the fault injector
+  kInternal = 5,          ///< broken library invariant (a bug)
+};
+
+inline const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
+    case ErrorCode::kDataLoss: return "DataLoss";
+    case ErrorCode::kFaultInjected: return "FaultInjected";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Codes the degradation ladder is allowed to recover from: transient
+/// device conditions and injected faults. Caller mistakes, corrupted
+/// files and internal bugs must surface, never be papered over.
+inline bool retryable(ErrorCode code) {
+  return code == ErrorCode::kResourceExhausted ||
+         code == ErrorCode::kFaultInjected ||
+         code == ErrorCode::kUnsupported;
+}
+
 /// Exception type for all errors raised by the TTLG library and its
-/// substrates. Carries a human-readable message.
+/// substrates. Carries a human-readable message plus its ErrorCode.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {
 [[noreturn]] inline void raise(const char* file, int line,
-                               const std::string& msg) {
-  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+                               const std::string& msg,
+                               ErrorCode code = ErrorCode::kInvalidArgument) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg,
+              code);
 }
 }  // namespace detail
 
 }  // namespace ttlg
 
-/// Validate a user-facing precondition; throws ttlg::Error when violated.
+/// Raise a classified error unconditionally.
+#define TTLG_RAISE(code, msg) \
+  ::ttlg::detail::raise(__FILE__, __LINE__, (msg), (code))
+
+/// Validate a user-facing precondition; throws ttlg::Error with
+/// kInvalidArgument when violated.
 #define TTLG_CHECK(cond, msg)                               \
   do {                                                      \
     if (!(cond)) {                                          \
       ::ttlg::detail::raise(__FILE__, __LINE__,             \
                             std::string("check failed: ") + \
-                                #cond + " — " + (msg));     \
+                                #cond + " — " + (msg),      \
+                            ::ttlg::ErrorCode::kInvalidArgument); \
+    }                                                       \
+  } while (0)
+
+/// Validate a precondition with an explicit error class.
+#define TTLG_CHECK_CODE(cond, code, msg)                    \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::ttlg::detail::raise(__FILE__, __LINE__,             \
+                            std::string("check failed: ") + \
+                                #cond + " — " + (msg),      \
+                            (code));                        \
     }                                                       \
   } while (0)
 
@@ -43,6 +105,7 @@ namespace detail {
       ::ttlg::detail::raise(__FILE__, __LINE__,                 \
                             std::string("internal invariant "   \
                                         "violated: ") +         \
-                                #cond + " — " + (msg));         \
+                                #cond + " — " + (msg),          \
+                            ::ttlg::ErrorCode::kInternal);      \
     }                                                           \
   } while (0)

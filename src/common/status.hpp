@@ -1,0 +1,103 @@
+// Non-throwing error propagation for hot paths: Status (a code +
+// message that may be OK) and Expected<T> (a value or a Status). The
+// throwing API stays primary — these are thin adapters for callers
+// that probe many problems in a loop (fuzzers, batch planners, serving
+// front ends) and cannot afford exception unwinding per miss.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode code, std::string message) {
+    Status st;
+    st.ok_ = false;
+    st.code_ = code;
+    st.message_ = std::move(message);
+    return st;
+  }
+  static Status from(const Error& e) { return error(e.code(), e.what()); }
+
+  bool is_ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  /// Only meaningful when !is_ok().
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Rethrow as a classified ttlg::Error; no-op when OK.
+  void raise_if_error() const {
+    if (!ok_) throw Error(message_, code_);
+  }
+
+  std::string to_string() const {
+    return ok_ ? "OK" : std::string(ttlg::to_string(code_)) + ": " + message_;
+  }
+
+ private:
+  bool ok_ = true;
+  ErrorCode code_ = ErrorCode::kInternal;
+  std::string message_;
+};
+
+/// A value of T or the Status explaining its absence. Supports
+/// move-only payloads (Plan). value() rethrows the stored error as a
+/// ttlg::Error, so `expected.value()` behaves like the throwing API.
+template <class T>
+class Expected {
+ public:
+  Expected(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Expected(Status status) : v_(std::move(status)) {
+    TTLG_ASSERT(!std::get<Status>(v_).is_ok(),
+                "Expected constructed from an OK status carries no value");
+  }
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  Status status() const {
+    return has_value() ? Status::ok() : std::get<Status>(v_);
+  }
+
+  T& value() {
+    if (!has_value()) std::get<Status>(v_).raise_if_error();
+    return std::get<T>(v_);
+  }
+  const T& value() const {
+    if (!has_value()) std::get<Status>(v_).raise_if_error();
+    return std::get<T>(v_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Run `fn` and capture its result: classified ttlg::Errors become the
+/// Status branch instead of propagating. Anything that is not a
+/// ttlg::Error (std::bad_alloc, logic bugs outside the taxonomy) still
+/// propagates — capture() must not silently swallow unknown failures.
+template <class F>
+auto capture(F&& fn) -> Expected<decltype(fn())> {
+  using R = decltype(fn());
+  try {
+    return Expected<R>(fn());
+  } catch (const Error& e) {
+    return Expected<R>(Status::from(e));
+  }
+}
+
+}  // namespace ttlg

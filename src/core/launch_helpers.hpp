@@ -32,6 +32,7 @@ sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
   cfg.block_threads = k.block_threads;
   cfg.shared_elems = 32 * k.tile_pitch;
   cfg.kernel_name = "orthogonal_distinct";
+  cfg.uses_texture = true;
   cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
                                       k.b_rem);
   cfg.num_classes = 4;
@@ -52,6 +53,7 @@ sim::LaunchResult launch_oa(sim::Device& dev, const OaConfig& k,
   cfg.block_threads = k.block_threads;
   cfg.shared_elems = k.smem_elems();
   cfg.kernel_name = "orthogonal_arbitrary";
+  cfg.uses_texture = true;
   cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
                                       k.b_rem);
   cfg.num_classes = 4;

@@ -1,0 +1,20 @@
+#include "core/naive_fallback.hpp"
+
+namespace ttlg {
+
+NaiveConfig build_naive_config(const TransposeProblem& problem) {
+  const Shape& fs = problem.fused.shape;
+  const Permutation& fp = problem.fused.perm;
+  const Shape& fo = problem.fused_out;
+  NaiveConfig cfg;
+  cfg.volume = fs.volume();
+  for (Index d = 0; d < fs.rank(); ++d) {
+    cfg.extents.push_back(fs.extent(d));
+    cfg.out_strides.push_back(fo.stride(fp.position_of(d)));
+  }
+  cfg.grid_blocks =
+      (cfg.volume + cfg.block_threads - 1) / cfg.block_threads;
+  return cfg;
+}
+
+}  // namespace ttlg

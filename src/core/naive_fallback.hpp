@@ -1,0 +1,85 @@
+// Naive transposition kernel: a d-nested loop mapped one element per
+// thread. Reads are coalesced (consecutive threads walk consecutive
+// input elements); writes scatter through a full per-element mod/div
+// index computation — the inefficient strawman of the paper's §I.
+//
+// It lives in core (not baselines) because it is also the last rung of
+// the degradation ladder: it needs no plan-time device allocations, no
+// shared memory and no texture arrays, so it survives every resource
+// fault the specialized kernels can die from. The baselines library
+// wraps the same kernel as the "Naive" comparison backend.
+#pragma once
+
+#include "core/kernels.hpp"
+#include "core/problem.hpp"
+#include "gpusim/device.hpp"
+
+namespace ttlg {
+
+struct NaiveConfig {
+  Index volume = 0;
+  /// Output stride for each input dimension (fused problem).
+  std::vector<Index> extents;
+  std::vector<Index> out_strides;
+  Index grid_blocks = 1;
+  int block_threads = 256;
+};
+
+NaiveConfig build_naive_config(const TransposeProblem& problem);
+
+template <class T>
+struct NaiveKernel {
+  const NaiveConfig& cfg;
+  sim::DeviceBuffer<T> in;
+  sim::DeviceBuffer<T> out;
+  Epilogue<T> epi{};
+
+  void operator()(sim::BlockCtx& blk) const {
+    const Index base = blk.block_id() * blk.block_dim();
+    for (int w = 0; w < blk.num_warps(); ++w) {
+      const Index wbase = base + static_cast<Index>(w) * sim::kWarpSize;
+      if (wbase >= cfg.volume) break;
+      sim::LaneArray ga, go;
+      sim::LaneValues<T> v{};
+      for (int l = 0; l < sim::kWarpSize; ++l) {
+        const Index i = wbase + l;
+        if (i >= cfg.volume) break;
+        ga[l] = i;
+        Index rest = i, off = 0;
+        for (std::size_t d = 0; d < cfg.extents.size(); ++d) {
+          off += (rest % cfg.extents[d]) * cfg.out_strides[d];
+          rest /= cfg.extents[d];
+        }
+        go[l] = off;
+      }
+      // Per-element index arithmetic: 2 mod/div per dimension, per lane
+      // step — executed once per warp in lock-step.
+      blk.count_special(2 * static_cast<Index>(cfg.extents.size()));
+      blk.gld(in, ga, v);
+      store_with_epilogue(blk, out, go, v, epi);
+    }
+  }
+};
+
+/// Launch the naive kernel (with the tail-block classifier so sampled
+/// count-only sweeps stay cheap).
+template <class T>
+sim::LaunchResult launch_naive(sim::Device& dev, const NaiveConfig& k,
+                               sim::DeviceBuffer<T> in,
+                               sim::DeviceBuffer<T> out, Epilogue<T> epi = {}) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = sizeof(T);
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.kernel_name = "naive";
+  // All interior blocks are equivalent; only the tail block differs.
+  const Index grid = k.grid_blocks;
+  const bool has_tail = k.volume % k.block_threads != 0;
+  cfg.block_class = [grid, has_tail](std::int64_t b) -> std::int64_t {
+    return (has_tail && b == grid - 1) ? 1 : 0;
+  };
+  cfg.num_classes = 2;
+  return dev.launch(NaiveKernel<T>{k, in, out, epi}, cfg);
+}
+
+}  // namespace ttlg

@@ -1,19 +1,67 @@
 #include "core/plan.hpp"
 
+#include <optional>
 #include <sstream>
 
 #include "common/timer.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "telemetry/accuracy.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace ttlg {
+namespace {
+
+// Robustness counters are recorded unconditionally (no
+// counters_enabled() gate): fallbacks are rare, so the cost is nil, and
+// the counters are the primary post-mortem signal for "did this process
+// ever degrade".
+void count_robustness(const std::string& name) {
+  telemetry::MetricsRegistry::global().counter(name).inc();
+}
+
+/// The generic Orthogonal-Arbitrary selection used when the
+/// model-chosen schema cannot be materialized: first admissible slice,
+/// no model-driven search (the point is feasibility, not speed).
+KernelSelection generic_oa_selection(const TransposeProblem& problem,
+                                     const PerfModel& model,
+                                     const sim::DeviceProperties& props) {
+  const Index max_smem_elems =
+      props.shared_mem_per_block_bytes / problem.elem_size;
+  auto cands = enumerate_oa_slices(problem, max_smem_elems);
+  TTLG_CHECK_CODE(!cands.empty(), ErrorCode::kUnsupported,
+                  "no feasible Orthogonal-Arbitrary slice for fallback");
+  KernelSelection sel;
+  sel.schema = Schema::kOrthogonalArbitrary;
+  sel.oa = build_oa_config(problem, cands.front(),
+                           /*enable_coarsening=*/true);
+  sel.predicted_s = model.predict_oa(problem, sel.oa);
+  sel.candidates_considered = 1;
+  return sel;
+}
+
+}  // namespace
+
+const char* to_string(ExecPath path) {
+  switch (path) {
+    case ExecPath::kPlanned:
+      return "planned";
+    case ExecPath::kGenericOa:
+      return "generic-oa";
+    case ExecPath::kNaive:
+      return "naive";
+  }
+  return "?";
+}
 
 void Plan::release() {
   if (!dev_) return;
   if (tex0_.valid()) dev_->try_free(tex0_);
   if (tex1_.valid()) dev_->try_free(tex1_);
   if (tex2_.valid()) dev_->try_free(tex2_);
+  if (fb_tex0_.valid()) dev_->try_free(fb_tex0_);
+  if (fb_tex1_.valid()) dev_->try_free(fb_tex1_);
+  if (fb_tex2_.valid()) dev_->try_free(fb_tex2_);
   dev_ = nullptr;
 }
 
@@ -25,8 +73,18 @@ void Plan::move_from(Plan& o) {
   tex1_ = o.tex1_;
   tex2_ = o.tex2_;
   plan_wall_s_ = o.plan_wall_s_;
+  path_ = o.path_;
+  fallback_enabled_ = o.fallback_enabled_;
+  max_exec_retries_ = o.max_exec_retries_;
+  last_path_ = o.last_path_;
+  fb_oa_ = std::move(o.fb_oa_);
+  fb_tex0_ = o.fb_tex0_;
+  fb_tex1_ = o.fb_tex1_;
+  fb_tex2_ = o.fb_tex2_;
+  naive_cfg_ = std::move(o.naive_cfg_);
   o.dev_ = nullptr;
   o.tex0_ = o.tex1_ = o.tex2_ = {};
+  o.fb_tex0_ = o.fb_tex1_ = o.fb_tex2_ = {};
 }
 
 std::string Plan::describe() const {
@@ -51,13 +109,83 @@ std::string Plan::describe() const {
       break;
   }
   os << ", predicted " << sel_.predicted_s * 1e6 << " us";
+  if (degraded()) os << ", degraded[" << to_string(path_) << "]";
   return os.str();
 }
 
-void Plan::record_execution(const sim::LaunchResult& res) const {
+void Plan::record_execution(const sim::LaunchResult& res,
+                            bool planned_kernel) const {
   telemetry::MetricsRegistry::global().counter("plan.executions").inc();
-  telemetry::ModelAccuracy::global().record(to_string(sel_.schema),
-                                            sel_.predicted_s, res.time_s);
+  // Accuracy residuals compare the model's prediction with the kernel
+  // it actually predicted — fallback executions would poison them.
+  if (planned_kernel)
+    telemetry::ModelAccuracy::global().record(to_string(sel_.schema),
+                                              sel_.predicted_s, res.time_s);
+}
+
+void Plan::note_fallback(const char* stage, const char* to,
+                         const Error& cause) const {
+  count_robustness(std::string("robustness.fallback.") + stage + "." + to);
+  if (telemetry::trace_enabled()) {
+    telemetry::Json args = telemetry::Json::object();
+    args["stage"] = stage;
+    args["to"] = to;
+    args["code"] = to_string(cause.code());
+    args["cause"] = std::string(cause.what());
+    telemetry::TraceCollector::global().instant("robustness.fallback",
+                                                "robustness",
+                                                std::move(args));
+  }
+}
+
+void Plan::note_recovered() const {
+  count_robustness("robustness.recovered");
+}
+
+void Plan::validate_exec_buffers(Index in_base, Index in_bytes,
+                                 bool in_backed, Index out_base,
+                                 Index out_bytes, bool out_backed) const {
+  // The library is out-of-place only: every kernel scatters writes while
+  // reads are still in flight, so any overlap corrupts data silently.
+  TTLG_CHECK(!(in_base < out_base + out_bytes &&
+               out_base < in_base + in_bytes),
+             "input and output buffers alias (overlap); TTLG "
+             "transpositions are out-of-place only");
+  // Count-only sweeps legitimately run on alloc_virtual handles; only
+  // functional execution dereferences the storage.
+  if (dev_->mode() == sim::ExecMode::kFunctional)
+    TTLG_CHECK(in_backed && out_backed,
+               "functional execution requires materialized device "
+               "buffers (Device::alloc), got a null/virtual handle");
+}
+
+bool Plan::ensure_exec_oa_fallback() const {
+  if (fb_oa_) return true;
+  try {
+    auto sel = generic_oa_selection(problem_, PerfModel(dev_->props()),
+                                    dev_->props());
+    auto cfg = std::make_unique<OaConfig>(std::move(sel.oa));
+    fb_tex0_ = dev_->alloc_copy<Index>(cfg->input_offset);
+    fb_tex1_ = dev_->alloc_copy<Index>(cfg->output_offset);
+    fb_tex2_ = dev_->alloc_copy<Index>(cfg->sm_out_offset);
+    fb_oa_ = std::move(cfg);
+    return true;
+  } catch (const Error& e) {
+    // Free whatever part of the upload survived, then let the ladder
+    // proceed to the naive rung; non-retryable errors still propagate.
+    if (fb_tex0_.valid()) dev_->try_free(fb_tex0_);
+    if (fb_tex1_.valid()) dev_->try_free(fb_tex1_);
+    if (fb_tex2_.valid()) dev_->try_free(fb_tex2_);
+    fb_tex0_ = fb_tex1_ = fb_tex2_ = {};
+    if (!retryable(e.code())) throw;
+    return false;
+  }
+}
+
+const NaiveConfig& Plan::naive_config() const {
+  if (!naive_cfg_)
+    naive_cfg_ = std::make_unique<NaiveConfig>(build_naive_config(problem_));
+  return *naive_cfg_;
 }
 
 Plan Plan::from_selection(sim::Device& dev, TransposeProblem problem,
@@ -69,7 +197,9 @@ Plan Plan::from_selection(sim::Device& dev, TransposeProblem problem,
   plan.sel_ = std::move(sel);
 
   // Upload the offset indirection arrays (they live in texture memory
-  // and are shared by all thread blocks; this is plan-time work).
+  // and are shared by all thread blocks; this is plan-time work). If an
+  // upload fails mid-way, `plan` unwinds through ~Plan and frees the
+  // buffers that did land.
   switch (plan.sel_.schema) {
     case Schema::kOrthogonalDistinct:
       plan.tex0_ = dev.alloc_copy<Index>(plan.sel_.od.in_offset);
@@ -86,15 +216,55 @@ Plan Plan::from_selection(sim::Device& dev, TransposeProblem problem,
   return plan;
 }
 
+Plan Plan::naive_fallback_plan(sim::Device& dev, TransposeProblem problem,
+                               KernelSelection sel) {
+  Plan plan;
+  plan.dev_ = &dev;
+  plan.problem_ = std::move(problem);
+  plan.sel_ = std::move(sel);
+  plan.path_ = ExecPath::kNaive;
+  plan.last_path_ = ExecPath::kNaive;
+  return plan;
+}
+
 Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
                const PlanOptions& opts) {
   const telemetry::ScopedLevel scoped_level(opts.telemetry);
+  std::optional<sim::ScopedFaults> scoped_faults;
+  if (opts.faults) scoped_faults.emplace(*opts.faults);
   telemetry::TraceSpan span("make_plan", "planner");
   WallTimer timer;
   auto problem = TransposeProblem::make(shape, perm, opts.elem_size);
   const PerfModel model(dev.props(), opts.model);
   auto sel = select_kernel(problem, model, opts);
-  Plan plan = Plan::from_selection(dev, std::move(problem), std::move(sel));
+
+  // Plan-time degradation ladder: model-chosen schema -> generic OA ->
+  // naive. Only retryable classified failures descend.
+  Plan plan;
+  try {
+    plan = Plan::from_selection(dev, problem, sel);
+  } catch (const Error& e) {
+    if (!opts.enable_fallback || !retryable(e.code())) throw;
+    bool recovered = false;
+    if (sel.schema != Schema::kOrthogonalArbitrary) {
+      try {
+        plan = Plan::from_selection(
+            dev, problem, generic_oa_selection(problem, model, dev.props()));
+        plan.path_ = ExecPath::kGenericOa;
+        plan.note_fallback("plan", "oa", e);
+        recovered = true;
+      } catch (const Error& e2) {
+        if (!retryable(e2.code())) throw;
+      }
+    }
+    if (!recovered) {
+      plan = Plan::naive_fallback_plan(dev, problem, sel);
+      plan.note_fallback("plan", "naive", e);
+    }
+    plan.note_recovered();
+  }
+  plan.fallback_enabled_ = opts.enable_fallback;
+  plan.max_exec_retries_ = opts.max_exec_retries;
   plan.plan_wall_s_ = timer.seconds();
   if (telemetry::counters_enabled())
     telemetry::MetricsRegistry::global().counter("plan.created").inc();
@@ -104,8 +274,15 @@ Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
     span.arg("schema", to_string(plan.schema()));
     span.arg("predicted_us", plan.predicted_time_s() * 1e6);
     span.arg("plan_wall_ms", plan.plan_wall_s() * 1e3);
+    if (plan.degraded()) span.arg("degraded", to_string(plan.plan_path()));
   }
   return plan;
+}
+
+Expected<Plan> try_make_plan(sim::Device& dev, const Shape& shape,
+                             const Permutation& perm,
+                             const PlanOptions& opts) {
+  return capture([&] { return make_plan(dev, shape, perm, opts); });
 }
 
 double predict_transpose_time(const sim::DeviceProperties& props,

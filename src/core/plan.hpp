@@ -2,15 +2,35 @@
 // model-driven slice choice + offset-array upload). A plan is created
 // once and executed many times — the split the paper's single-use vs
 // repeated-use evaluation is about.
+//
+// Robustness: plan construction and execution both carry a graceful
+// degradation ladder (cuTT/HPTT-style): on a retryable classified
+// failure (ResourceExhausted / FaultInjected / Unsupported) the library
+// falls back specialized schema -> generic Orthogonal-Arbitrary ->
+// naive kernel, with bounded retry and per-step telemetry
+// (robustness.fallback.* counters, robustness.fallback trace events).
+// Non-retryable errors (InvalidArgument, DataLoss, Internal) propagate.
 #pragma once
 
+#include <memory>
 #include <string>
 
+#include "common/status.hpp"
 #include "core/launch_helpers.hpp"
+#include "core/naive_fallback.hpp"
 #include "core/planner.hpp"
 #include "gpusim/device.hpp"
 
 namespace ttlg {
+
+/// Which rung of the degradation ladder a plan (or its last execution)
+/// is on. kGenericOa = the model-chosen schema could not be
+/// materialized/launched and the generic Orthogonal-Arbitrary path ran
+/// instead; kNaive = the last-resort naive kernel (no shared memory, no
+/// texture arrays, no plan-time device allocations).
+enum class ExecPath : int { kPlanned = 0, kGenericOa = 1, kNaive = 2 };
+
+const char* to_string(ExecPath path);
 
 class Plan {
  public:
@@ -36,6 +56,16 @@ class Plan {
   /// Host wall-clock spent planning (selection + offset upload).
   double plan_wall_s() const { return plan_wall_s_; }
 
+  /// The rung plan construction landed on (kPlanned unless make_plan
+  /// itself had to degrade).
+  ExecPath plan_path() const { return path_; }
+  /// The rung the most recent execute() actually ran on.
+  ExecPath last_exec_path() const { return last_path_; }
+  /// True when planning degraded below the model-chosen schema. The
+  /// plan cache refuses to retain degraded plans (the pressure that
+  /// caused the degradation may be transient).
+  bool degraded() const { return path_ != ExecPath::kPlanned; }
+
   std::string describe() const;
 
   /// Assemble a plan from an explicit kernel selection (uploads the
@@ -44,10 +74,20 @@ class Plan {
   static Plan from_selection(sim::Device& dev, TransposeProblem problem,
                              KernelSelection sel);
 
+  /// Last rung of the ladder: a plan that executes through the naive
+  /// kernel. Needs no device allocations, so it cannot fail to build.
+  /// `sel` records the selection whose materialization failed.
+  static Plan naive_fallback_plan(sim::Device& dev, TransposeProblem problem,
+                                  KernelSelection sel);
+
   /// Run the planned kernel: out = alpha * permute(in) + beta * out.
   /// T must match the planned element size; buffers must hold exactly
-  /// problem().volume() elements. beta != 0 reads the previous output
-  /// (extra DRAM traffic, charged by the simulator).
+  /// problem().volume() elements and must not alias (the library is
+  /// out-of-place only). beta != 0 reads the previous output (extra
+  /// DRAM traffic, charged by the simulator). On a retryable classified
+  /// failure the degradation ladder re-launches (bounded by
+  /// PlanOptions::max_exec_retries) and then falls back generic-OA ->
+  /// naive; the result is bit-identical to the planned kernel's.
   template <class T>
   sim::LaunchResult execute(sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
                             T alpha = T{1}, T beta = T{0}) const {
@@ -57,25 +97,76 @@ class Plan {
     TTLG_CHECK(in.size() == problem_.volume() &&
                    out.size() == problem_.volume(),
                "buffer sizes must equal the tensor volume");
+    validate_exec_buffers(in.base_addr(),
+                          in.size() * static_cast<Index>(sizeof(T)),
+                          in.valid(), out.base_addr(),
+                          out.size() * static_cast<Index>(sizeof(T)),
+                          out.valid());
     const Epilogue<T> epi{alpha, beta};
     sim::LaunchResult res;
-    switch (sel_.schema) {
-      case Schema::kCopy:
-      case Schema::kFviMatchLarge:
-        res = launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi);
-        break;
-      case Schema::kFviMatchSmall:
-        res = launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi);
-        break;
-      case Schema::kOrthogonalDistinct:
-        res = launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi);
-        break;
-      case Schema::kOrthogonalArbitrary:
-        res = launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_, epi);
-        break;
+
+    if (path_ == ExecPath::kNaive) {
+      res = launch_naive<T>(*dev_, naive_config(), in, out, epi);
+      last_path_ = ExecPath::kNaive;
+      record_execution(res, /*planned_kernel=*/false);
+      return res;
     }
-    if (telemetry::counters_enabled()) record_execution(res);
+
+    // Rung 1: the planned kernel, with bounded retry.
+    for (int attempt = 0;;) {
+      try {
+        res = launch_planned<T>(in, out, epi);
+        last_path_ = path_;
+        record_execution(res, /*planned_kernel=*/true);
+        return res;
+      } catch (const Error& e) {
+        if (!fallback_enabled_ || !retryable(e.code())) throw;
+        if (attempt++ < max_exec_retries_) {
+          note_fallback("exec", "retry", e);
+          continue;
+        }
+        note_fallback("exec", sel_.schema != Schema::kOrthogonalArbitrary
+                                  ? "oa"
+                                  : "naive",
+                      e);
+        break;
+      }
+    }
+
+    // Rung 2: the generic Orthogonal-Arbitrary path (skipped when the
+    // planned kernel already was OA — it would fail the same way).
+    if (sel_.schema != Schema::kOrthogonalArbitrary &&
+        ensure_exec_oa_fallback()) {
+      try {
+        res = launch_oa<T>(*dev_, *fb_oa_, in, out, fb_tex0_, fb_tex1_,
+                           fb_tex2_, epi);
+        last_path_ = ExecPath::kGenericOa;
+        note_recovered();
+        record_execution(res, /*planned_kernel=*/false);
+        return res;
+      } catch (const Error& e) {
+        if (!retryable(e.code())) throw;
+        note_fallback("exec", "naive", e);
+      }
+    }
+
+    // Rung 3: the naive kernel — no shared memory, no texture arrays.
+    // If even this launch fails the classified error propagates.
+    res = launch_naive<T>(*dev_, naive_config(), in, out, epi);
+    last_path_ = ExecPath::kNaive;
+    note_recovered();
+    record_execution(res, /*planned_kernel=*/false);
     return res;
+  }
+
+  /// Non-throwing execute for hot serving paths: classified failures
+  /// come back as a Status instead of unwinding.
+  template <class T>
+  Expected<sim::LaunchResult> try_execute(sim::DeviceBuffer<T> in,
+                                          sim::DeviceBuffer<T> out,
+                                          T alpha = T{1},
+                                          T beta = T{0}) const {
+    return capture([&] { return execute<T>(in, out, alpha, beta); });
   }
 
  private:
@@ -83,9 +174,45 @@ class Plan {
                         const PlanOptions&);
   void release();
   void move_from(Plan& o);
-  /// Telemetry sink for execute(): execution counters plus the
-  /// predicted-vs-measured residual feeding the model-accuracy report.
-  void record_execution(const sim::LaunchResult& res) const;
+
+  /// Dispatch the model-selected kernel (rung 1 of the ladder).
+  template <class T>
+  sim::LaunchResult launch_planned(sim::DeviceBuffer<T> in,
+                                   sim::DeviceBuffer<T> out,
+                                   const Epilogue<T>& epi) const {
+    switch (sel_.schema) {
+      case Schema::kCopy:
+      case Schema::kFviMatchLarge:
+        return launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi);
+      case Schema::kFviMatchSmall:
+        return launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi);
+      case Schema::kOrthogonalDistinct:
+        return launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi);
+      case Schema::kOrthogonalArbitrary:
+        return launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_,
+                            epi);
+    }
+    TTLG_ASSERT(false, "unreachable schema");
+  }
+
+  /// Out-of-place + materialization guards shared by all rungs.
+  void validate_exec_buffers(Index in_base, Index in_bytes, bool in_backed,
+                             Index out_base, Index out_bytes,
+                             bool out_backed) const;
+  /// Lazily build the generic-OA fallback config and upload its offset
+  /// arrays; false when infeasible or when the upload itself hits a
+  /// retryable failure (the ladder then proceeds to naive).
+  bool ensure_exec_oa_fallback() const;
+  /// Lazily built naive-kernel config (rung 3).
+  const NaiveConfig& naive_config() const;
+  /// Telemetry sinks: fallback step (always counted — the path is rare
+  /// and the counters are load-bearing for recovery diagnosis),
+  /// recovery marker, and per-execution counters/accuracy residuals.
+  void note_fallback(const char* stage, const char* to,
+                     const Error& cause) const;
+  void note_recovered() const;
+  void record_execution(const sim::LaunchResult& res,
+                        bool planned_kernel) const;
 
   sim::Device* dev_ = nullptr;
   TransposeProblem problem_;
@@ -95,13 +222,32 @@ class Plan {
   // OA uses tex0 = input_offset, tex1 = output_offset, tex2 = sm_out.
   sim::DeviceBuffer<Index> tex0_, tex1_, tex2_;
   double plan_wall_s_ = 0;
+
+  ExecPath path_ = ExecPath::kPlanned;
+  bool fallback_enabled_ = true;
+  int max_exec_retries_ = 1;
+  // Execute-time fallback state, built lazily on first failure and
+  // reused by later executions. Plans are not safe for concurrent
+  // execute() calls (they weren't before either — the simulator
+  // mutates shared counters).
+  mutable ExecPath last_path_ = ExecPath::kPlanned;
+  mutable std::unique_ptr<OaConfig> fb_oa_;
+  mutable sim::DeviceBuffer<Index> fb_tex0_, fb_tex1_, fb_tex2_;
+  mutable std::unique_ptr<NaiveConfig> naive_cfg_;
 };
 
 /// Full planning pipeline: classify, search slices with the performance
 /// model, compute and upload offset arrays. The returned plan remains
-/// bound to `dev` (which must outlive it).
+/// bound to `dev` (which must outlive it). With opts.enable_fallback
+/// (default), retryable materialization failures degrade the plan
+/// generic-OA -> naive instead of propagating.
 Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
                const PlanOptions& opts = {});
+
+/// Non-throwing variant: classified failures come back as a Status.
+Expected<Plan> try_make_plan(sim::Device& dev, const Shape& shape,
+                             const Permutation& perm,
+                             const PlanOptions& opts = {});
 
 /// §V queryable model interface: predicted kernel time for a
 /// transposition WITHOUT building or uploading a plan. Intended for

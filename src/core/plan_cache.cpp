@@ -18,12 +18,35 @@ const Plan& PlanCache::get(sim::Device& dev, const Shape& shape,
     if (was_hit) *was_hit = true;
     return it->second.plan;
   }
+  if (was_hit) *was_hit = false;
+  Plan plan;
+  try {
+    plan = make_plan(dev, shape, perm, opts);
+  } catch (...) {
+    // A failed make_plan is a failure, not a miss: nothing was built,
+    // nothing is inserted, and a permanently-failing key never occupies
+    // cache space (retries replan from scratch every time).
+    ++stats_.failures;
+    if (telemetry::counters_enabled())
+      telemetry::MetricsRegistry::global().counter("plan_cache.failure").inc();
+    throw;
+  }
   ++stats_.misses;
   if (telemetry::counters_enabled())
     telemetry::MetricsRegistry::global().counter("plan_cache.miss").inc();
-  if (was_hit) *was_hit = false;
+  if (plan.degraded()) {
+    // Degraded plans are served but not retained — the pressure that
+    // forced the fallback may clear, and the next get() should replan.
+    ++stats_.uncacheable;
+    if (telemetry::counters_enabled())
+      telemetry::MetricsRegistry::global()
+          .counter("plan_cache.uncacheable")
+          .inc();
+    uncached_ = std::move(plan);
+    return uncached_;
+  }
   Entry entry;
-  entry.plan = make_plan(dev, shape, perm, opts);
+  entry.plan = std::move(plan);
   entry.last_use = ++tick_;
   auto [pos, inserted] = cache_.emplace(std::move(key), std::move(entry));
   // Evict AFTER inserting so the entry just built is never the victim

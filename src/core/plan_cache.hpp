@@ -25,16 +25,25 @@ class PlanCache {
 
   /// Fetch (or create and remember) the plan for this transposition.
   /// `was_hit`, if non-null, reports whether planning was skipped.
-  /// On a capacity-bounded cache the returned reference is only
-  /// guaranteed valid until the next get() (which may evict).
+  /// The returned reference is only guaranteed valid until the next
+  /// get() (which may evict, or overwrite the uncached slot).
+  ///
+  /// Failure semantics: if make_plan throws, nothing is inserted and
+  /// the miss is counted as a `failure` instead — a permanently-failing
+  /// key never occupies cache space and retries replan every time.
+  /// Degraded plans (make_plan fell back under resource pressure) are
+  /// returned but NOT retained: the pressure may be transient, and
+  /// caching would pin the slow path for the cache's lifetime.
   const Plan& get(sim::Device& dev, const Shape& shape,
                   const Permutation& perm, const PlanOptions& opts = {},
                   bool* was_hit = nullptr);
 
   struct Stats {
     std::int64_t hits = 0;
-    std::int64_t misses = 0;
+    std::int64_t misses = 0;       ///< successful plans built (cached or not)
     std::int64_t evictions = 0;
+    std::int64_t failures = 0;     ///< make_plan threw; nothing cached
+    std::int64_t uncacheable = 0;  ///< degraded plans handed out uncached
   };
   const Stats& stats() const { return stats_; }
 
@@ -43,7 +52,10 @@ class PlanCache {
   void set_capacity(std::size_t capacity);
 
   std::size_t size() const { return cache_.size(); }
-  void clear() { cache_.clear(); }
+  void clear() {
+    cache_.clear();
+    uncached_ = Plan();
+  }
 
  private:
   using Key = std::tuple<std::vector<Index>, std::vector<Index>, int>;
@@ -57,6 +69,9 @@ class PlanCache {
   std::size_t capacity_ = 0;
   std::uint64_t tick_ = 0;
   Stats stats_;
+  /// Holding slot for degraded plans so the returned reference stays
+  /// valid without the plan entering the cache proper.
+  Plan uncached_;
 };
 
 }  // namespace ttlg

@@ -1,15 +1,31 @@
 #include "core/plan_io.hpp"
 
+#include <cstdint>
+#include <iomanip>
 #include <istream>
 #include <ostream>
-#include <iomanip>
 #include <sstream>
+#include <string>
 
 namespace ttlg {
 namespace {
 
 constexpr const char* kMagic = "ttlg-plan";
-constexpr int kVersion = 1;
+// Version 2 appended the integrity checksum record; version-1 files are
+// rejected (they carry no corruption protection).
+constexpr int kVersion = 2;
+
+/// FNV-1a 64-bit over the serialized payload. Not cryptographic — it
+/// guards against truncation, bit flips and partial writes, not
+/// adversaries.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 void write_vec(std::ostream& os, const char* key,
                const std::vector<Index>& v) {
@@ -33,57 +49,21 @@ std::istringstream next_record(std::istream& is, const std::string& want) {
     std::istringstream ls(line);
     std::string key;
     ls >> key;
-    TTLG_CHECK(key == want,
-               "plan record: expected '" + want + "', got '" + key + "'");
+    TTLG_CHECK_CODE(key == want, ErrorCode::kDataLoss,
+                    "plan record: expected '" + want + "', got '" + key +
+                        "'");
     return ls;
   }
-  TTLG_CHECK(false, "plan record truncated: missing '" + want + "'");
+  TTLG_RAISE(ErrorCode::kDataLoss,
+             "plan record truncated: missing '" + want + "'");
 }
 
-}  // namespace
-
-void save_plan(std::ostream& os, const Plan& plan) {
-  TTLG_CHECK(plan.valid(), "cannot save an empty plan");
-  const auto& problem = plan.problem();
-  const auto& sel = plan.selection();
-  os << kMagic << ' ' << kVersion << '\n';
-  write_vec(os, "shape", problem.shape.extents());
-  write_vec(os, "perm", problem.perm.vec());
-  os << "elem " << problem.elem_size << '\n';
-  os << "schema " << static_cast<int>(sel.schema) << '\n';
-  switch (sel.schema) {
-    case Schema::kCopy:
-    case Schema::kFviMatchLarge:
-      os << "fvil " << (sel.fvi_large.batch > 1 ? 1 : 0) << '\n';
-      break;
-    case Schema::kFviMatchSmall:
-      os << "fvis " << sel.fvi_small.b << ' '
-         << (sel.fvi_small.coarsen_extent > 1 ? 1 : 0) << '\n';
-      break;
-    case Schema::kOrthogonalDistinct:
-      os << "od " << sel.od.slice.dims_in << ' ' << sel.od.slice.dims_out
-         << ' ' << sel.od.slice.block_a << ' ' << sel.od.slice.block_b << ' '
-         << sel.od.tile_pitch << ' ' << sel.od.extra_row_specials << '\n';
-      break;
-    case Schema::kOrthogonalArbitrary:
-      os << "oa " << sel.oa.slice.dims_in << ' ' << sel.oa.slice.block_a
-         << ' ' << sel.oa.slice.dims_out << ' ' << sel.oa.slice.block_b << ' '
-         << (sel.oa.coarsen_extent > 1 ? 1 : 0) << ' '
-         << (sel.oa.smem_padded ? 1 : 0) << '\n';
-      break;
-  }
-  os << "predicted " << std::setprecision(17) << plan.predicted_time_s()
-     << '\n';
-}
-
-Plan load_plan(sim::Device& dev, std::istream& is) {
-  {
-    auto header = next_record(is, kMagic);
-    int version = 0;
-    header >> version;
-    TTLG_CHECK(version == kVersion,
-               "unsupported plan version " + std::to_string(version));
-  }
+/// Parse everything between the version header and the checksum line
+/// into a problem + selection. Throws classified errors; the caller
+/// folds them into kDataLoss (a checksummed file whose body still fails
+/// to parse was corrupted before the checksum was computed, or
+/// hand-edited).
+std::pair<TransposeProblem, KernelSelection> parse_body(std::istream& is) {
   auto shape_line = next_record(is, "shape");
   const Shape shape(read_vec(shape_line));
   auto perm_line = next_record(is, "perm");
@@ -137,10 +117,122 @@ Plan load_plan(sim::Device& dev, std::istream& is) {
       break;
     }
     default:
-      TTLG_CHECK(false, "unknown schema id " + std::to_string(schema_int));
+      TTLG_RAISE(ErrorCode::kDataLoss,
+                 "unknown schema id " + std::to_string(schema_int));
   }
   next_record(is, "predicted") >> sel.predicted_s;
-  return Plan::from_selection(dev, std::move(problem), std::move(sel));
+  return {std::move(problem), std::move(sel)};
+}
+
+}  // namespace
+
+void save_plan(std::ostream& os, const Plan& plan) {
+  TTLG_CHECK(plan.valid(), "cannot save an empty plan");
+  const auto& problem = plan.problem();
+  const auto& sel = plan.selection();
+  std::ostringstream body;
+  body << kMagic << ' ' << kVersion << '\n';
+  write_vec(body, "shape", problem.shape.extents());
+  write_vec(body, "perm", problem.perm.vec());
+  body << "elem " << problem.elem_size << '\n';
+  body << "schema " << static_cast<int>(sel.schema) << '\n';
+  switch (sel.schema) {
+    case Schema::kCopy:
+    case Schema::kFviMatchLarge:
+      body << "fvil " << (sel.fvi_large.batch > 1 ? 1 : 0) << '\n';
+      break;
+    case Schema::kFviMatchSmall:
+      body << "fvis " << sel.fvi_small.b << ' '
+           << (sel.fvi_small.coarsen_extent > 1 ? 1 : 0) << '\n';
+      break;
+    case Schema::kOrthogonalDistinct:
+      body << "od " << sel.od.slice.dims_in << ' ' << sel.od.slice.dims_out
+           << ' ' << sel.od.slice.block_a << ' ' << sel.od.slice.block_b
+           << ' ' << sel.od.tile_pitch << ' ' << sel.od.extra_row_specials
+           << '\n';
+      break;
+    case Schema::kOrthogonalArbitrary:
+      body << "oa " << sel.oa.slice.dims_in << ' ' << sel.oa.slice.block_a
+           << ' ' << sel.oa.slice.dims_out << ' ' << sel.oa.slice.block_b
+           << ' ' << (sel.oa.coarsen_extent > 1 ? 1 : 0) << ' '
+           << (sel.oa.smem_padded ? 1 : 0) << '\n';
+      break;
+  }
+  body << "predicted " << std::setprecision(17) << plan.predicted_time_s()
+       << '\n';
+  // The checksum record must be the last line and covers every byte
+  // before it (including the final newline of the payload).
+  const std::string payload = body.str();
+  os << payload << "checksum " << std::hex << fnv1a(payload) << std::dec
+     << '\n';
+}
+
+Plan load_plan(sim::Device& dev, std::istream& is) {
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+
+  // Header first, so a merely-old file gets "unsupported version", not
+  // a misleading checksum complaint (version 1 had no checksum line).
+  {
+    std::istringstream header(text);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    TTLG_CHECK_CODE(magic == kMagic, ErrorCode::kDataLoss,
+                    "not a TTLG plan file (bad magic '" +
+                        magic.substr(0, 32) + "')");
+    TTLG_CHECK_CODE(
+        version == kVersion, ErrorCode::kUnsupported,
+        "unsupported plan file version " + std::to_string(version) +
+            " (this library reads version " + std::to_string(kVersion) +
+            "; version 2 added an integrity checksum — re-save the plan)");
+  }
+
+  // Verify the trailing checksum before trusting any of the body.
+  const std::size_t last = text.find_last_not_of(" \t\r\n");
+  TTLG_CHECK_CODE(last != std::string::npos, ErrorCode::kDataLoss,
+                  "plan file is empty");
+  const std::size_t line_start = text.rfind('\n', last);
+  TTLG_CHECK_CODE(line_start != std::string::npos, ErrorCode::kDataLoss,
+                  "plan file truncated: missing checksum record");
+  const std::string payload = text.substr(0, line_start + 1);
+  std::istringstream tail(text.substr(line_start + 1, last - line_start));
+  std::string key;
+  std::uint64_t stored = 0;
+  tail >> key >> std::hex >> stored;
+  TTLG_CHECK_CODE(key == "checksum", ErrorCode::kDataLoss,
+                  "plan file truncated: missing checksum record");
+  TTLG_CHECK_CODE(stored == fnv1a(payload), ErrorCode::kDataLoss,
+                  "plan file checksum mismatch: contents were truncated "
+                  "or corrupted after saving");
+
+  // Parse the verified payload. Any failure in here — including invalid
+  // shapes/permutations or config builders choking on garbage values —
+  // means the file content is unusable: classify as data loss rather
+  // than leaking implementation-detail errors (or worse, crashing).
+  std::pair<TransposeProblem, KernelSelection> parsed;
+  try {
+    std::istringstream body(payload);
+    std::string skip_header;
+    std::getline(body, skip_header);
+    parsed = parse_body(body);
+  } catch (const Error& e) {
+    TTLG_RAISE(ErrorCode::kDataLoss,
+               std::string("plan file body is corrupt: ") + e.what());
+  } catch (const std::exception& e) {
+    TTLG_RAISE(ErrorCode::kDataLoss,
+               std::string("plan file body is corrupt: ") + e.what());
+  }
+
+  // Outside the catch: a device-side failure while uploading offset
+  // arrays is a resource problem, not data loss, and must keep its own
+  // classification (it is retryable; data loss is not).
+  return Plan::from_selection(dev, std::move(parsed.first),
+                              std::move(parsed.second));
+}
+
+Expected<Plan> try_load_plan(sim::Device& dev, std::istream& is) {
+  return capture([&] { return load_plan(dev, is); });
 }
 
 }  // namespace ttlg

@@ -7,6 +7,12 @@
 // are stored (schema + slice/blocking parameters); derived state (grid
 // layout, offset indirection arrays) is recomputed and re-uploaded at
 // load time, which keeps the format stable under internal refactors.
+//
+// Integrity (format version 2): the last line is `checksum <hex>`, an
+// FNV-1a 64 digest of every preceding byte. Truncated, bit-flipped or
+// otherwise garbled files are rejected with ErrorCode::kDataLoss before
+// any plan state is built; files from format version 1 (no checksum)
+// are rejected with ErrorCode::kUnsupported and a re-save hint.
 #pragma once
 
 #include <iosfwd>
@@ -15,12 +21,17 @@
 
 namespace ttlg {
 
-/// Write a loadable description of the plan's decisions.
+/// Write a loadable description of the plan's decisions, terminated by
+/// the integrity checksum record.
 void save_plan(std::ostream& os, const Plan& plan);
 
 /// Rebuild a plan previously written by save_plan, bound to `dev`
-/// (recomputes configs and uploads offset arrays). Throws ttlg::Error on
-/// malformed input or version mismatch.
+/// (recomputes configs and uploads offset arrays). Throws ttlg::Error
+/// with kDataLoss on corrupted/truncated input, kUnsupported on a
+/// version mismatch; device-side upload failures keep their own codes.
 Plan load_plan(sim::Device& dev, std::istream& is);
+
+/// Non-throwing variant: classified failures come back as a Status.
+Expected<Plan> try_load_plan(sim::Device& dev, std::istream& is);
 
 }  // namespace ttlg

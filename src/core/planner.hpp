@@ -22,6 +22,19 @@ struct PlanOptions {
   /// Per-call override of the global TTLG_TELEMETRY level, applied for
   /// the duration of make_plan (nullopt = leave the global level alone).
   std::optional<telemetry::Level> telemetry;
+  /// Graceful degradation: on a retryable classified failure
+  /// (ResourceExhausted, FaultInjected, Unsupported) fall back
+  /// specialized schema -> generic Orthogonal-Arbitrary -> naive
+  /// kernel, both at plan time and at execute time. Non-retryable
+  /// errors (InvalidArgument, DataLoss, Internal) always propagate.
+  bool enable_fallback = true;
+  /// Bounded re-launches of the planned kernel before the execute-time
+  /// ladder degrades to the next rung.
+  int max_exec_retries = 1;
+  /// Per-call fault-injection spec (TTLG_FAULTS grammar, see
+  /// gpusim/fault_injector.hpp), installed for the duration of
+  /// make_plan. nullopt = leave the process-global injector alone.
+  std::optional<std::string> faults;
 };
 
 /// Static Fig. 3 flowchart decision (no model evaluation). The

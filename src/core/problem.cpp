@@ -12,6 +12,9 @@ TransposeProblem TransposeProblem::make(const Shape& shape,
   TTLG_CHECK(shape.rank() == perm.rank(),
              "shape and permutation rank mismatch");
   TTLG_CHECK(shape.rank() >= 1, "rank-0 tensors have nothing to transpose");
+  // Volume fits int64 (Shape guarantees that); the byte size must too,
+  // or buffer-size arithmetic downstream would wrap.
+  checked_mul(shape.volume(), elem_size, "tensor byte size");
   TransposeProblem p;
   p.shape = shape;
   p.perm = perm;

@@ -4,10 +4,26 @@
 #include "telemetry/trace.hpp"
 
 namespace ttlg::sim {
+namespace {
+
+/// Fault-injection site shared by real and virtual allocations:
+/// simulated device OOM, classified like the real condition so the
+/// degradation ladder treats both identically.
+void check_injected_alloc_fault(std::int64_t bytes) {
+  auto& inj = FaultInjector::global();
+  if (inj.armed() && inj.fire(FaultSite::kAlloc)) {
+    TTLG_RAISE(ErrorCode::kResourceExhausted,
+               "fault injection: device allocation of " +
+                   std::to_string(bytes) + " bytes failed (simulated OOM)");
+  }
+}
+
+}  // namespace
 
 Device::Device(DeviceProperties props) : props_(std::move(props)) {}
 
 std::byte* Device::allocate_bytes(std::int64_t bytes) {
+  check_injected_alloc_fault(bytes);
   Allocation a;
   a.bytes = bytes;
   a.storage = std::make_unique<std::byte[]>(
@@ -24,6 +40,7 @@ std::byte* Device::allocate_bytes(std::int64_t bytes) {
 }
 
 std::int64_t Device::register_virtual(std::int64_t bytes) {
+  check_injected_alloc_fault(bytes);
   Allocation a;
   a.bytes = bytes;  // storage-free: counted but never dereferenced
   const std::int64_t base = next_addr_;
@@ -71,12 +88,31 @@ void Device::validate(const LaunchConfig& cfg) const {
   TTLG_CHECK(cfg.block_threads % props_.warp_size == 0,
              "block size must be a multiple of the warp size");
   TTLG_CHECK(cfg.shared_elems >= 0, "negative shared memory request");
-  TTLG_CHECK(cfg.shared_elems * cfg.elem_size <=
-                 props_.shared_mem_per_block_bytes,
-             "kernel '" + cfg.kernel_name +
-                 "' exceeds shared memory per block (" +
-                 std::to_string(cfg.shared_elems * cfg.elem_size) + " > " +
-                 std::to_string(props_.shared_mem_per_block_bytes) + " bytes)");
+  TTLG_CHECK_CODE(
+      cfg.shared_elems * cfg.elem_size <= props_.shared_mem_per_block_bytes,
+      ErrorCode::kResourceExhausted,
+      "kernel '" + cfg.kernel_name + "' exceeds shared memory per block (" +
+          std::to_string(cfg.shared_elems * cfg.elem_size) + " > " +
+          std::to_string(props_.shared_mem_per_block_bytes) + " bytes)");
+}
+
+void Device::check_injected_launch_faults(const LaunchConfig& cfg) const {
+  auto& inj = FaultInjector::global();
+  if (cfg.shared_elems > 0 && inj.fire(FaultSite::kSmem)) {
+    TTLG_RAISE(ErrorCode::kResourceExhausted,
+               "fault injection: shared-memory over-allocation for kernel '" +
+                   cfg.kernel_name + "'");
+  }
+  if (inj.fire(FaultSite::kLaunch)) {
+    TTLG_RAISE(ErrorCode::kFaultInjected,
+               "fault injection: launch failure for kernel '" +
+                   cfg.kernel_name + "'");
+  }
+  if (cfg.uses_texture && inj.fire(FaultSite::kTexCache)) {
+    TTLG_RAISE(ErrorCode::kFaultInjected,
+               "fault injection: texture-cache fault for kernel '" +
+                   cfg.kernel_name + "'");
+  }
 }
 
 double Device::telemetry_now_us() {

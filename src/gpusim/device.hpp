@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "gpusim/block_ctx.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/dbuffer.hpp"
 #include "gpusim/device_properties.hpp"
@@ -36,6 +37,9 @@ struct LaunchConfig {
   /// device has sampling enabled.
   std::function<std::int64_t(std::int64_t)> block_class;
   std::int64_t num_classes = 1;
+  /// Kernel binds texture offset arrays (OD/OA); gates the `tex`
+  /// fault-injection site so texture faults only hit texture users.
+  bool uses_texture = false;
 };
 
 struct LaunchResult {
@@ -117,6 +121,9 @@ class Device {
   template <class Kernel>
   LaunchResult launch(Kernel&& kernel, const LaunchConfig& cfg) {
     validate(cfg);
+    // Fault-injection sites fire BEFORE any block runs, so a failed
+    // launch has no side effects (matching real launch failures).
+    if (FaultInjector::global().armed()) check_injected_launch_faults(cfg);
     // One branch on the off path; everything else lives in device.cpp.
     const bool telem = telemetry::counters_enabled();
     const double telem_start_us = telem ? telemetry_now_us() : 0.0;
@@ -214,6 +221,10 @@ class Device {
   void record_launch_telemetry(const LaunchConfig& cfg,
                                const LaunchResult& res,
                                double start_us) const;
+
+  /// Raises for the `launch`/`tex` fault-injection sites (slow path,
+  /// only entered when the injector is armed).
+  void check_injected_launch_faults(const LaunchConfig& cfg) const;
 
   std::byte* allocate_bytes(std::int64_t bytes);
   std::int64_t register_virtual(std::int64_t bytes);

@@ -12,7 +12,7 @@ Shape::Shape(Extents extents) : extents_(std::move(extents)) {
                                     std::to_string(extents_[d]) +
                                     " at dimension " + std::to_string(d));
     strides_[d] = s;
-    s *= extents_[d];
+    s = checked_mul(s, extents_[d], "tensor volume");
   }
   volume_ = s;
 }

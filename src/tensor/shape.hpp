@@ -10,10 +10,24 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace ttlg {
 
 using Index = std::int64_t;
 using Extents = std::vector<Index>;
+
+/// Overflow-checked Index product. Extent/stride/volume arithmetic all
+/// funnels through this: a shape whose volume exceeds int64 would
+/// otherwise wrap silently and corrupt every derived offset.
+inline Index checked_mul(Index a, Index b, const char* what) {
+  Index out;
+  if (__builtin_mul_overflow(a, b, &out))
+    TTLG_RAISE(ErrorCode::kInvalidArgument,
+               std::string(what) + " overflows 64-bit index arithmetic (" +
+                   std::to_string(a) + " * " + std::to_string(b) + ")");
+  return out;
+}
 
 /// Immutable tensor shape: extents of each dimension plus derived
 /// volume and strides (fastest-varying-first layout).

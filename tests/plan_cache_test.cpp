@@ -1,0 +1,109 @@
+// PlanCache failure semantics: failing keys are never cached, degraded
+// plans are served but not retained, and the hit/miss/failure/eviction
+// counters stay consistent through all of it.
+#include <gtest/gtest.h>
+
+#include "core/plan_cache.hpp"
+#include "gpusim/fault_injector.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg {
+namespace {
+
+const Shape kShape({40, 9, 40});
+const Permutation kPerm({2, 1, 0});
+
+TEST(PlanCacheFailures, ThrowingKeysAreCountedAndNeverCached) {
+  sim::Device dev;
+  PlanCache cache;
+  PlanOptions bad;
+  bad.elem_size = 3;  // rejected by TransposeProblem::make every time
+  for (int i = 0; i < 3; ++i)
+    EXPECT_THROW(cache.get(dev, kShape, kPerm, bad), Error);
+  EXPECT_EQ(cache.stats().failures, 3);
+  EXPECT_EQ(cache.stats().misses, 0);
+  EXPECT_EQ(cache.stats().hits, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheFailures, PermanentlyFailingPlanIsNotCached) {
+  sim::Device dev;
+  PlanCache cache;
+  PlanOptions opts;
+  opts.enable_fallback = false;
+  opts.faults = "alloc.every=1";
+  EXPECT_THROW(cache.get(dev, kShape, kPerm, opts), Error);
+  EXPECT_EQ(cache.stats().failures, 1);
+  EXPECT_EQ(cache.size(), 0u);
+  // Once the fault clears, the same key plans and caches normally.
+  opts.faults.reset();
+  bool hit = true;
+  const Plan& plan = cache.get(dev, kShape, kPerm, opts, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(plan.valid());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(PlanCacheFailures, DegradedPlansAreServedButNotRetained) {
+  sim::Device dev;
+  PlanCache cache;
+  PlanOptions opts;
+  opts.faults = "alloc.every=1";  // forces the naive fallback plan
+  bool hit = true;
+  const Plan& degraded = cache.get(dev, kShape, kPerm, opts, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(degraded.degraded());
+  EXPECT_EQ(cache.size(), 0u);  // not retained
+  EXPECT_EQ(cache.stats().uncacheable, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  // The returned reference is usable until the next get().
+  Tensor<double> host(kShape);
+  host.fill_iota();
+  auto in = dev.alloc_copy<double>(host.vec());
+  auto out = dev.alloc<double>(kShape.volume());
+  degraded.execute<double>(in, out);
+  const Tensor<double> expected = host_transpose(host, kPerm);
+  for (Index i = 0; i < kShape.volume(); ++i)
+    ASSERT_EQ(out[i], expected.at(i)) << i;
+
+  // With the pressure gone, the same key replans (a miss, not a hit)
+  // and this time the full-quality plan is cached.
+  opts.faults.reset();
+  const Plan& healthy = cache.get(dev, kShape, kPerm, opts, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(healthy.degraded());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().misses, 2);
+  // And now it hits.
+  cache.get(dev, kShape, kPerm, opts, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(PlanCacheFailures, CountersStayConsistentUnderEviction) {
+  sim::Device dev;
+  PlanCache cache(2);
+  // capacity 2: 32 and 48 resident, 32 re-hit, then 64 evicts the LRU
+  // (48), and re-requesting 48 misses and evicts 32.
+  const std::vector<Extents> shapes = {
+      {32, 32}, {48, 32}, {32, 32}, {64, 32}, {48, 32}};
+  int gets = 0;
+  for (const auto& ext : shapes) {
+    try {
+      cache.get(dev, Shape(ext), Permutation({1, 0}));
+    } catch (const Error&) {
+    }
+    ++gets;
+  }
+  const auto& s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses + s.failures, gets);
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 4);
+  EXPECT_EQ(s.evictions, 2);
+}
+
+}  // namespace
+}  // namespace ttlg

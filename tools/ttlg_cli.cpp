@@ -4,16 +4,21 @@
 //   ttlg run     --dims 32,16,24 --perm 2,0,1 [--alpha A --beta B]
 //   ttlg predict --dims 32,16,24 --perm 2,0,1
 //   ttlg sweep   --dims 16,16,16,16 [--csv]
+//   ttlg fuzz    [--iters N] [--seed S] [--faults spec]
 //   ttlg contract --spec "iak,kbj->abij" --a 12,10,14 --b 14,9,11
 //
 // `run` executes functionally (data verified against the host reference)
 // and reports simulated time, bandwidth and hardware-event counters.
+// `fuzz` sweeps fault-injection specs against random transpositions and
+// asserts every case is either bit-correct or a classified error.
 #include <cstdio>
 #include <numeric>
 #include <fstream>
 #include <sstream>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "core/measure_plan.hpp"
 #include "core/plan_io.hpp"
 #include "gpusim/profiler.hpp"
@@ -202,6 +207,112 @@ int cmd_profile(const Cli& cli) {
   return 0;
 }
 
+Shape fuzz_shape(Rng& rng) {
+  const Index rank = static_cast<Index>(rng.uniform(1, 5));
+  Extents ext;
+  Index vol = 1;
+  for (Index d = 0; d < rank; ++d) {
+    Index e = static_cast<Index>(rng.uniform(1, 32));
+    if (vol * e > 100000) e = 1;
+    ext.push_back(e);
+    vol *= e;
+  }
+  return Shape(ext);
+}
+
+Permutation fuzz_perm(Rng& rng, Index rank) {
+  std::vector<Index> p(static_cast<std::size_t>(rank));
+  std::iota(p.begin(), p.end(), Index{0});
+  for (std::size_t i = p.size(); i > 1; --i)
+    std::swap(p[i - 1], p[rng.uniform(0, i - 1)]);
+  return Permutation(p);
+}
+
+int cmd_fuzz(const Cli& cli) {
+  const int iters = static_cast<int>(cli.get_double("iters", 100));
+  const auto seed = static_cast<std::uint64_t>(cli.get_double("seed", 1));
+  // --faults narrows the sweep to one spec; default covers each fault
+  // class in isolation plus a mixed shake.
+  std::vector<std::string> specs;
+  const std::string only = cli.get("faults", "");
+  if (!only.empty()) {
+    specs.push_back(only);
+  } else {
+    specs = {"seed=1,alloc.p=0.4",
+             "seed=2,launch.p=0.3",
+             "seed=3,tex.every=1",
+             "seed=4,smem.every=2",
+             "seed=5,alloc.p=0.3,launch.p=0.2,tex.p=0.3,smem.p=0.3"};
+  }
+
+  Table t({"fault spec", "cases", "clean", "recovered", "classified",
+           "bad"});
+  Rng rng(seed);
+  int total_bad = 0;
+  for (const auto& spec_text : specs) {
+    sim::ScopedFaults scoped(spec_text);
+    int clean = 0, recovered = 0, classified = 0, bad = 0;
+    for (int iter = 0; iter < iters; ++iter) {
+      const Shape shape = fuzz_shape(rng);
+      const Permutation perm = fuzz_perm(rng, shape.rank());
+      try {
+        sim::Device dev;
+        Tensor<double> host(shape);
+        host.fill_iota();
+        auto in = dev.alloc_copy<double>(host.vec());
+        auto out = dev.alloc<double>(shape.volume());
+        Plan plan = make_plan(dev, shape, perm, options_from(cli));
+        plan.execute<double>(in, out);
+        const Tensor<double> expected = host_transpose(host, perm);
+        bool correct = true;
+        for (Index i = 0; i < shape.volume(); ++i) {
+          if (out[i] != expected.at(i)) {
+            correct = false;
+            break;
+          }
+        }
+        if (!correct) {
+          ++bad;
+          std::fprintf(stderr,
+                       "BAD RESULT: spec=%s dims=%s perm=%s (%s)\n",
+                       spec_text.c_str(), shape.to_string().c_str(),
+                       perm.to_string().c_str(), plan.describe().c_str());
+        } else if (plan.degraded() ||
+                   plan.last_exec_path() != ExecPath::kPlanned) {
+          ++recovered;
+        } else {
+          ++clean;
+        }
+      } catch (const Error& e) {
+        // A classified failure is an acceptable outcome — except an
+        // internal invariant violation, which is a bug shaken loose.
+        if (e.code() == ErrorCode::kInternal) {
+          ++bad;
+          std::fprintf(stderr, "INTERNAL ERROR: spec=%s dims=%s: %s\n",
+                       spec_text.c_str(), shape.to_string().c_str(),
+                       e.what());
+        } else {
+          ++classified;
+        }
+      }
+    }
+    t.add_row({spec_text, Table::num(iters, 0), Table::num(clean, 0),
+               Table::num(recovered, 0), Table::num(classified, 0),
+               Table::num(bad, 0)});
+    total_bad += bad;
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("robustness.recovered counter: %lld\n",
+              static_cast<long long>(
+                  telemetry::MetricsRegistry::global().counter_value(
+                      "robustness.recovered")));
+  std::printf(total_bad == 0 ? "fuzz: OK\n" : "fuzz: %d FAILURES\n",
+              total_bad);
+  return total_bad == 0 ? 0 : 1;
+}
+
 int cmd_contract(const Cli& cli) {
   const auto spec = ttgt::ContractionSpec::parse(
       cli.get("spec", "iak,kbj->abij"));
@@ -232,6 +343,7 @@ int dispatch(const std::string& cmd, const Cli& cli) {
   if (cmd == "predict") return cmd_predict(cli);
   if (cmd == "sweep") return cmd_sweep(cli);
   if (cmd == "profile") return cmd_profile(cli);
+  if (cmd == "fuzz") return cmd_fuzz(cli);
   if (cmd == "contract") return cmd_contract(cli);
   std::printf(
       "ttlg <command> [flags]\n"
@@ -240,10 +352,13 @@ int dispatch(const std::string& cmd, const Cli& cli) {
       "  predict  --dims ... --perm ...               model query only\n"
       "  sweep    --dims ...                          all permutations\n"
       "  profile  --dims ...                          per-kernel profile\n"
+      "  fuzz     [--iters N] [--seed S]              fault-injection sweep\n"
       "  contract --spec \"iak,kbj->abij\" --a ... --b ...   TTGT demo\n"
       "Common flags: --float, --analytic, --no-coarsening, --csv,\n"
       "              --measure, --save <file> (plan), --load <file> (run),\n"
-      "              --telemetry off|counters|trace, --trace-out <file>\n");
+      "              --telemetry off|counters|trace, --trace-out <file>,\n"
+      "              --faults <spec> (fault injection, same grammar as\n"
+      "              TTLG_FAULTS, e.g. \"seed=7,alloc.p=0.25,launch.nth=3\")\n");
   return cmd == "help" ? 0 : 2;
 }
 
@@ -284,10 +399,15 @@ int main(int argc, char** argv) {
                      "')");
       telemetry::set_level(*lvl);
     }
+    // --faults installs a process-wide spec for the whole command; the
+    // fuzz subcommand additionally scopes per-sweep specs on top.
+    const std::string faults = cli.get("faults", "");
+    if (!faults.empty() && cmd != "fuzz")
+      sim::FaultInjector::global().configure(faults);
     rc = dispatch(cmd, cli);
     finish_telemetry(cli);
   } catch (const Error& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr, "error [%s]: %s\n", to_string(e.code()), e.what());
     return 2;
   }
   return rc;
