@@ -1,0 +1,148 @@
+// Parallel measurement-based planning: wall-clock speedup of
+// make_plan_measured as a function of the host-thread count, on the
+// Fig. 12 repeated-calls candidate set (6D tensor, all extents 16,
+// permutations '0 2 5 1 4 3' and '4 1 2 5 3 0'). Also verifies the
+// determinism guarantee: the chosen plan (schema, configuration,
+// predicted time) and its executed counters are bit-identical at every
+// thread count.
+//
+// Flags: --size N (default 16), --reps R (default 3, best-of)
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/measure_plan.hpp"
+#include "core/ttlg.hpp"
+#include "telemetry/json.hpp"
+
+using namespace ttlg;
+
+namespace {
+
+struct Sample {
+  double wall_s = 0;             // best-of-reps planning wall time
+  std::string describe;          // chosen plan, fully rendered
+  Schema schema = Schema::kCopy;
+  std::uint64_t predicted_bits = 0;
+  std::uint64_t exec_time_bits = 0;
+  std::int64_t dram_transactions = 0;
+  std::int64_t candidates = 0;
+};
+
+Sample run_at(const Shape& shape, const Permutation& perm, int nthreads,
+              int reps) {
+  Sample s;
+  for (int rep = 0; rep < reps; ++rep) {
+    sim::Device dev;
+    dev.set_mode(sim::ExecMode::kCountOnly);
+    dev.set_sampling(4);
+    PlanOptions opts;
+    opts.num_threads = nthreads;
+    MeasuredPlanStats stats;
+    WallTimer timer;
+    Plan plan = make_plan_measured(dev, shape, perm, opts, &stats);
+    const double wall = timer.seconds();
+    if (rep == 0 || wall < s.wall_s) s.wall_s = wall;
+    if (rep == 0) {
+      auto in = dev.alloc_virtual<double>(shape.volume());
+      auto out = dev.alloc_virtual<double>(shape.volume());
+      const auto res = plan.execute<double>(in, out);
+      s.describe = plan.describe();
+      s.schema = plan.schema();
+      s.predicted_bits =
+          std::bit_cast<std::uint64_t>(plan.predicted_time_s());
+      s.exec_time_bits = std::bit_cast<std::uint64_t>(res.time_s);
+      s.dram_transactions = res.counters.dram_transactions();
+      s.candidates = stats.candidates_executed;
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const Index n = cli.get_int("size", 16);
+  const int reps = static_cast<int>(cli.get_int("reps", 3));
+  const Shape shape({n, n, n, n, n, n});
+
+  telemetry::Json doc = telemetry::Json::object();
+  doc["bench"] = "measure_parallel";
+  doc["schema_version"] = 1;
+  doc["config"] = telemetry::Json::object();
+  doc["config"]["size"] = static_cast<std::int64_t>(n);
+  doc["config"]["reps"] = reps;
+  // Both knob resolution and raw core count: on a single-core host the
+  // sweep necessarily shows ~1x (there is nothing to fan out onto), so
+  // readers need the hardware context to interpret the speedup column.
+  doc["config"]["resolved_default_threads"] = sim::default_num_threads();
+  doc["config"]["hardware_threads"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  telemetry::Json cases = telemetry::Json::array();
+
+  bool all_identical = true;
+  double worst_8t_speedup = 0;
+  for (const char* perm_text : {"0,2,5,1,4,3", "4,1,2,5,3,0"}) {
+    const Permutation perm(parse_int_list(perm_text));
+    std::cout << "# make_plan_measured, shape " << shape.to_string()
+              << " perm " << perm.to_string() << "\n";
+    const Sample serial = run_at(shape, perm, 1, reps);
+
+    Table t({"threads", "plan_wall_ms", "speedup", "identical_plan"});
+    telemetry::Json jcase = telemetry::Json::object();
+    jcase["id"] = perm_text;
+    jcase["schema"] = to_string(serial.schema);
+    jcase["candidates_executed"] = serial.candidates;
+    jcase["serial_wall_s"] = serial.wall_s;
+    telemetry::Json sweep = telemetry::Json::array();
+
+    for (int nthreads : {1, 2, 4, 8}) {
+      const Sample s =
+          nthreads == 1 ? serial : run_at(shape, perm, nthreads, reps);
+      const bool identical = s.describe == serial.describe &&
+                             s.schema == serial.schema &&
+                             s.predicted_bits == serial.predicted_bits &&
+                             s.exec_time_bits == serial.exec_time_bits &&
+                             s.dram_transactions == serial.dram_transactions;
+      all_identical = all_identical && identical;
+      const double speedup = serial.wall_s / s.wall_s;
+      if (nthreads == 8)
+        worst_8t_speedup = worst_8t_speedup == 0
+                               ? speedup
+                               : std::min(worst_8t_speedup, speedup);
+      t.add_row({Table::num(static_cast<Index>(nthreads)),
+                 Table::num(s.wall_s * 1e3, 2),
+                 Table::num(speedup, 2), identical ? "yes" : "NO"});
+      telemetry::Json row = telemetry::Json::object();
+      row["threads"] = nthreads;
+      row["plan_wall_s"] = s.wall_s;
+      row["speedup"] = speedup;
+      row["identical_plan"] = identical;
+      sweep.push_back(std::move(row));
+    }
+    jcase["sweep"] = std::move(sweep);
+    cases.push_back(std::move(jcase));
+    t.print(std::cout);
+    std::cout << "# chosen: " << serial.describe << "\n\n";
+  }
+  doc["cases"] = std::move(cases);
+  doc["all_plans_identical"] = all_identical;
+  doc["min_speedup_at_8_threads"] = worst_8t_speedup;
+
+  const char* dir = std::getenv("TTLG_BENCH_JSON_DIR");
+  const std::string path =
+      std::string((dir && *dir) ? dir : ".") + "/BENCH_measure_parallel.json";
+  std::ofstream(path) << doc.dump(2) << "\n";
+  std::cout << "min speedup @8 threads: " << worst_8t_speedup
+            << "x, plans identical: " << (all_identical ? "yes" : "NO")
+            << "\nWrote machine-readable report: " << path << "\n";
+  return all_identical ? 0 : 1;
+}

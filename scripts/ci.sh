@@ -22,6 +22,7 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . -G Ninja
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+fault_shakedown build
 
 echo "== sanitizer pass: -DTTLG_SANITIZE=address =="
 cmake -B build-asan -S . -G Ninja -DTTLG_SANITIZE=address \
@@ -38,5 +39,17 @@ cmake -B build-ubsan -S . -G Ninja -DTTLG_SANITIZE=undefined \
 cmake --build build-ubsan -j
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
 fault_shakedown build-ubsan
+
+echo "== sanitizer pass: -DTTLG_SANITIZE=thread =="
+# ThreadSanitizer targets the parallel block-execution engine and the
+# shared planning components: the concurrency battery hammers the
+# worker pool, plan cache, metrics registry and fault injector, and
+# the determinism battery exercises the parallel launch path itself.
+cmake -B build-tsan -S . -G Ninja -DTTLG_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTTLG_BUILD_BENCH=OFF \
+  -DTTLG_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j
+"build-tsan/tests/test_concurrency" --gtest_brief=1
+"build-tsan/tests/test_determinism" --gtest_brief=1
 
 echo "CI passed."

@@ -14,6 +14,7 @@ namespace ttlg::bench {
 void run_perm_sweep(std::ostream& os, const PermSweepOptions& opts) {
   RunnerOptions ropts;
   ropts.sampling = opts.sampling;
+  ropts.num_threads = opts.num_threads;
   std::unique_ptr<BenchReport> report;
   if (!opts.report_name.empty()) {
     telemetry::ensure_at_least(telemetry::Level::kCounters);

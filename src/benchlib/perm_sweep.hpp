@@ -22,6 +22,9 @@ struct PermSweepOptions {
   /// machine-readable BENCH_<report_name>.json next to the text output
   /// (directory from $TTLG_BENCH_JSON_DIR, default ".").
   std::string report_name;
+  /// Host threads for the sweep (see RunnerOptions::num_threads):
+  /// backends within each case run concurrently. 0 = auto.
+  int num_threads = 0;
 };
 
 /// Runs the sweep and prints per-case rows plus per-scaled-rank and

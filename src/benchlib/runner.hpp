@@ -21,6 +21,12 @@ struct RunnerOptions {
   /// When non-null, every CaseResult is also appended to this report
   /// (not owned; must outlive the Runner).
   BenchReport* report = nullptr;
+  /// Host threads for the sweep: backends within a case run
+  /// concurrently, each on its own fresh device. Results (and report
+  /// rows) stay in backend order, so sweeps are deterministic at any
+  /// setting. 0 = auto (TTLG_THREADS / hardware_concurrency), 1 =
+  /// serial.
+  int num_threads = 0;
 };
 
 struct CaseResult {

@@ -1,66 +1,80 @@
 #include "core/measure_plan.hpp"
 
-#include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/launch_helpers.hpp"
+#include "gpusim/thread_pool.hpp"
 
 namespace ttlg {
 namespace {
 
-/// Execute one candidate in count-only sampled mode and return its
-/// simulated kernel time. The caller's device mode is preserved.
-class CandidateRunner {
- public:
-  CandidateRunner(sim::Device& dev, const TransposeProblem& problem)
-      : dev_(dev),
-        saved_mode_(dev.mode()),
-        saved_sampling_(dev.sampling()),
-        in_(dev.alloc_virtual<double>(problem.volume())),
-        out_(dev.alloc_virtual<double>(problem.volume())) {
-    dev_.set_mode(sim::ExecMode::kCountOnly);
-    if (dev_.sampling() == 0) dev_.set_sampling(4);
-  }
-  ~CandidateRunner() {
-    dev_.try_free(in_);
-    dev_.try_free(out_);
-    dev_.set_mode(saved_mode_);
-    dev_.set_sampling(saved_sampling_);
-  }
-  CandidateRunner(const CandidateRunner&) = delete;
-  CandidateRunner& operator=(const CandidateRunner&) = delete;
-
-  double run_od(const OdConfig& cfg) {
-    auto t0 = dev_.alloc_copy<Index>(cfg.in_offset);
-    auto t1 = dev_.alloc_copy<Index>(cfg.out_offset);
-    const double t = launch_od<double>(dev_, cfg, in_, out_, t0, t1).time_s;
-    dev_.free(t0);
-    dev_.free(t1);
-    return t;
-  }
-  double run_oa(const OaConfig& cfg) {
-    auto t0 = dev_.alloc_copy<Index>(cfg.input_offset);
-    auto t1 = dev_.alloc_copy<Index>(cfg.output_offset);
-    auto t2 = dev_.alloc_copy<Index>(cfg.sm_out_offset);
-    const double t =
-        launch_oa<double>(dev_, cfg, in_, out_, t0, t1, t2).time_s;
-    dev_.free(t0);
-    dev_.free(t1);
-    dev_.free(t2);
-    return t;
-  }
-  double run_fvi_small(const FviSmallConfig& cfg) {
-    return launch_fvi_small<double>(dev_, cfg, in_, out_).time_s;
-  }
-  double run_fvi_large(const FviLargeConfig& cfg) {
-    return launch_fvi_large<double>(dev_, cfg, in_, out_).time_s;
-  }
-
- private:
-  sim::Device& dev_;
-  sim::ExecMode saved_mode_;
-  int saved_sampling_;
-  sim::DeviceBuffer<double> in_, out_;
+/// A candidate configuration to measure, as a lightweight descriptor:
+/// the (potentially large) offset arrays are materialized inside the
+/// measurement task so that config construction parallelizes along
+/// with the simulated execution.
+struct Candidate {
+  Schema schema = Schema::kCopy;
+  OdSlice od_slice;
+  OaSlice oa_slice;
+  Index fvi_b = 0;
 };
+
+/// Measure one candidate on a worker-local device clone: same
+/// properties as the caller's device, count-only mode, the caller's
+/// sampling (or the measure-mode default of 4). Virtual (storage-free)
+/// buffers keep clones cheap at any tensor size. Returns the fully
+/// built selection and its simulated kernel time.
+///
+/// Counter totals — and therefore measured times — do not depend on
+/// which device executes: allocations are 256-byte aligned, and every
+/// address-sensitive model granularity (128-byte DRAM transactions,
+/// texture lines) divides 256, so coalescing and cache behaviour are
+/// invariant under the base-address shift between caller and clone.
+std::pair<KernelSelection, double> measure_candidate(
+    const sim::DeviceProperties& props, int sampling,
+    const TransposeProblem& problem, const PlanOptions& opts,
+    const Candidate& cand) {
+  sim::Device wdev(props);
+  wdev.set_mode(sim::ExecMode::kCountOnly);
+  wdev.set_sampling(sampling);
+  auto in = wdev.alloc_virtual<double>(problem.volume());
+  auto out = wdev.alloc_virtual<double>(problem.volume());
+
+  KernelSelection sel;
+  sel.schema = cand.schema;
+  double t = 0;
+  switch (cand.schema) {
+    case Schema::kCopy:
+    case Schema::kFviMatchLarge: {
+      sel.fvi_large = build_fvi_large_config(problem, opts.enable_coarsening);
+      t = launch_fvi_large<double>(wdev, sel.fvi_large, in, out).time_s;
+      break;
+    }
+    case Schema::kFviMatchSmall: {
+      sel.fvi_small =
+          build_fvi_small_config(problem, cand.fvi_b, opts.enable_coarsening);
+      t = launch_fvi_small<double>(wdev, sel.fvi_small, in, out).time_s;
+      break;
+    }
+    case Schema::kOrthogonalDistinct: {
+      sel.od = build_od_config(problem, cand.od_slice);
+      auto t0 = wdev.alloc_copy<Index>(sel.od.in_offset);
+      auto t1 = wdev.alloc_copy<Index>(sel.od.out_offset);
+      t = launch_od<double>(wdev, sel.od, in, out, t0, t1).time_s;
+      break;
+    }
+    case Schema::kOrthogonalArbitrary: {
+      sel.oa = build_oa_config(problem, cand.oa_slice, opts.enable_coarsening);
+      auto t0 = wdev.alloc_copy<Index>(sel.oa.input_offset);
+      auto t1 = wdev.alloc_copy<Index>(sel.oa.output_offset);
+      auto t2 = wdev.alloc_copy<Index>(sel.oa.sm_out_offset);
+      t = launch_oa<double>(wdev, sel.oa, in, out, t0, t1, t2).time_s;
+      break;
+    }
+  }
+  return {std::move(sel), t};
+}
 
 }  // namespace
 
@@ -70,70 +84,71 @@ Plan make_plan_measured(sim::Device& dev, const Shape& shape,
   auto problem = TransposeProblem::make(shape, perm, opts.elem_size);
   const Index max_smem = dev.props().shared_mem_per_block_bytes / 8;
   MeasuredPlanStats local;
+
+  // Phase 1: enumerate the candidate space serially (cheap descriptors
+  // only — the Alg. 3 slice enumerations, not the offset arrays).
+  std::vector<Candidate> cands;
+  const Schema schema = classify(problem);
+  if (schema == Schema::kCopy || schema == Schema::kFviMatchLarge) {
+    cands.push_back({schema, {}, {}, 0});
+  } else {
+    // FVI-Match-Small candidates (when applicable).
+    if (problem.fused.perm.fvi_matches() && problem.fused.shape.rank() >= 3) {
+      for (Index b : enumerate_fvi_small_blockings(problem, max_smem))
+        cands.push_back({Schema::kFviMatchSmall, {}, {}, b});
+    }
+    // Orthogonal-Distinct candidates.
+    if (!problem.fused.perm.fvi_matches()) {
+      auto slices = enumerate_od_slices(
+          problem,
+          od_max_slice_vol(problem, dev.props(), opts.overbooking_factor));
+      constexpr std::size_t kMaxExec = 64;  // measuring is expensive
+      const std::size_t step =
+          std::max<std::size_t>(1, slices.size() / kMaxExec);
+      for (std::size_t i = 0; i < slices.size(); i += step)
+        cands.push_back({Schema::kOrthogonalDistinct, slices[i], {}, 0});
+    }
+    // Orthogonal-Arbitrary candidates.
+    {
+      auto slices = enumerate_oa_slices(problem, max_smem);
+      constexpr std::size_t kMaxExec = 32;
+      const std::size_t step =
+          std::max<std::size_t>(1, slices.size() / kMaxExec);
+      for (std::size_t i = 0; i < slices.size(); i += step)
+        cands.push_back({Schema::kOrthogonalArbitrary, {}, slices[i], 0});
+    }
+  }
+  TTLG_ASSERT(!cands.empty(), "at least one candidate always exists");
+
+  // Phase 2: measure candidates, each on an independent device clone.
+  // Parallel when asked for — except under an armed fault injector,
+  // where concurrent measurement would reorder the injector's query
+  // sequence and break seeded-fault reproducibility.
+  const int sampling = dev.sampling() == 0 ? 4 : dev.sampling();
+  const int nthreads = sim::FaultInjector::global().armed()
+                           ? 1
+                           : sim::resolve_num_threads(opts.num_threads);
+  std::vector<std::pair<KernelSelection, double>> measured(cands.size());
+  sim::ThreadPool::global().run_indexed(
+      static_cast<std::int64_t>(cands.size()), nthreads,
+      [&](std::int64_t i) {
+        measured[static_cast<std::size_t>(i)] = measure_candidate(
+            dev.props(), sampling, problem, opts,
+            cands[static_cast<std::size_t>(i)]);
+      });
+
+  // Phase 3: reduce in enumeration order — strict < keeps the FIRST of
+  // equally fast candidates, so the chosen plan is bit-identical to a
+  // serial (and to the historical single-threaded) search.
   KernelSelection best;
   double best_t = -1;
-
-  CandidateRunner runner(dev, problem);
-  auto consider = [&](KernelSelection sel, double t) {
+  for (auto& [sel, t] : measured) {
     ++local.candidates_executed;
     local.measure_device_s += t;
     if (best_t < 0 || t < best_t) {
       best_t = t;
       sel.predicted_s = t;
       best = std::move(sel);
-    }
-  };
-
-  const Schema schema = classify(problem);
-  if (schema == Schema::kCopy || schema == Schema::kFviMatchLarge) {
-    KernelSelection sel;
-    sel.schema = schema;
-    sel.fvi_large = build_fvi_large_config(problem, opts.enable_coarsening);
-    consider(std::move(sel), runner.run_fvi_large(
-                                 build_fvi_large_config(
-                                     problem, opts.enable_coarsening)));
-  } else {
-    // FVI-Match-Small candidates (when applicable).
-    if (problem.fused.perm.fvi_matches() && problem.fused.shape.rank() >= 3) {
-      for (Index b : enumerate_fvi_small_blockings(problem, max_smem)) {
-        KernelSelection sel;
-        sel.schema = Schema::kFviMatchSmall;
-        sel.fvi_small =
-            build_fvi_small_config(problem, b, opts.enable_coarsening);
-        const double t = runner.run_fvi_small(sel.fvi_small);
-        consider(std::move(sel), t);
-      }
-    }
-    // Orthogonal-Distinct candidates.
-    if (!problem.fused.perm.fvi_matches()) {
-      auto cands = enumerate_od_slices(
-          problem,
-          od_max_slice_vol(problem, dev.props(), opts.overbooking_factor));
-      constexpr std::size_t kMaxExec = 64;  // measuring is expensive
-      const std::size_t step = std::max<std::size_t>(
-          1, cands.size() / kMaxExec);
-      for (std::size_t i = 0; i < cands.size(); i += step) {
-        KernelSelection sel;
-        sel.schema = Schema::kOrthogonalDistinct;
-        sel.od = build_od_config(problem, cands[i]);
-        const double t = runner.run_od(sel.od);
-        consider(std::move(sel), t);
-      }
-    }
-    // Orthogonal-Arbitrary candidates.
-    {
-      auto cands = enumerate_oa_slices(problem, max_smem);
-      constexpr std::size_t kMaxExec = 32;
-      const std::size_t step =
-          std::max<std::size_t>(1, cands.size() / kMaxExec);
-      for (std::size_t i = 0; i < cands.size(); i += step) {
-        KernelSelection sel;
-        sel.schema = Schema::kOrthogonalArbitrary;
-        sel.oa =
-            build_oa_config(problem, cands[i], opts.enable_coarsening);
-        const double t = runner.run_oa(sel.oa);
-        consider(std::move(sel), t);
-      }
     }
   }
   TTLG_ASSERT(best_t >= 0, "at least one candidate always exists");

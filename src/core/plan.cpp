@@ -76,7 +76,8 @@ void Plan::move_from(Plan& o) {
   path_ = o.path_;
   fallback_enabled_ = o.fallback_enabled_;
   max_exec_retries_ = o.max_exec_retries_;
-  last_path_ = o.last_path_;
+  last_path_.store(o.last_path_.load());
+  exec_mu_ = std::move(o.exec_mu_);
   fb_oa_ = std::move(o.fb_oa_);
   fb_tex0_ = o.fb_tex0_;
   fb_tex1_ = o.fb_tex1_;
@@ -160,6 +161,7 @@ void Plan::validate_exec_buffers(Index in_base, Index in_bytes,
 }
 
 bool Plan::ensure_exec_oa_fallback() const {
+  std::lock_guard<std::mutex> lk(*exec_mu_);
   if (fb_oa_) return true;
   try {
     auto sel = generic_oa_selection(problem_, PerfModel(dev_->props()),
@@ -183,6 +185,7 @@ bool Plan::ensure_exec_oa_fallback() const {
 }
 
 const NaiveConfig& Plan::naive_config() const {
+  std::lock_guard<std::mutex> lk(*exec_mu_);
   if (!naive_cfg_)
     naive_cfg_ = std::make_unique<NaiveConfig>(build_naive_config(problem_));
   return *naive_cfg_;

@@ -12,7 +12,9 @@
 // Non-retryable errors (InvalidArgument, DataLoss, Internal) propagate.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.hpp"
@@ -60,7 +62,9 @@ class Plan {
   /// itself had to degrade).
   ExecPath plan_path() const { return path_; }
   /// The rung the most recent execute() actually ran on.
-  ExecPath last_exec_path() const { return last_path_; }
+  ExecPath last_exec_path() const {
+    return last_path_.load(std::memory_order_relaxed);
+  }
   /// True when planning degraded below the model-chosen schema. The
   /// plan cache refuses to retain degraded plans (the pressure that
   /// caused the degradation may be transient).
@@ -227,10 +231,15 @@ class Plan {
   bool fallback_enabled_ = true;
   int max_exec_retries_ = 1;
   // Execute-time fallback state, built lazily on first failure and
-  // reused by later executions. Plans are not safe for concurrent
-  // execute() calls (they weren't before either — the simulator
-  // mutates shared counters).
-  mutable ExecPath last_path_ = ExecPath::kPlanned;
+  // reused by later executions. Concurrent execute() calls on one plan
+  // are supported (the parallel engine and the shared PlanCache depend
+  // on it): last_path_ is atomic and the lazy fallback state is built
+  // under exec_mu_ (behind a unique_ptr so the Plan stays movable).
+  // Callers must still hand each concurrent execution its own output
+  // buffer — the transposition itself scatters writes.
+  mutable std::atomic<ExecPath> last_path_{ExecPath::kPlanned};
+  mutable std::unique_ptr<std::mutex> exec_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::unique_ptr<OaConfig> fb_oa_;
   mutable sim::DeviceBuffer<Index> fb_tex0_, fb_tex1_, fb_tex2_;
   mutable std::unique_ptr<NaiveConfig> naive_cfg_;

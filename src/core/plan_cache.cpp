@@ -4,60 +4,90 @@
 #include "telemetry/trace.hpp"
 
 namespace ttlg {
+namespace {
 
-const Plan& PlanCache::get(sim::Device& dev, const Shape& shape,
-                           const Permutation& perm, const PlanOptions& opts,
-                           bool* was_hit) {
+void count_cache_event(const char* name) {
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global().counter(name).inc();
+}
+
+}  // namespace
+
+std::shared_ptr<const Plan> PlanCache::get_shared(sim::Device& dev,
+                                                  const Shape& shape,
+                                                  const Permutation& perm,
+                                                  const PlanOptions& opts,
+                                                  bool* was_hit) {
   Key key{shape.extents(), perm.vec(), opts.elem_size};
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++stats_.hits;
-    it->second.last_use = ++tick_;
-    if (telemetry::counters_enabled())
-      telemetry::MetricsRegistry::global().counter("plan_cache.hit").inc();
-    if (was_hit) *was_hit = true;
-    return it->second.plan;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      it->second.last_use = ++tick_;
+      if (was_hit) *was_hit = true;
+      count_cache_event("plan_cache.hit");
+      return it->second.plan;
+    }
   }
   if (was_hit) *was_hit = false;
-  Plan plan;
+  // Plan OUTSIDE the lock: planning is the expensive part, and misses
+  // on different keys should not serialize each other.
+  std::shared_ptr<Plan> plan;
   try {
-    plan = make_plan(dev, shape, perm, opts);
+    plan = std::make_shared<Plan>(make_plan(dev, shape, perm, opts));
   } catch (...) {
     // A failed make_plan is a failure, not a miss: nothing was built,
     // nothing is inserted, and a permanently-failing key never occupies
     // cache space (retries replan from scratch every time).
-    ++stats_.failures;
-    if (telemetry::counters_enabled())
-      telemetry::MetricsRegistry::global().counter("plan_cache.failure").inc();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.failures;
+    }
+    count_cache_event("plan_cache.failure");
     throw;
   }
+  std::lock_guard<std::mutex> lk(mu_);
   ++stats_.misses;
-  if (telemetry::counters_enabled())
-    telemetry::MetricsRegistry::global().counter("plan_cache.miss").inc();
-  if (plan.degraded()) {
+  count_cache_event("plan_cache.miss");
+  if (plan->degraded()) {
     // Degraded plans are served but not retained — the pressure that
     // forced the fallback may clear, and the next get() should replan.
     ++stats_.uncacheable;
-    if (telemetry::counters_enabled())
-      telemetry::MetricsRegistry::global()
-          .counter("plan_cache.uncacheable")
-          .inc();
-    uncached_ = std::move(plan);
-    return uncached_;
+    count_cache_event("plan_cache.uncacheable");
+    return plan;
+  }
+  // A concurrent miss for the same key may have raced us here: first
+  // insert wins, the duplicate build is dropped (~Plan frees its
+  // device-side offset arrays).
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second.last_use = ++tick_;
+    return it->second.plan;
   }
   Entry entry;
-  entry.plan = std::move(plan);
+  entry.plan = plan;
   entry.last_use = ++tick_;
-  auto [pos, inserted] = cache_.emplace(std::move(key), std::move(entry));
+  cache_.emplace(std::move(key), std::move(entry));
   // Evict AFTER inserting so the entry just built is never the victim
   // (it is the most recently used one by construction).
   if (capacity_ > 0) {
     while (cache_.size() > capacity_) evict_lru();
   }
-  return pos->second.plan;
+  return plan;
+}
+
+const Plan& PlanCache::get(sim::Device& dev, const Shape& shape,
+                           const Permutation& perm, const PlanOptions& opts,
+                           bool* was_hit) {
+  auto plan = get_shared(dev, shape, perm, opts, was_hit);
+  std::lock_guard<std::mutex> lk(mu_);
+  last_returned_ = plan;
+  return *last_returned_;
 }
 
 void PlanCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lk(mu_);
   capacity_ = capacity;
   if (capacity_ > 0) {
     while (cache_.size() > capacity_) evict_lru();
@@ -69,10 +99,9 @@ void PlanCache::evict_lru() {
   for (auto it = cache_.begin(); it != cache_.end(); ++it) {
     if (it->second.last_use < victim->second.last_use) victim = it;
   }
-  cache_.erase(victim);  // ~Plan frees the device-resident offset arrays
+  cache_.erase(victim);  // the shared_ptr frees the plan once unreferenced
   ++stats_.evictions;
-  if (telemetry::counters_enabled())
-    telemetry::MetricsRegistry::global().counter("plan_cache.eviction").inc();
+  count_cache_event("plan_cache.eviction");
 }
 
 }  // namespace ttlg

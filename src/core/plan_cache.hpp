@@ -7,10 +7,20 @@
 // arrays are freed from the device). Hit/miss/eviction counts are
 // always tracked locally and mirrored into the global telemetry
 // registry when the counters level is enabled.
+//
+// Thread safety: the cache may be shared between threads. Entries are
+// reference-counted, so get_shared() hands out plans that survive a
+// concurrent eviction or clear(); planning for a miss happens OUTSIDE
+// the cache lock (concurrent misses on different keys plan in
+// parallel; a racing duplicate build for the same key is discarded,
+// first insert wins). The reference-returning get() remains for
+// single-threaded callers.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -25,8 +35,8 @@ class PlanCache {
 
   /// Fetch (or create and remember) the plan for this transposition.
   /// `was_hit`, if non-null, reports whether planning was skipped.
-  /// The returned reference is only guaranteed valid until the next
-  /// get() (which may evict, or overwrite the uncached slot).
+  /// The returned shared_ptr keeps the plan alive even if the entry is
+  /// evicted or the cache cleared while the caller still executes it.
   ///
   /// Failure semantics: if make_plan throws, nothing is inserted and
   /// the miss is counted as a `failure` instead — a permanently-failing
@@ -34,6 +44,14 @@ class PlanCache {
   /// Degraded plans (make_plan fell back under resource pressure) are
   /// returned but NOT retained: the pressure may be transient, and
   /// caching would pin the slow path for the cache's lifetime.
+  std::shared_ptr<const Plan> get_shared(sim::Device& dev, const Shape& shape,
+                                         const Permutation& perm,
+                                         const PlanOptions& opts = {},
+                                         bool* was_hit = nullptr);
+
+  /// Reference-returning convenience for single-threaded callers: the
+  /// reference is only guaranteed valid until the next get() on this
+  /// thread, and get() calls must be externally serialized.
   const Plan& get(sim::Device& dev, const Shape& shape,
                   const Permutation& perm, const PlanOptions& opts = {},
                   bool* was_hit = nullptr);
@@ -45,33 +63,46 @@ class PlanCache {
     std::int64_t failures = 0;     ///< make_plan threw; nothing cached
     std::int64_t uncacheable = 0;  ///< degraded plans handed out uncached
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot (copy) — the cache may be mutating concurrently.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
 
-  std::size_t capacity() const { return capacity_; }
+  std::size_t capacity() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return capacity_;
+  }
   /// Change the bound; evicts immediately if the cache is over it.
   void set_capacity(std::size_t capacity);
 
-  std::size_t size() const { return cache_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cache_.size();
+  }
   void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
     cache_.clear();
-    uncached_ = Plan();
+    last_returned_.reset();
   }
 
  private:
   using Key = std::tuple<std::vector<Index>, std::vector<Index>, int>;
   struct Entry {
-    Plan plan;
+    std::shared_ptr<const Plan> plan;
     std::uint64_t last_use = 0;
   };
-  void evict_lru();
+  void evict_lru();  // requires mu_ held
 
+  mutable std::mutex mu_;
   std::map<Key, Entry> cache_;
   std::size_t capacity_ = 0;
   std::uint64_t tick_ = 0;
   Stats stats_;
-  /// Holding slot for degraded plans so the returned reference stays
-  /// valid without the plan entering the cache proper.
-  Plan uncached_;
+  /// Keeps the plan most recently handed out by the reference-returning
+  /// get() alive across an eviction, preserving its legacy lifetime
+  /// contract ("valid until the next get()").
+  std::shared_ptr<const Plan> last_returned_;
 };
 
 }  // namespace ttlg

@@ -35,6 +35,13 @@ struct PlanOptions {
   /// gpusim/fault_injector.hpp), installed for the duration of
   /// make_plan. nullopt = leave the process-global injector alone.
   std::optional<std::string> faults;
+  /// Host threads for measurement-based planning (make_plan_measured):
+  /// candidates are measured concurrently on independent device
+  /// clones. 0 = auto (TTLG_THREADS when set, else
+  /// hardware_concurrency()); 1 = serial. The chosen plan is
+  /// bit-identical at every setting (candidate results are reduced in
+  /// enumeration order).
+  int num_threads = 0;
 };
 
 /// Static Fig. 3 flowchart decision (no model evaluation). The

@@ -7,8 +7,9 @@ namespace ttlg {
 TransposeProblem TransposeProblem::make(const Shape& shape,
                                         const Permutation& perm,
                                         int elem_size) {
-  TTLG_CHECK(elem_size == 4 || elem_size == 8,
-             "element size must be 4 (float) or 8 (double)");
+  TTLG_CHECK(elem_size == 1 || elem_size == 2 || elem_size == 4 ||
+                 elem_size == 8,
+             "element size must be 1, 2, 4 (float) or 8 (double) bytes");
   TTLG_CHECK(shape.rank() == perm.rank(),
              "shape and permutation rank mismatch");
   TTLG_CHECK(shape.rank() >= 1, "rank-0 tensors have nothing to transpose");

@@ -14,7 +14,7 @@ struct TransposeProblem {
   Permutation perm;     ///< original permutation
   FusedProblem fused;   ///< after index fusion (kernels operate on this)
   Shape fused_out;      ///< fused output shape
-  int elem_size = 8;    ///< bytes per element (4 = float, 8 = double)
+  int elem_size = 8;    ///< bytes per element (1, 2, 4 = float, 8 = double)
 
   static TransposeProblem make(const Shape& shape, const Permutation& perm,
                                int elem_size = 8);

@@ -3,9 +3,11 @@
 // Kernels are written warp-synchronously: for each warp they build a
 // LaneArray of per-lane element addresses and issue ONE collective
 // load/store, which is how the hardware coalescer sees them. Blocks run
-// sequentially and warps run sequentially between barriers; the paper's
-// kernels are data-race-free between barriers, so this is observationally
-// equivalent to the parallel execution while keeping analysis exact.
+// in block-id order within a host-thread chunk (chunks may run on
+// different host threads — see device.hpp) and warps run sequentially
+// between barriers; the paper's kernels are data-race-free between
+// barriers, so this is observationally equivalent to the parallel
+// execution while keeping analysis exact.
 #pragma once
 
 #include <cstddef>
@@ -29,9 +31,16 @@ enum class ExecMode {
 
 class BlockCtx {
  public:
+  /// `tex_log`, when non-null, switches the texture path to
+  /// record-and-replay: tld() appends the byte addresses of touched
+  /// lines to the log instead of probing (and mutating) the shared
+  /// TextureCache. The launch engine replays the logs in block order
+  /// after all blocks finish, so parallel chunked execution charges
+  /// exactly the misses sequential execution would have.
   BlockCtx(std::int64_t block_id, int block_threads, ExecMode mode,
            const DeviceProperties& props, LaunchCounters& ctr,
-           std::byte* smem, std::int64_t smem_elems, TextureCache& tex)
+           std::byte* smem, std::int64_t smem_elems, TextureCache& tex,
+           std::vector<std::int64_t>* tex_log = nullptr)
       : block_id_(block_id),
         block_threads_(block_threads),
         mode_(mode),
@@ -39,7 +48,8 @@ class BlockCtx {
         ctr_(ctr),
         smem_(smem),
         smem_elems_(smem_elems),
-        tex_(tex) {}
+        tex_(tex),
+        tex_log_(tex_log) {}
 
   std::int64_t block_id() const { return block_id_; }
   int block_dim() const { return block_threads_; }
@@ -145,8 +155,13 @@ class BlockCtx {
       }
     }
     ctr_.tex_transactions += nlines;
-    for (int s = 0; s < nlines; ++s) {
-      if (!tex_.access(lines[s] * tex_.line_bytes())) ++ctr_.tex_misses;
+    if (tex_log_) {
+      for (int s = 0; s < nlines; ++s)
+        tex_log_->push_back(lines[s] * tex_.line_bytes());
+    } else {
+      for (int s = 0; s < nlines; ++s) {
+        if (!tex_.access(lines[s] * tex_.line_bytes())) ++ctr_.tex_misses;
+      }
     }
     // NOTE: texture loads serve the offset indirection arrays, whose
     // values feed later ADDRESS computations — they must return real
@@ -206,6 +221,7 @@ class BlockCtx {
   std::byte* smem_;
   std::int64_t smem_elems_;
   TextureCache& tex_;
+  std::vector<std::int64_t>* tex_log_ = nullptr;
 };
 
 }  // namespace ttlg::sim

@@ -29,6 +29,7 @@ std::byte* Device::allocate_bytes(std::int64_t bytes) {
   a.storage = std::make_unique<std::byte[]>(
       static_cast<std::size_t>(std::max<std::int64_t>(bytes, 1)));
   std::byte* p = a.storage.get();
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   const std::int64_t base = next_addr_;
   // Keep allocations 256-byte aligned and disjoint in device address
   // space so transaction segments never straddle two buffers.
@@ -43,6 +44,7 @@ std::int64_t Device::register_virtual(std::int64_t bytes) {
   check_injected_alloc_fault(bytes);
   Allocation a;
   a.bytes = bytes;  // storage-free: counted but never dereferenced
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   const std::int64_t base = next_addr_;
   next_addr_ += ((bytes + 255) / 256 + 1) * 256;
   bytes_allocated_ += bytes;
@@ -51,12 +53,14 @@ std::int64_t Device::register_virtual(std::int64_t bytes) {
 }
 
 std::int64_t Device::base_of(const std::byte* p) const {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   const auto it = base_by_ptr_.find(p);
   TTLG_ASSERT(it != base_by_ptr_.end(), "unknown device pointer");
   return it->second;
 }
 
 void Device::free_base(std::int64_t base) {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   const auto it = allocations_.find(base);
   TTLG_CHECK(it != allocations_.end(),
              "double free or foreign buffer passed to Device::free");
@@ -66,6 +70,7 @@ void Device::free_base(std::int64_t base) {
 }
 
 bool Device::try_free_base(std::int64_t base) {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   const auto it = allocations_.find(base);
   if (it == allocations_.end()) return false;
   bytes_allocated_ -= it->second.bytes;
@@ -75,6 +80,7 @@ bool Device::try_free_base(std::int64_t base) {
 }
 
 void Device::free_all() {
+  std::lock_guard<std::mutex> lk(alloc_mu_);
   allocations_.clear();
   base_by_ptr_.clear();
   bytes_allocated_ = 0;

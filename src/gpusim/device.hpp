@@ -3,6 +3,12 @@
 // A kernel is any callable `void(BlockCtx&)`; Device::launch runs it for
 // every block of the grid, aggregates hardware-event counters and feeds
 // them to the timing model. See block_ctx.hpp for the execution model.
+//
+// Grid blocks are independent by construction, so large grids execute
+// on the parallel block-execution engine (thread_pool.hpp): contiguous
+// block chunks run on host threads with private counter shards that
+// are reduced in block order, keeping results bit-identical to the
+// sequential engine at any thread count (docs/parallel-execution.md).
 #pragma once
 
 #include <algorithm>
@@ -10,6 +16,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -19,6 +26,7 @@
 #include "gpusim/counters.hpp"
 #include "gpusim/dbuffer.hpp"
 #include "gpusim/device_properties.hpp"
+#include "gpusim/thread_pool.hpp"
 #include "gpusim/timing_model.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -63,6 +71,14 @@ class Device {
   /// the counters by the class multiplicity. 0 disables (default).
   void set_sampling(int samples) { sampling_ = samples; }
   int sampling() const { return sampling_; }
+
+  /// Host threads used to execute grid blocks (the parallel
+  /// block-execution engine). 0 (default) = auto: TTLG_THREADS when
+  /// set, else hardware_concurrency(). 1 disables parallel execution.
+  /// Counter totals, output buffers and simulated times are
+  /// bit-identical at every setting (see docs/parallel-execution.md).
+  void set_num_threads(int n) { num_threads_ = n; }
+  int num_threads() const { return num_threads_; }
 
   /// Allocate `n` elements of T in simulated device memory.
   template <class T>
@@ -112,7 +128,10 @@ class Device {
   void free_all();
 
   /// Bytes currently allocated on the simulated device.
-  std::int64_t bytes_allocated() const { return bytes_allocated_; }
+  std::int64_t bytes_allocated() const {
+    std::lock_guard<std::mutex> lk(alloc_mu_);
+    return bytes_allocated_;
+  }
 
   /// Run `kernel(BlockCtx&)` over the whole grid and return counters +
   /// simulated time. In count-only mode with sampling enabled and a
@@ -139,6 +158,9 @@ class Device {
     if (mode_ == ExecMode::kCountOnly && sampling_ > 0 && cfg.block_class &&
         cfg.num_classes >= 1) {
       run_sampled(kernel, cfg, res, smem, tex);
+    } else if (const int nthreads = launch_parallelism(cfg.grid_blocks);
+               nthreads > 1) {
+      run_parallel(kernel, cfg, res, tex, nthreads);
     } else {
       for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
         BlockCtx blk(b, cfg.block_threads, mode_, props_, res.counters,
@@ -153,6 +175,61 @@ class Device {
   }
 
  private:
+  /// How many host threads this launch should use: 1 (serial) unless
+  /// the grid is big enough to amortize the fan-out and the resolved
+  /// thread knob asks for more.
+  int launch_parallelism(std::int64_t grid_blocks) const {
+    if (grid_blocks < kMinParallelBlocks) return 1;
+    const int resolved = resolve_num_threads(num_threads_);
+    return static_cast<int>(
+        std::min<std::int64_t>(resolved, grid_blocks));
+  }
+
+  /// The parallel block-execution engine. The grid is split into
+  /// contiguous chunks; each chunk runs blocks in order with a private
+  /// LaunchCounters shard, a private (zero-initialized) shared-memory
+  /// arena and a private texture-access log. After the pool joins,
+  /// shards are reduced in CHUNK INDEX order (fixed block-order
+  /// reduction, never arrival order) and the texture logs are replayed
+  /// through the launch's single TextureCache, also in block order —
+  /// so counter totals, tex_misses included, are bit-identical to the
+  /// sequential engine at any thread count. Per-chunk smem arenas are
+  /// observationally equivalent to the shared sequential arena because
+  /// every kernel writes its shared tile before reading it.
+  template <class Kernel>
+  void run_parallel(const Kernel& kernel, const LaunchConfig& cfg,
+                    LaunchResult& res, TextureCache& tex, int nthreads) {
+    const std::int64_t nb = cfg.grid_blocks;
+    // A few chunks per thread keeps the atomic-cursor load balancing
+    // effective when block costs are skewed (remainder blocks).
+    const std::int64_t nchunks = std::min<std::int64_t>(
+        nb, static_cast<std::int64_t>(nthreads) * 4);
+    struct Shard {
+      LaunchCounters ctr;
+      std::vector<std::int64_t> tex_log;
+    };
+    std::vector<Shard> shards(static_cast<std::size_t>(nchunks));
+    ThreadPool::global().run_indexed(
+        nchunks, nthreads, [&](std::int64_t c) {
+          const std::int64_t lo = nb * c / nchunks;
+          const std::int64_t hi = nb * (c + 1) / nchunks;
+          std::vector<std::byte> smem(
+              static_cast<std::size_t>(cfg.shared_elems * cfg.elem_size));
+          Shard& sh = shards[static_cast<std::size_t>(c)];
+          for (std::int64_t b = lo; b < hi; ++b) {
+            BlockCtx blk(b, cfg.block_threads, mode_, props_, sh.ctr,
+                         smem.data(), cfg.shared_elems, tex, &sh.tex_log);
+            kernel(blk);
+          }
+        });
+    for (const Shard& sh : shards) {
+      res.counters += sh.ctr;
+      for (const std::int64_t addr : sh.tex_log) {
+        if (!tex.access(addr)) ++res.counters.tex_misses;
+      }
+    }
+  }
+
   template <class Kernel>
   void run_sampled(const Kernel& kernel, const LaunchConfig& cfg,
                    LaunchResult& res, std::vector<std::byte>& smem,
@@ -233,13 +310,21 @@ class Device {
   bool try_free_base(std::int64_t base);
   void validate(const LaunchConfig& cfg) const;
 
+  /// Grids smaller than this run serially regardless of the thread
+  /// knob: the pool fan-out costs more than the blocks themselves.
+  static constexpr std::int64_t kMinParallelBlocks = 4;
+
   DeviceProperties props_;
   ExecMode mode_ = ExecMode::kFunctional;
   int sampling_ = 0;
+  int num_threads_ = 0;  ///< 0 = auto (TTLG_THREADS / hardware)
   struct Allocation {
     std::unique_ptr<std::byte[]> storage;
     std::int64_t bytes = 0;
   };
+  /// Serializes the allocator maps: plans and candidate measurement
+  /// may allocate/free from concurrent tasks.
+  mutable std::mutex alloc_mu_;
   std::map<std::int64_t, Allocation> allocations_;  // keyed by base addr
   std::map<const std::byte*, std::int64_t> base_by_ptr_;
   std::int64_t next_addr_ = 256;

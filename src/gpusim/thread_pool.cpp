@@ -1,0 +1,127 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ttlg::sim {
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+int default_num_threads() {
+  if (const char* env = std::getenv("TTLG_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return hardware_threads();
+}
+
+int resolve_num_threads(int requested) {
+  return requested > 0 ? requested : default_num_threads();
+}
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
+
+ThreadPool::ThreadPool(int workers) {
+  threads_.reserve(static_cast<std::size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  // Sized so that both an explicit --threads request and the
+  // TTLG_THREADS default can reach full parallelism on this host.
+  static ThreadPool pool(std::max(default_num_threads(), hardware_threads()) -
+                         1);
+  return pool;
+}
+
+void ThreadPool::work_on(Job& job) {
+  for (;;) {
+    const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(job.err_mu);
+      if (!job.err || i < job.err_index) {
+        job.err = std::current_exception();
+        job.err_index = i;
+      }
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      // Lock/unlock pairs with the waiter's predicate check so the
+      // final notification cannot slip between its check and its wait.
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  tl_in_worker = true;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] {
+        return stop_ ||
+               (job_ && job_->next.load(std::memory_order_relaxed) < job_->n);
+      });
+      if (stop_) return;
+      job = job_;
+    }
+    work_on(*job);
+  }
+}
+
+void ThreadPool::run_indexed(std::int64_t n, int parallelism,
+                             const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  const int par =
+      static_cast<int>(std::min<std::int64_t>(
+          n, std::min(parallelism, workers() + 1)));
+  const bool serial = par <= 1 || tl_in_worker;
+  std::unique_lock<std::mutex> lk(mu_, std::defer_lock);
+  if (!serial) lk.try_lock();
+  if (serial || !lk.owns_lock() || job_) {
+    // Inline path: trivial range, nested call from a worker, or the
+    // pool is already busy with another caller's range.
+    if (lk.owns_lock()) lk.unlock();
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job_ = job;
+  lk.unlock();
+  work_cv_.notify_all();
+  work_on(*job);
+  {
+    std::unique_lock<std::mutex> wait_lk(mu_);
+    done_cv_.wait(wait_lk, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
+    job_ = nullptr;
+  }
+  if (job->err) std::rethrow_exception(job->err);
+}
+
+}  // namespace ttlg::sim

@@ -1,0 +1,85 @@
+// Reusable host-side worker pool for the parallel block-execution
+// engine. Work is handed out as an index range [0, n); workers (plus
+// the calling thread, which always participates) grab indices from a
+// shared atomic cursor, so the ASSIGNMENT of indices to threads is
+// nondeterministic — every consumer of the pool must therefore reduce
+// its per-index results in INDEX order, never arrival order. The
+// engine's determinism guarantee rests on that contract.
+//
+// Re-entrancy: a task running on a pool worker that calls run_indexed
+// again executes the nested range inline on its own thread (no nested
+// fan-out, no possibility of pool-starvation deadlock). Likewise, if
+// the pool is busy with another caller's range, the new caller runs
+// its range inline rather than queueing behind it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ttlg::sim {
+
+/// The thread-count default used whenever a knob is 0/"auto": the
+/// TTLG_THREADS environment variable when set (clamped to >= 1), else
+/// std::thread::hardware_concurrency().
+int default_num_threads();
+
+/// Resolve a user-facing thread knob: values > 0 pass through, 0 (or
+/// negative) means default_num_threads().
+int resolve_num_threads(int requested);
+
+class ThreadPool {
+ public:
+  /// A pool with `workers` background threads (the caller of
+  /// run_indexed always participates, so total parallelism is
+  /// workers + 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// True when the calling thread is one of this process's pool
+  /// workers (nested run_indexed calls execute inline).
+  static bool in_worker();
+
+  /// Execute fn(0) .. fn(n-1), each exactly once, using the calling
+  /// thread plus up to parallelism-1 pool workers. Blocks until every
+  /// index has completed. If any invocations throw, the exception of
+  /// the LOWEST throwing index is rethrown (the one a serial loop
+  /// would have surfaced first); the remaining indices still run, so
+  /// parallel and serial execution observe the same per-index side
+  /// effects for indices a serial loop would have reached.
+  void run_indexed(std::int64_t n, int parallelism,
+                   const std::function<void(std::int64_t)>& fn);
+
+  /// Process-wide pool shared by the simulator, planner and benchlib.
+  static ThreadPool& global();
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t)>* fn = nullptr;
+    std::int64_t n = 0;
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::mutex err_mu;
+    std::exception_ptr err;
+    std::int64_t err_index = 0;
+  };
+
+  void worker_loop();
+  void work_on(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a job
+  std::condition_variable done_cv_;  ///< run_indexed waits for completion
+  std::shared_ptr<Job> job_;         ///< the active job, if any
+  bool stop_ = false;
+};
+
+}  // namespace ttlg::sim

@@ -17,9 +17,30 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 void Histogram::observe(double x) {
   std::size_t b = 0;
   while (b < bounds_.size() && x > bounds_[b]) ++b;
+  std::lock_guard<std::mutex> lock(mu_);
   ++counts_[b];
   ++count_;
   sum_ += x;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -37,8 +58,10 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end())
-    it = histograms_.emplace(name, Histogram(std::move(bounds))).first;
-  return it->second;
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  return *it->second;
 }
 
 std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
@@ -85,11 +108,11 @@ Json MetricsRegistry::to_json() const {
   for (const auto& [name, h] : histograms_) {
     Json& j = hists[name] = Json::object();
     Json& bounds = j["bounds"] = Json::array();
-    for (double b : h.bounds()) bounds.push_back(b);
+    for (double b : h->bounds()) bounds.push_back(b);
     Json& counts = j["counts"] = Json::array();
-    for (std::int64_t c : h.bucket_counts()) counts.push_back(c);
-    j["sum"] = h.sum();
-    j["count"] = h.count();
+    for (std::int64_t c : h->bucket_counts()) counts.push_back(c);
+    j["sum"] = h->sum();
+    j["count"] = h->count();
   }
   return out;
 }
@@ -113,12 +136,12 @@ std::string MetricsRegistry::to_table() const {
     Table t({"histogram", "count", "mean", "buckets"});
     for (const auto& [name, h] : histograms_) {
       std::ostringstream buckets;
-      const auto& counts = h.bucket_counts();
+      const auto counts = h->bucket_counts();
       for (std::size_t i = 0; i < counts.size(); ++i) {
         if (i) buckets << ' ';
         buckets << counts[i];
       }
-      t.add_row({name, Table::num(h.count()), Table::num(h.mean(), 6),
+      t.add_row({name, Table::num(h->count()), Table::num(h->mean(), 6),
                  buckets.str()});
     }
     t.print(os);

@@ -6,10 +6,18 @@
 //
 // Handles returned by counter()/gauge()/histogram() stay valid until
 // clear() — the registries are node-based maps.
+//
+// Thread safety: Counter and Gauge updates are lock-free atomics and
+// Histogram::observe takes an internal mutex, so handles may be used
+// from any thread concurrently (the parallel block-execution engine
+// and concurrent planning depend on this). Registry lookups were
+// already serialized by the registry mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -20,21 +28,21 @@ namespace ttlg::telemetry {
 
 class Counter {
  public:
-  void inc(std::int64_t d = 1) { v_ += d; }
-  std::int64_t value() const { return v_; }
+  void inc(std::int64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t v_ = 0;
+  std::atomic<std::int64_t> v_{0};
 };
 
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  void add(double d) { v_ += d; }
-  double value() const { return v_; }
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  double v_ = 0;
+  std::atomic<double> v_{0};
 };
 
 /// Fixed-bucket histogram: `bounds` are the inclusive upper edges of
@@ -45,13 +53,16 @@ class Histogram {
 
   void observe(double x);
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<std::int64_t>& bucket_counts() const { return counts_; }
-  std::int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  /// Snapshot of the per-bucket counts (copy: observers may be
+  /// running concurrently).
+  std::vector<std::int64_t> bucket_counts() const;
+  std::int64_t count() const;
+  double sum() const;
+  double mean() const;
 
  private:
   std::vector<double> bounds_;
+  mutable std::mutex mu_;
   std::vector<std::int64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
   std::int64_t count_ = 0;
   double sum_ = 0;
@@ -88,7 +99,9 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  // unique_ptr: Histogram owns a mutex and cannot be moved into a map
+  // node; the indirection also keeps handle stability explicit.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace ttlg::telemetry

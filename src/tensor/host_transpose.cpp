@@ -67,4 +67,16 @@ void host_transpose(std::span<const double> in, std::span<double> out,
   transpose_impl(in, out, shape, perm);
 }
 
+void host_transpose(std::span<const std::uint8_t> in,
+                    std::span<std::uint8_t> out, const Shape& shape,
+                    const Permutation& perm) {
+  transpose_impl(in, out, shape, perm);
+}
+
+void host_transpose(std::span<const std::uint16_t> in,
+                    std::span<std::uint16_t> out, const Shape& shape,
+                    const Permutation& perm) {
+  transpose_impl(in, out, shape, perm);
+}
+
 }  // namespace ttlg

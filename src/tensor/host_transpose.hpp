@@ -3,6 +3,7 @@
 // and also a usable standalone host fallback (HPTT-style role).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "tensor/permutation.hpp"
@@ -12,11 +13,18 @@
 namespace ttlg {
 
 /// out[rho(i)] = in[i] over raw spans. `in.size()` and `out.size()` must
-/// both equal shape.volume().
+/// both equal shape.volume(). The integer overloads cover the 1- and
+/// 2-byte element sizes of the library's elem_size = 1/2/4/8 range.
 void host_transpose(std::span<const float> in, std::span<float> out,
                     const Shape& shape, const Permutation& perm);
 void host_transpose(std::span<const double> in, std::span<double> out,
                     const Shape& shape, const Permutation& perm);
+void host_transpose(std::span<const std::uint8_t> in,
+                    std::span<std::uint8_t> out, const Shape& shape,
+                    const Permutation& perm);
+void host_transpose(std::span<const std::uint16_t> in,
+                    std::span<std::uint16_t> out, const Shape& shape,
+                    const Permutation& perm);
 
 /// Convenience overload returning a freshly allocated output tensor.
 template <class T>

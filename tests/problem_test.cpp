@@ -9,8 +9,16 @@ namespace {
 
 TEST(Problem, MakeValidates) {
   EXPECT_THROW(
-      TransposeProblem::make(Shape({4}), Permutation({0}), 2),  // bad size
+      TransposeProblem::make(Shape({4}), Permutation({0}), 3),  // bad size
       Error);
+  EXPECT_THROW(
+      TransposeProblem::make(Shape({4}), Permutation({0}), 16),  // bad size
+      Error);
+  // 1- and 2-byte elements are part of the supported range.
+  EXPECT_EQ(TransposeProblem::make(Shape({4}), Permutation({0}), 1).elem_size,
+            1);
+  EXPECT_EQ(TransposeProblem::make(Shape({4}), Permutation({0}), 2).elem_size,
+            2);
   EXPECT_THROW(
       TransposeProblem::make(Shape({4, 4}), Permutation({0}), 8),
       Error);

@@ -39,6 +39,9 @@ PlanOptions options_from(const Cli& cli) {
   opts.elem_size = cli.get_bool("float") ? 4 : 8;
   if (cli.get_bool("analytic")) opts.model = ModelKind::kAnalytic;
   opts.enable_coarsening = !cli.get_bool("no-coarsening");
+  // 0 = auto (TTLG_THREADS when set, else hardware concurrency);
+  // 1 = fully serial. Results are bit-identical at every setting.
+  opts.num_threads = static_cast<int>(cli.get_int("threads", 0));
   return opts;
 }
 
@@ -46,6 +49,7 @@ int cmd_plan(const Cli& cli) {
   const Shape shape(parse_int_list(cli.get("dims", "32,16,24")));
   const Permutation perm(parse_int_list(cli.get("perm", "2,0,1")));
   sim::Device dev;
+  dev.set_num_threads(static_cast<int>(cli.get_int("threads", 0)));
   Plan plan;
   if (cli.get_bool("measure")) {
     MeasuredPlanStats stats;
@@ -76,6 +80,7 @@ template <class T>
 int run_typed(const Cli& cli, const Shape& shape, const Permutation& perm,
               const PlanOptions& opts) {
   sim::Device dev;
+  dev.set_num_threads(opts.num_threads);
   Tensor<T> host(shape);
   host.fill_iota();
   auto in = dev.alloc_copy<T>(host.vec());
@@ -356,6 +361,9 @@ int dispatch(const std::string& cmd, const Cli& cli) {
       "  contract --spec \"iak,kbj->abij\" --a ... --b ...   TTGT demo\n"
       "Common flags: --float, --analytic, --no-coarsening, --csv,\n"
       "              --measure, --save <file> (plan), --load <file> (run),\n"
+      "              --threads N (host threads; 0 = auto from TTLG_THREADS\n"
+      "              or hardware concurrency, 1 = serial; results are\n"
+      "              bit-identical at every setting),\n"
       "              --telemetry off|counters|trace, --trace-out <file>,\n"
       "              --faults <spec> (fault injection, same grammar as\n"
       "              TTLG_FAULTS, e.g. \"seed=7,alloc.p=0.25,launch.nth=3\")\n");
