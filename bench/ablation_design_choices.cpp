@@ -9,6 +9,7 @@
 // Flags: --csv
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   bench::print_machine_header(std::cout, dev.props());
   std::cout << "# Ablations of TTLG design choices\n";
 
+  bench::BenchReport report("ablation_design_choices", dev.props());
   Table t({"ablation", "variant", "kernel_ms", "bw_GBps", "conflicts",
            "special_ops"});
   auto add = [&](const std::string& what, const std::string& variant,
@@ -34,6 +36,14 @@ int main(int argc, char** argv) {
                Table::num(achieved_bandwidth_gbps(volume, 8, run.time_s), 1),
                Table::num(run.counters.smem_bank_conflicts),
                Table::num(run.counters.special_ops)});
+    auto c = telemetry::Json::object();
+    c["ablation"] = what;
+    c["variant"] = variant;
+    c["kernel_ms"] = run.time_s * 1e3;
+    c["bw_gbps"] = achieved_bandwidth_gbps(volume, 8, run.time_s);
+    c["smem_bank_conflicts"] = run.counters.smem_bank_conflicts;
+    c["special_ops"] = run.counters.special_ops;
+    report.add_case_json(std::move(c));
   };
 
   {  // 1. OD tile padding.
@@ -176,5 +186,6 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   return 0;
 }

@@ -6,6 +6,7 @@
 // Flags: --csv, --size N
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   for (const auto& props : profiles)
     std::cout << "#   " << props.to_string() << "\n";
 
+  bench::BenchReport report("ext_device_scaling", profiles[0]);
+  report.set_config("dim_size", n);
   Table t([&] {
     std::vector<std::string> h{"perm", "schema"};
     for (const auto& p : profiles) h.push_back(p.name.substr(10) + "_GBps");
@@ -52,8 +55,15 @@ int main(int argc, char** argv) {
       Plan plan = make_plan(dev, shape, perm, opts);
       const auto res = plan.execute<double>(in, out);
       schema = to_string(plan.schema());
-      row.push_back(Table::num(
-          achieved_bandwidth_gbps(shape.volume(), 8, res.time_s), 1));
+      const double bw = achieved_bandwidth_gbps(shape.volume(), 8, res.time_s);
+      row.push_back(Table::num(bw, 1));
+      auto c = telemetry::Json::object();
+      c["perm"] = perm.to_string();
+      c["device"] = props.name;
+      c["schema"] = schema;
+      c["kernel_ms"] = res.time_s * 1e3;
+      c["bw_gbps"] = bw;
+      report.add_case_json(std::move(c));
     }
     row[1] = schema;
     t.add_row(std::move(row));
@@ -63,6 +73,7 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   std::cout << "\n# Expectation: bandwidth scales roughly with each\n"
                "# generation's effective DRAM bandwidth (220/550/790 GB/s)\n"
                "# since the kernels stay memory-bound.\n";

@@ -7,6 +7,7 @@
 // Flags: --csv
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -50,6 +51,8 @@ int main(int argc, char** argv) {
       {"96,8,96", "2,1,0"},
   };
 
+  bench::BenchReport report("ext_elem_size",
+                            sim::DeviceProperties::tesla_k40c());
   Table t({"dims", "perm", "f32_GBps", "f64_GBps", "f32_txn", "f64_txn",
            "txn_ratio"});
   for (const auto& c : cases) {
@@ -62,12 +65,22 @@ int main(int argc, char** argv) {
                Table::num(static_cast<double>(txn64) /
                               static_cast<double>(txn32),
                           2)});
+    auto j = telemetry::Json::object();
+    j["dims"] = c.dims;
+    j["perm"] = perm.to_string();
+    j["f32_bw_gbps"] = bw32;
+    j["f64_bw_gbps"] = bw64;
+    j["f32_txn"] = txn32;
+    j["f64_txn"] = txn64;
+    j["txn_ratio"] = static_cast<double>(txn64) / static_cast<double>(txn32);
+    report.add_case_json(std::move(j));
   }
   if (cli.get_bool("csv")) {
     t.print_csv(std::cout);
   } else {
     t.print(std::cout);
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   std::cout << "\n# txn_ratio ~2.0 confirms doubles move twice the bytes in\n"
                "# twice the 128B transactions (same efficiency per byte).\n";
   return 0;

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -21,6 +22,9 @@ int main(int argc, char** argv) {
   std::cout << "# Extension: rank scaling at fixed volume (~"
             << target / 1e6 << "M elements), full-reversal permutation\n";
 
+  bench::BenchReport report("ext_rank_scaling",
+                            sim::DeviceProperties::tesla_k40c());
+  report.set_config("target_volume", static_cast<std::int64_t>(target));
   Table t({"rank", "dims", "schema", "kernel_ms", "bw_GBps",
            "coalesce_eff"});
   for (Index rank = 2; rank <= 7; ++rank) {
@@ -46,12 +50,21 @@ int main(int argc, char** argv) {
                                                   res.time_s),
                           1),
                Table::num(res.counters.coalescing_efficiency(), 3)});
+    auto c = telemetry::Json::object();
+    c["rank"] = rank;
+    c["dims"] = shape.to_string();
+    c["schema"] = to_string(plan.schema());
+    c["kernel_ms"] = res.time_s * 1e3;
+    c["bw_gbps"] = achieved_bandwidth_gbps(shape.volume(), 8, res.time_s);
+    c["coalescing_efficiency"] = res.counters.coalescing_efficiency();
+    report.add_case_json(std::move(c));
   }
   if (cli.get_bool("csv")) {
     t.print_csv(std::cout);
   } else {
     t.print(std::cout);
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   std::cout << "\n# Expectation: bandwidth degrades slowly with rank as\n"
                "# long as the leading extent still feeds full warps; the\n"
                "# drop steepens once per-dimension extents near 32.\n";

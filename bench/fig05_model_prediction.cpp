@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -78,6 +79,24 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
   }
+
+  bench::BenchReport report("fig05_model_prediction", dev.props());
+  report.set_config("dims", shape.to_string());
+  report.set_config("perm", perm.to_string());
+  for (const auto& r : rows) {
+    auto c = telemetry::Json::object();
+    c["slice_vol"] = r.slice_vol;
+    c["input_slice"] = r.a;
+    c["output_slice"] = r.b;
+    c["actual_ms"] = r.atime * 1e3;
+    c["predicted_ms"] = r.ptime * 1e3;
+    report.add_case_json(std::move(c));
+  }
+  report.set_config("model_choice_input_slice", best_pred->a);
+  report.set_config("model_choice_output_slice", best_pred->b);
+  report.set_config("choice_penalty_percent",
+                    (best_pred->atime / best_actual->atime - 1.0) * 100);
+  std::cout << "Wrote machine-readable report: " << report.write() << "\n";
 
   std::cout << "\nslice variants: " << rows.size()
             << "\nmodel choice:  input_slice=" << best_pred->a

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <map>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -18,6 +19,9 @@ int main(int argc, char** argv) {
 
   bench::RunnerOptions ropts;
   ropts.sampling = static_cast<int>(cli.get_int("sampling", 6));
+  bench::BenchReport report("fig14_ttc_suite", ropts.props);
+  report.set_config("sampling", ropts.sampling);
+  ropts.report = &report;
   bench::Runner runner(ropts);
   bench::print_machine_header(std::cout, runner.props());
   std::cout << "# Fig. 14: TTC benchmark suite (57 synthesized cases)\n";
@@ -58,5 +62,6 @@ int main(int argc, char** argv) {
   for (auto* b : backends)
     std::cout << "  " << b->name() << ": "
               << Table::num(mean[b->name()] / n, 1) << " GBps\n";
+  std::cout << "Wrote machine-readable report: " << report.write() << "\n";
   return 0;
 }

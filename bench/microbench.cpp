@@ -1,9 +1,27 @@
 // Host-side microbenchmarks (google-benchmark): planning cost (the
 // single-use overhead of Figs. 7/9/11), index fusion, the host reference
-// transpose, and raw simulator throughput.
+// transpose, raw simulator throughput, and dedicated per-schema
+// execution hot-path benchmarks (BM_Execute*) used by the CI perf gate.
+//
+// Unlike the other bench targets this one has a custom main: it runs
+// the registered benchmarks through a capturing reporter, writes
+// results/BENCH_microbench.json (honouring TTLG_BENCH_JSON_DIR), and —
+// when TTLG_PERF_BASELINE points at a previously committed report —
+// compares the BM_Execute* hot-path cases against it, failing on a
+// regression beyond TTLG_PERF_TOLERANCE (default 20%).
+// TTLG_PERF_SCALE multiplies the measured times before the comparison
+// so CI can verify the gate actually trips on an injected slowdown.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "core/ttlg.hpp"
+#include "telemetry/json.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -90,6 +108,110 @@ void BM_SimulatorCountSampled(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorCountSampled);
 
+// ---------------------------------------------------------------------------
+// Per-schema execution hot paths (the CI perf-gate set). Each pins the
+// device to one host thread so the numbers measure the per-block decode
+// + access-pattern-analysis hot loop, not the thread pool. The schema
+// assertion keeps the benchmark honest: if a planner change reroutes
+// the shape to a different kernel the case errors out instead of
+// silently timing the wrong path.
+
+struct HotPath {
+  Extents ext;
+  std::vector<Index> perm;
+  Schema schema;
+};
+
+const HotPath& od_case() {
+  static const HotPath c{{96, 9, 96}, {2, 1, 0}, Schema::kOrthogonalDistinct};
+  return c;
+}
+const HotPath& oa_case() {
+  static const HotPath c{{8, 2, 24, 24, 24},
+                         {2, 1, 3, 0, 4},
+                         Schema::kOrthogonalArbitrary};
+  return c;
+}
+const HotPath& fvi_small_case() {
+  static const HotPath c{{16, 8, 96}, {0, 2, 1}, Schema::kFviMatchSmall};
+  return c;
+}
+const HotPath& fvi_large_case() {
+  static const HotPath c{{64, 32, 32}, {0, 2, 1}, Schema::kFviMatchLarge};
+  return c;
+}
+
+void run_functional(benchmark::State& state, const HotPath& hp) {
+  const Shape shape(hp.ext);
+  const Permutation perm(hp.perm);
+  sim::Device dev;
+  dev.set_num_threads(1);
+  auto in = dev.alloc<double>(shape.volume());
+  auto out = dev.alloc<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  if (plan.schema() != hp.schema) {
+    state.SkipWithError(("expected schema " + to_string(hp.schema) +
+                         ", planner chose " + to_string(plan.schema()))
+                            .c_str());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.execute<double>(in, out).time_s);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          shape.volume() * 16);
+}
+
+void run_count_only(benchmark::State& state, const HotPath& hp) {
+  const Shape shape(hp.ext);
+  const Permutation perm(hp.perm);
+  sim::Device dev;
+  dev.set_num_threads(1);
+  auto in = dev.alloc_virtual<double>(shape.volume());
+  auto out = dev.alloc_virtual<double>(shape.volume());
+  Plan plan = make_plan(dev, shape, perm);
+  if (plan.schema() != hp.schema) {
+    state.SkipWithError(("expected schema " + to_string(hp.schema) +
+                         ", planner chose " + to_string(plan.schema()))
+                            .c_str());
+    return;
+  }
+  dev.set_mode(sim::ExecMode::kCountOnly);  // full grid, no sampling
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.execute<double>(in, out).time_s);
+  }
+}
+
+void BM_ExecuteOD_Functional(benchmark::State& state) {
+  run_functional(state, od_case());
+}
+BENCHMARK(BM_ExecuteOD_Functional);
+
+void BM_ExecuteOD_CountOnly(benchmark::State& state) {
+  run_count_only(state, od_case());
+}
+BENCHMARK(BM_ExecuteOD_CountOnly);
+
+void BM_ExecuteOA_Functional(benchmark::State& state) {
+  run_functional(state, oa_case());
+}
+BENCHMARK(BM_ExecuteOA_Functional);
+
+void BM_ExecuteOA_CountOnly(benchmark::State& state) {
+  run_count_only(state, oa_case());
+}
+BENCHMARK(BM_ExecuteOA_CountOnly);
+
+void BM_ExecuteFviSmall_CountOnly(benchmark::State& state) {
+  run_count_only(state, fvi_small_case());
+}
+BENCHMARK(BM_ExecuteFviSmall_CountOnly);
+
+void BM_ExecuteFviLarge_CountOnly(benchmark::State& state) {
+  run_count_only(state, fvi_large_case());
+}
+BENCHMARK(BM_ExecuteFviLarge_CountOnly);
+
 // Telemetry overhead guard for the Fig. 12 repeated-use hot path: a
 // cached plan executed in count-only mode, with telemetry off (Arg 0)
 // vs counters (Arg 1) vs trace (Arg 2). The acceptance bar is that the
@@ -114,6 +236,157 @@ void BM_RepeatedExecuteTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_RepeatedExecuteTelemetry)->Arg(0)->Arg(1)->Arg(2);
 
+// ---------------------------------------------------------------------------
+// Custom main: capture per-benchmark timings, emit the machine-readable
+// report, and (optionally) gate against a stored baseline.
+
+/// Cases whose regression fails the perf gate. The sub-µs cases
+/// (BM_IndexFusion et al.) are reported but not gated — at that scale
+/// 20% is indistinguishable from scheduler noise.
+constexpr const char kGatePrefix[] = "BM_Execute";
+
+struct CaseTime {
+  std::string name;
+  double real_time_ns = 0;
+  std::int64_t iterations = 0;
+};
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<CaseTime> cases;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const double iters = r.iterations > 0
+                               ? static_cast<double>(r.iterations)
+                               : 1.0;
+      cases.push_back({r.benchmark_name(),
+                       r.real_accumulated_time / iters * 1e9,
+                       static_cast<std::int64_t>(r.iterations)});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  return (s && *s) ? std::atof(s) : fallback;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// name -> real_time_ns from a previously written BENCH_microbench.json.
+std::vector<std::pair<std::string, double>> load_baseline(
+    const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw Error("perf baseline not readable: " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const telemetry::Json doc = telemetry::Json::parse(ss.str());
+  std::vector<std::pair<std::string, double>> out;
+  const telemetry::Json& cases = doc.at("cases");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const telemetry::Json& c = cases.at(i);
+    out.emplace_back(c.at("name").as_str(),
+                     c.at("real_time_ns").as_double());
+  }
+  return out;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  const double tolerance = env_double("TTLG_PERF_TOLERANCE", 0.20);
+  const double scale = env_double("TTLG_PERF_SCALE", 1.0);
+  const char* baseline_path = std::getenv("TTLG_PERF_BASELINE");
+
+  std::vector<std::pair<std::string, double>> baseline;
+  if (baseline_path && *baseline_path) {
+    try {
+      baseline = load_baseline(baseline_path);
+    } catch (const std::exception& e) {
+      // A broken baseline must fail the gate loudly, not pass silently.
+      std::cerr << "perf gate: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  const auto find_baseline = [&](const std::string& name) -> const double* {
+    for (const auto& [n, t] : baseline)
+      if (n == name) return &t;
+    return nullptr;
+  };
+
+  telemetry::Json doc = telemetry::Json::object();
+  doc["bench"] = "microbench";
+  doc["schema_version"] = 1;
+  doc["config"] = telemetry::Json::object();
+  doc["config"]["gate_prefix"] = kGatePrefix;
+  doc["config"]["tolerance"] = tolerance;
+  if (scale != 1.0) doc["config"]["injected_scale"] = scale;
+  if (baseline_path && *baseline_path)
+    doc["config"]["baseline"] = baseline_path;
+
+  telemetry::Json jcases = telemetry::Json::array();
+  std::vector<std::string> regressions;
+  double min_hotpath_speedup = 0;
+  for (const CaseTime& c : reporter.cases) {
+    telemetry::Json jc = telemetry::Json::object();
+    jc["name"] = c.name;
+    jc["real_time_ns"] = c.real_time_ns;
+    jc["iterations"] = c.iterations;
+    if (const double* base = find_baseline(c.name)) {
+      const double measured = c.real_time_ns * scale;
+      jc["baseline_real_time_ns"] = *base;
+      const double speedup = measured > 0 ? *base / measured : 0;
+      jc["speedup_vs_baseline"] = speedup;
+      if (starts_with(c.name, kGatePrefix)) {
+        if (min_hotpath_speedup == 0 || speedup < min_hotpath_speedup)
+          min_hotpath_speedup = speedup;
+        if (measured > *base * (1.0 + tolerance)) {
+          std::ostringstream msg;
+          msg << c.name << ": " << measured << " ns vs baseline " << *base
+              << " ns (" << (measured / *base - 1.0) * 100 << "% slower, "
+              << "tolerance " << tolerance * 100 << "%)";
+          regressions.push_back(msg.str());
+        }
+      }
+    }
+    jcases.push_back(std::move(jc));
+  }
+  doc["cases"] = std::move(jcases);
+  if (!baseline.empty() && min_hotpath_speedup > 0)
+    doc["min_hotpath_speedup_vs_baseline"] = min_hotpath_speedup;
+  if (!regressions.empty()) {
+    telemetry::Json jr = telemetry::Json::array();
+    for (const std::string& r : regressions) jr.push_back(r);
+    doc["regressions"] = std::move(jr);
+  }
+
+  const char* dir = std::getenv("TTLG_BENCH_JSON_DIR");
+  const std::string path =
+      std::string((dir && *dir) ? dir : ".") + "/BENCH_microbench.json";
+  std::ofstream(path) << doc.dump(2) << "\n";
+  std::cout << "Wrote machine-readable report: " << path << "\n";
+
+  if (!baseline.empty()) {
+    if (min_hotpath_speedup > 0)
+      std::cout << "perf gate: min hot-path speedup vs baseline "
+                << min_hotpath_speedup << "x\n";
+    if (!regressions.empty()) {
+      std::cerr << "perf gate FAILED (" << regressions.size()
+                << " regression(s)):\n";
+      for (const std::string& r : regressions) std::cerr << "  " << r << "\n";
+      return 1;
+    }
+    std::cout << "perf gate: OK (tolerance " << tolerance * 100 << "%)\n";
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 // Flags: --csv
 #include <iostream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -19,6 +20,7 @@ namespace {
 
 struct RowSink {
   Table table{{"kernel", "counter", "analytic", "measured", "ratio"}};
+  bench::BenchReport* report = nullptr;
   void add(const std::string& kernel, const std::string& counter,
            Index analytic, Index measured) {
     const double ratio =
@@ -27,6 +29,15 @@ struct RowSink {
                             static_cast<double>(measured);
     table.add_row({kernel, counter, Table::num(analytic),
                    Table::num(measured), Table::num(ratio, 4)});
+    if (report) {
+      auto c = telemetry::Json::object();
+      c["kernel"] = kernel;
+      c["counter"] = counter;
+      c["analytic"] = analytic;
+      c["measured"] = measured;
+      c["ratio"] = ratio;
+      report->add_case_json(std::move(c));
+    }
   }
   void compare(const std::string& kernel, const sim::LaunchCounters& analytic,
                const sim::LaunchCounters& measured) {
@@ -51,7 +62,9 @@ int main(int argc, char** argv) {
   bench::print_machine_header(std::cout, dev.props());
   std::cout << "# Table I: analytic vs measured transaction counts\n\n";
 
+  bench::BenchReport report("table1_transactions", dev.props());
   RowSink sink;
+  sink.report = &report;
 
   {  // FVI-Match-Small (Alg. 6): [16,64,64], perm (0 2 1).
     const auto p =
@@ -113,6 +126,8 @@ int main(int argc, char** argv) {
     sink.table.print(std::cout);
   }
 
+  std::cout << "\nWrote machine-readable report: " << report.write()
+            << "\n";
   std::cout <<
       "\n# Paper Table I symbolic structure (per kernel, input/output):\n"
       "#   FVI-Match-Small    DRAM=C1  SM=C1  TM=0\n"

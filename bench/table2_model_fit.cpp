@@ -17,6 +17,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
@@ -118,6 +119,9 @@ int main(int argc, char** argv) {
   dev.set_sampling(4);
   bench::print_machine_header(std::cout, dev.props());
   std::cout << "# Table II: regression model training\n";
+  bench::BenchReport report("table2_model_fit", dev.props());
+  report.set_config("problems", problems);
+  report.set_config("seed", cli.get_int("seed", 20180521));
 
   mlr::Dataset od_data(PerfModel::od_feature_names());
   mlr::Dataset oa_data(PerfModel::oa_feature_names());
@@ -188,6 +192,25 @@ int main(int argc, char** argv) {
     print_fit(std::cout, name, fit, fit.error_percent(train),
               fit.error_percent(test), train.num_rows(), test.num_rows(),
               csv);
+    {
+      auto c = telemetry::Json::object();
+      c["kernel"] = name;
+      c["train_rows"] = static_cast<std::int64_t>(train.num_rows());
+      c["test_rows"] = static_cast<std::int64_t>(test.num_rows());
+      c["r_squared"] = fit.r_squared;
+      c["train_error_percent"] = fit.error_percent(train);
+      c["test_error_percent"] = fit.error_percent(test);
+      auto coeffs = telemetry::Json::array();
+      for (const auto& k : fit.coefficients) {
+        auto cj = telemetry::Json::object();
+        cj["name"] = k.name;
+        cj["estimate"] = k.estimate;
+        cj["std_error"] = k.std_error;
+        coeffs.push_back(std::move(cj));
+      }
+      c["coefficients"] = std::move(coeffs);
+      report.add_case_json(std::move(c));
+    }
     if (cli.get_bool("print-coefficients")) {
       std::cout << "  // " << name << " coefficients for "
                 << "PerfModel::default_coefficients():\n  c."
@@ -203,5 +226,6 @@ int main(int argc, char** argv) {
       std::cout << "};\n";
     }
   }
+  std::cout << "\nWrote machine-readable report: " << report.write() << "\n";
   return 0;
 }

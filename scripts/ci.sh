@@ -24,6 +24,29 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 fault_shakedown build
 
+echo "== perf smoke: microbench hot-path gate =="
+# Record a fresh same-machine baseline, then prove the gate both passes
+# against it and fails on an injected 1.5x slowdown (>20% tolerance).
+# A same-session baseline keeps the stage meaningful on noisy hosts;
+# cross-commit tracking uses the committed results/BENCH_microbench.json.
+perf_dir=$(mktemp -d)
+TTLG_BENCH_JSON_DIR="$perf_dir" \
+  build/bench/microbench --benchmark_filter='BM_Execute' \
+  --benchmark_min_time=0.1s >/dev/null
+mv "$perf_dir/BENCH_microbench.json" "$perf_dir/baseline.json"
+TTLG_BENCH_JSON_DIR="$perf_dir" TTLG_PERF_BASELINE="$perf_dir/baseline.json" \
+  build/bench/microbench --benchmark_filter='BM_Execute' \
+  --benchmark_min_time=0.1s | tail -n 2
+if TTLG_BENCH_JSON_DIR="$perf_dir" \
+   TTLG_PERF_BASELINE="$perf_dir/baseline.json" TTLG_PERF_SCALE=1.5 \
+   build/bench/microbench --benchmark_filter='BM_Execute' \
+   --benchmark_min_time=0.1s >/dev/null 2>&1; then
+  echo "perf gate did NOT fail on an injected 1.5x slowdown" >&2
+  exit 1
+fi
+echo "perf smoke: gate passes clean and rejects injected 1.5x slowdown"
+rm -rf "$perf_dir"
+
 echo "== sanitizer pass: -DTTLG_SANITIZE=address =="
 cmake -B build-asan -S . -G Ninja -DTTLG_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTTLG_BUILD_BENCH=OFF \
@@ -38,6 +61,9 @@ cmake -B build-ubsan -S . -G Ninja -DTTLG_SANITIZE=undefined \
   -DTTLG_BUILD_EXAMPLES=OFF
 cmake --build build-ubsan -j
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
+# The magic-division property test must be UB-clean: overflow in the
+# multiplier precomputation would silently corrupt every block decode.
+build-ubsan/tests/test_fastdiv --gtest_brief=1
 fault_shakedown build-ubsan
 
 echo "== sanitizer pass: -DTTLG_SANITIZE=thread =="

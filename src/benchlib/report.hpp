@@ -21,6 +21,12 @@ class BenchReport {
   void set_config(const std::string& key, telemetry::Json value);
 
   void add_case(const CaseResult& r);
+
+  /// Record an arbitrary case object — for table-style benches (model
+  /// fits, ablations, analytic-vs-measured comparisons) whose rows do
+  /// not fit the backend-bandwidth CaseResult shape.
+  void add_case_json(telemetry::Json c) { cases_.push_back(std::move(c)); }
+
   std::size_t num_cases() const { return cases_.size(); }
   const std::string& name() const { return name_; }
 

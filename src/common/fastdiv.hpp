@@ -1,0 +1,85 @@
+// Granlund–Montgomery magic-number division for non-negative 64-bit
+// integers: precompute a (multiplier, shift) pair for a fixed divisor
+// once, then every quotient costs one widening multiply and one shift
+// instead of a hardware divide (~20-40 cycles on current CPUs). This is
+// the same strength reduction cuTT bakes into its kernel parameters and
+// the TTLG paper reaches via texture-held offset arrays (Alg. 4): all
+// expensive index arithmetic moves out of the inner loop into plan
+// construction.
+//
+// Correctness domain: divisor d >= 1 and numerator n in [0, 2^63), i.e.
+// every non-negative int64 including INT64_MAX. Proof sketch for the
+// round-up method with N = 63 fractional bits: for a non-power-of-two d
+// with L = bit_width(d), m = floor(2^(N+L)/d) + 1 satisfies
+// 1 <= m*d - 2^(N+L) <= d <= 2^L - 1 < 2^L, which is exactly the
+// Granlund–Montgomery condition for floor((m*n) >> (N+L)) == n/d over
+// n < 2^N; and m < 2^64 because 2^(L-1) < d implies
+// floor(2^(63+L)/d) < 2^64. Powers of two d = 2^k take the same code
+// path with m = 2^63 and shift 63+k (an exact right shift by k).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace ttlg {
+
+// 128-bit arithmetic is a compiler extension; the alias keeps the
+// -Wpedantic diagnostic confined to this one line.
+__extension__ typedef unsigned __int128 ttlg_uint128;
+
+struct DivMod {
+  std::int64_t quot;
+  std::int64_t rem;
+};
+
+class FastDiv {
+ public:
+  /// Divide-by-1 (quot = n, rem = 0); lets arrays of FastDiv be
+  /// default-constructed before the extents are known.
+  constexpr FastDiv() : d_(1), mul_(std::uint64_t{1} << 63), shift_(63) {}
+
+  constexpr explicit FastDiv(std::int64_t d) : d_(d) {
+    assert(d >= 1 && "FastDiv divisor must be positive");
+    const auto ud = static_cast<std::uint64_t>(d);
+    if ((ud & (ud - 1)) == 0) {  // power of two, incl. d == 1
+      mul_ = std::uint64_t{1} << 63;
+      shift_ = 63 + std::countr_zero(ud);
+    } else {
+      const int width = std::bit_width(ud);  // 2^(width-1) < d < 2^width
+      shift_ = 63 + width;
+      mul_ = static_cast<std::uint64_t>((static_cast<ttlg_uint128>(1)
+                                         << shift_) /
+                                        ud) +
+             1;
+    }
+  }
+
+  constexpr std::int64_t divisor() const { return d_; }
+
+  /// n / d_ for n >= 0. One 64x64->128 multiply plus one shift.
+  constexpr std::int64_t div(std::int64_t n) const {
+    assert(n >= 0 && "FastDiv numerator must be non-negative");
+    return static_cast<std::int64_t>(
+        (static_cast<ttlg_uint128>(static_cast<std::uint64_t>(n)) * mul_) >>
+        shift_);
+  }
+
+  /// n % d_ for n >= 0.
+  constexpr std::int64_t mod(std::int64_t n) const {
+    return n - div(n) * d_;
+  }
+
+  /// Quotient and remainder from a single multiply.
+  constexpr DivMod divmod(std::int64_t n) const {
+    const std::int64_t q = div(n);
+    return {q, n - q * d_};
+  }
+
+ private:
+  std::int64_t d_;
+  std::uint64_t mul_;
+  int shift_;
+};
+
+}  // namespace ttlg

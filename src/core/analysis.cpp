@@ -106,7 +106,7 @@ sim::LaunchCounters analyze_oa(const TransposeProblem& p, const OaConfig& c) {
     for (int l = 0; l < kWS; ++l) {
       const Index s = s0 + l;
       if (s >= c.slice_vol) break;
-      lanes[l] = c.pad_index(c.sm_out_offset[static_cast<std::size_t>(s)]);
+      lanes.set(l, c.pad_index(c.sm_out_offset[static_cast<std::size_t>(s)]));
     }
     conflicts_full += sim::count_bank_conflicts(lanes, kWS);
   }

@@ -71,6 +71,9 @@ FviLargeConfig build_fvi_large_config(const TransposeProblem& problem,
   const Index jchunks = ceil_div(std::min(cfg.seg_len, cfg.n0), kWS);
   cfg.block_threads = static_cast<int>(
       std::min<Index>(256, kWS * std::max<Index>(1, cfg.batch * jchunks)));
+  cfg.decoder.init(cfg.grid_extents, cfg.grid_in_strides,
+                   cfg.grid_out_strides, cfg.grid_blocks,
+                   /*build_table=*/true);
   return cfg;
 }
 
@@ -134,6 +137,10 @@ FviSmallConfig build_fvi_small_config(const TransposeProblem& problem,
   cfg.grid_blocks = 1;
   for (Index e : cfg.grid_extents) cfg.grid_blocks *= e;
   cfg.block_threads = static_cast<int>(kWS * b);
+  cfg.decoder.init(cfg.grid_extents, cfg.grid_in_strides,
+                   cfg.grid_out_strides, cfg.grid_blocks,
+                   /*build_table=*/true);
+  cfg.n0_div = FastDiv(cfg.n0);
   return cfg;
 }
 

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/grid_decode.hpp"
 #include "core/problem.hpp"
 
 namespace ttlg {
@@ -30,6 +31,9 @@ struct FviLargeConfig {
   std::vector<Index> grid_out_strides;
   Index grid_blocks = 1;
   int block_threads = 256;
+
+  /// Strength-reduced block decode over the slots above.
+  GridDecoder decoder;
 };
 
 /// Build the direct-copy configuration. Applicable when the fused
@@ -62,6 +66,11 @@ struct FviSmallConfig {
   int block_threads = 32;
   Index coarsen_extent = 1;
   Index coarsen_in_stride = 0, coarsen_out_stride = 0;
+
+  /// Strength-reduced block decode, plus the gather phase's N0 divisor
+  /// (Alg. 6's q -> (jk, e) split) as a FastDiv.
+  GridDecoder decoder;
+  FastDiv n0_div;
 };
 
 /// Build the staged configuration for blocking factor `b`. Requires

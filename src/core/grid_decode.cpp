@@ -1,0 +1,50 @@
+#include "core/grid_decode.hpp"
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+void GridDecoder::init(const std::vector<Index>& extents,
+                       const std::vector<Index>& in_strides,
+                       const std::vector<Index>& out_strides,
+                       Index grid_blocks, bool build_table) {
+  TTLG_CHECK(extents.size() == in_strides.size() &&
+                 extents.size() == out_strides.size(),
+             "grid decode slot vectors must agree in rank");
+  divs_.clear();
+  divs_.reserve(extents.size());
+  for (Index e : extents) {
+    TTLG_CHECK(e >= 1, "grid slot extent must be positive");
+    divs_.emplace_back(e);
+  }
+  in_strides_ = in_strides;
+  out_strides_ = out_strides;
+  table_.clear();
+
+  if (!build_table || grid_blocks > kGridTableMaxBlocks) return;
+
+  // Odometer walk over the slot space: the table is filled in block-id
+  // order with pure additions (no division at all, not even FastDiv).
+  table_.resize(static_cast<std::size_t>(grid_blocks));
+  const std::size_t rank = divs_.size();
+  std::vector<Index> digit(rank, 0);
+  GridEntry cur;
+  for (Index bid = 0; bid < grid_blocks; ++bid) {
+    table_[static_cast<std::size_t>(bid)] = cur;
+    for (std::size_t i = 0; i < rank; ++i) {
+      cur.in_base += in_strides_[i];
+      cur.out_base += out_strides_[i];
+      if (i == 0) ++cur.idx0;
+      if (i == 1) ++cur.idx1;
+      if (++digit[i] < divs_[i].divisor()) break;
+      // Carry: rewind this slot to zero and bump the next one.
+      digit[i] = 0;
+      cur.in_base -= divs_[i].divisor() * in_strides_[i];
+      cur.out_base -= divs_[i].divisor() * out_strides_[i];
+      if (i == 0) cur.idx0 = 0;
+      if (i == 1) cur.idx1 = 0;
+    }
+  }
+}
+
+}  // namespace ttlg

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <array>
+#include <bit>
 
 #include "core/fvi_config.hpp"
+#include "core/grid_decode.hpp"
 #include "core/oa_config.hpp"
 #include "core/od_config.hpp"
 #include "gpusim/block_ctx.hpp"
@@ -36,45 +38,27 @@ inline void store_with_epilogue(sim::BlockCtx& blk, sim::DeviceBuffer<T> out,
   if (epi.beta != T{0}) {
     sim::LaneValues<T> old{};
     blk.gld(out, ga, old);
-    for (int l = 0; l < sim::kWarpSize; ++l) {
-      if (ga[l] == sim::kInactive) continue;
-      v[static_cast<std::size_t>(l)] =
-          epi.alpha * v[static_cast<std::size_t>(l)] +
-          epi.beta * old[static_cast<std::size_t>(l)];
+    for (std::uint64_t m = ga.active_mask(); m != 0; m &= m - 1) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(m));
+      v[l] = epi.alpha * v[l] + epi.beta * old[l];
     }
   } else if (epi.alpha != T{1}) {
-    for (int l = 0; l < sim::kWarpSize; ++l) {
-      if (ga[l] == sim::kInactive) continue;
-      v[static_cast<std::size_t>(l)] *= epi.alpha;
+    for (std::uint64_t m = ga.active_mask(); m != 0; m &= m - 1) {
+      v[static_cast<std::size_t>(std::countr_zero(m))] *= epi.alpha;
     }
   }
   blk.gst(out, ga, v);
 }
 
-struct BlockDecode {
-  Index in_base = 0;
-  Index out_base = 0;
-  std::array<Index, 20> idx{};
-};
-
-/// Decompose the block id over the grid slots (mod/div per slot, charged
-/// as special instructions) and accumulate the input/output base offsets
-/// — the paper's decode() + compute_base() pair.
-inline BlockDecode decode_block(sim::BlockCtx& blk,
-                                const std::vector<Index>& extents,
-                                const std::vector<Index>& in_strides,
-                                const std::vector<Index>& out_strides) {
-  BlockDecode d;
-  Index rest = blk.block_id();
-  for (std::size_t i = 0; i < extents.size(); ++i) {
-    const Index q = rest % extents[i];
-    rest /= extents[i];
-    blk.count_special(2);
-    d.idx[i] = q;
-    d.in_base += q * in_strides[i];
-    d.out_base += q * out_strides[i];
-  }
-  return d;
+/// Decompose the block id over the grid slots and accumulate the
+/// input/output base offsets — the paper's decode() + compute_base()
+/// pair. The host-side arithmetic is strength-reduced (block table or
+/// FastDiv, see GridDecoder), but the SIMULATED cost is unchanged: the
+/// modeled kernel still pays one mod/div pair per grid slot, so the
+/// special-instruction charge is identical to the reference decode.
+inline GridEntry decode_block(sim::BlockCtx& blk, const GridDecoder& dec) {
+  blk.count_special(2 * dec.slots());
+  return dec.decode(blk.block_id());
 }
 
 // ---------------------------------------------------------------------
@@ -90,11 +74,9 @@ struct OdKernel {
   Epilogue<T> epi{};
 
   void operator()(sim::BlockCtx& blk) const {
-    const BlockDecode dec = decode_block(blk, cfg.grid_extents,
-                                         cfg.grid_in_strides,
-                                         cfg.grid_out_strides);
-    const Index A = cfg.a_eff(dec.idx[0]);
-    const Index B = cfg.b_eff(dec.idx[1]);
+    const GridEntry dec = decode_block(blk, cfg.decoder);
+    const Index A = cfg.a_eff(dec.idx0);
+    const Index B = cfg.b_eff(dec.idx1);
     const int nwarps = blk.num_warps();
     const Index ws = sim::kWarpSize;
 
@@ -114,15 +96,14 @@ struct OdKernel {
             const Index b = tb * ws + r;
             sim::LaneArray toff;
             sim::LaneValues<Index> offv{};
-            toff[0] = b;  // warp-uniform read of in_offset[b] (broadcast)
+            toff.set(0, b);  // warp-uniform read of in_offset[b] (broadcast)
             blk.tld(in_offset, toff, offv);
             blk.count_special(cfg.extra_row_specials);
             sim::LaneArray ga, sa;
             sim::LaneValues<T> v{};
-            for (int l = 0; l < aw; ++l) {
-              ga[l] = dec.in_base + offv[0] + ta * ws + l;
-              sa[l] = r * cfg.tile_pitch + l;
-            }
+            ga.fill_run(dec.in_base + offv[0] + ta * ws,
+                        static_cast<int>(aw));
+            sa.fill_run(r * cfg.tile_pitch, static_cast<int>(aw));
             blk.gld(in, ga, v);
             blk.sst(sa, v);
           }
@@ -139,15 +120,14 @@ struct OdKernel {
             const Index a = ta * ws + c;
             sim::LaneArray toff;
             sim::LaneValues<Index> offv{};
-            toff[0] = a;
+            toff.set(0, a);
             blk.tld(out_offset, toff, offv);
             blk.count_special(cfg.extra_row_specials);
             sim::LaneArray sa, ga;
             sim::LaneValues<T> v{};
-            for (int l = 0; l < bh; ++l) {
-              sa[l] = l * cfg.tile_pitch + c;
-              ga[l] = dec.out_base + offv[0] + tb * ws + l;
-            }
+            sa.fill_strided(c, cfg.tile_pitch, static_cast<int>(bh));
+            ga.fill_run(dec.out_base + offv[0] + tb * ws,
+                        static_cast<int>(bh));
             blk.sld(sa, v);
             store_with_epilogue(blk, out, ga, v, epi);
           }
@@ -172,11 +152,9 @@ struct OaKernel {
   Epilogue<T> epi{};
 
   void operator()(sim::BlockCtx& blk) const {
-    BlockDecode dec = decode_block(blk, cfg.grid_extents,
-                                   cfg.grid_in_strides,
-                                   cfg.grid_out_strides);
-    const Index c_eff = cfg.c_eff(dec.idx[0]);
-    const Index r_eff = cfg.r_eff(dec.idx[1]);
+    const GridEntry dec = decode_block(blk, cfg.decoder);
+    const Index c_eff = cfg.c_eff(dec.idx0);
+    const Index r_eff = cfg.r_eff(dec.idx1);
     const bool partial = c_eff < cfg.in_vol || r_eff < cfg.oos_vol;
     const int nthreads = blk.block_dim();
     const int nwarps = blk.num_warps();
@@ -190,33 +168,50 @@ struct OaKernel {
       const Index out_base = dec.out_base + ci * cfg.coarsen_out_stride;
 
       // Phase 1: copy-in. Lanes walk slice positions s = r*in_vol + c in
-      // input order; the c-run is contiguous in global memory.
+      // input order; the c-run is contiguous in global memory. One
+      // FastDiv divmod splits the warp base; lanes advance (r, c) as an
+      // odometer instead of re-dividing per lane.
       for (Index s0 = 0; s0 < cfg.slice_vol; s0 += nthreads) {
         for (int w = 0; w < nwarps; ++w) {
           const Index base = s0 + static_cast<Index>(w) * ws;
           if (base >= cfg.slice_vol) break;
+          const DivMod rc = cfg.in_vol_div.divmod(base);
+          Index r = rc.quot;
+          Index c = rc.rem;
+          // Lanes form runs of constant r with consecutive c: fill each
+          // run as a strip instead of stepping the odometer per lane.
+          const Index nlane = std::min<Index>(ws, cfg.slice_vol - base);
+          std::array<Index, sim::kWarpSize> ca{};
           sim::LaneArray ra;
-          bool any = false;
-          for (int l = 0; l < ws; ++l) {
-            const Index s = base + l;
-            if (s >= cfg.slice_vol) break;
-            const Index c = s % cfg.in_vol;
-            const Index r = s / cfg.in_vol;
-            if (c >= c_eff || r >= r_eff) continue;
-            ra[l] = r;
-            any = true;
+          for (Index l = 0; l < nlane;) {
+            const Index seg = std::min<Index>(nlane - l, cfg.in_vol - c);
+            if (r < r_eff && c < c_eff) {
+              const int run =
+                  static_cast<int>(std::min<Index>(seg, c_eff - c));
+              ra.fill_const_at(static_cast<int>(l), run, r);
+              for (int i = 0; i < run; ++i)
+                ca[static_cast<std::size_t>(l + i)] = c + i;
+            }
+            l += seg;
+            c += seg;
+            if (c == cfg.in_vol) {
+              c = 0;
+              ++r;
+            }
           }
-          if (!any) continue;
+          if (!ra.any_active()) continue;
           sim::LaneValues<Index> offv{};
           blk.tld(input_offset, ra, offv);
           sim::LaneArray ga, sa;
           sim::LaneValues<T> v{};
-          for (int l = 0; l < ws; ++l) {
-            if (ra[l] == sim::kInactive) continue;
-            const Index s = base + l;
-            const Index c = s % cfg.in_vol;
-            ga[l] = in_base + offv[l] + c;
-            sa[l] = cfg.pad_index(s);
+          // base is warp-aligned, so pad_index(base + l) == pad_base + l
+          // for every lane of this warp.
+          const Index pad_base = cfg.pad_index(base);
+          for (std::uint64_t m = ra.active_mask(); m != 0; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            ga.set(l, in_base + offv[static_cast<std::size_t>(l)] +
+                          ca[static_cast<std::size_t>(l)]);
+            sa.set(l, pad_base + l);
           }
           blk.gld(in, ga, v);
           blk.sst(sa, v);
@@ -232,35 +227,39 @@ struct OaKernel {
         for (int w = 0; w < nwarps; ++w) {
           const Index base = s0 + static_cast<Index>(w) * ws;
           if (base >= cfg.slice_vol) break;
+          const Index nlane = std::min<Index>(ws, cfg.slice_vol - base);
           sim::LaneArray pa;
-          bool any = false;
-          for (int l = 0; l < ws; ++l) {
-            const Index p = base + l;
-            if (p >= cfg.slice_vol) break;
-            if (partial) {
+          if (!partial) {
+            // Full block: p runs consecutively — one strip fill, and the
+            // downstream texture loads hit the dense-range fast path.
+            pa.fill_run(base, static_cast<int>(nlane));
+          } else {
+            for (Index l = 0; l < nlane; ++l) {
+              const Index p = base + l;
               if (c_eff < cfg.in_vol && cfg.mask_a_stride > 0) {
-                const Index idx = (p / cfg.mask_a_stride) % cfg.mask_a_extent;
+                const Index idx =
+                    cfg.mask_a_extent_div.mod(cfg.mask_a_stride_div.div(p));
                 if (idx >= cfg.a_rem) continue;
               }
               if (r_eff < cfg.oos_vol && cfg.mask_b_stride > 0) {
-                const Index idx = (p / cfg.mask_b_stride) % cfg.mask_b_extent;
+                const Index idx =
+                    cfg.mask_b_extent_div.mod(cfg.mask_b_stride_div.div(p));
                 if (idx >= cfg.b_rem) continue;
               }
+              pa.set(static_cast<int>(l), p);
             }
-            pa[l] = p;
-            any = true;
+            blk.count_special(4);
           }
-          if (partial) blk.count_special(4);
-          if (!any) continue;
+          if (!pa.any_active()) continue;
           sim::LaneValues<Index> smoff{}, gooff{};
           blk.tld(sm_out_offset, pa, smoff);
           blk.tld(output_offset, pa, gooff);
           sim::LaneArray sa, ga;
           sim::LaneValues<T> v{};
-          for (int l = 0; l < ws; ++l) {
-            if (pa[l] == sim::kInactive) continue;
-            sa[l] = cfg.pad_index(smoff[l]);
-            ga[l] = out_base + gooff[l];
+          for (std::uint64_t m = pa.active_mask(); m != 0; m &= m - 1) {
+            const int l = std::countr_zero(m);
+            sa.set(l, cfg.pad_index(smoff[static_cast<std::size_t>(l)]));
+            ga.set(l, out_base + gooff[static_cast<std::size_t>(l)]);
           }
           blk.sld(sa, v);
           store_with_epilogue(blk, out, ga, v, epi);
@@ -282,15 +281,13 @@ struct FviSmallKernel {
   Epilogue<T> epi{};
 
   void operator()(sim::BlockCtx& blk) const {
-    const BlockDecode dec = decode_block(blk, cfg.grid_extents,
-                                         cfg.grid_in_strides,
-                                         cfg.grid_out_strides);
+    const GridEntry dec = decode_block(blk, cfg.decoder);
     const Index i1_eff =
-        (cfg.i1_rem != 0 && dec.idx[0] == cfg.i1_chunks - 1) ? cfg.i1_rem
-                                                             : cfg.b;
+        (cfg.i1_rem != 0 && dec.idx0 == cfg.i1_chunks - 1) ? cfg.i1_rem
+                                                           : cfg.b;
     const Index ik_eff =
-        (cfg.ik_rem != 0 && dec.idx[1] == cfg.ik_chunks - 1) ? cfg.ik_rem
-                                                             : cfg.b;
+        (cfg.ik_rem != 0 && dec.idx1 == cfg.ik_chunks - 1) ? cfg.ik_rem
+                                                           : cfg.b;
     const int nwarps = blk.num_warps();
     const Index ws = sim::kWarpSize;
 
@@ -305,14 +302,11 @@ struct FviSmallKernel {
         if (w >= ik_eff) break;
         const Index row_base = in_base + w * cfg.in_stride_ik;
         for (Index j0 = 0; j0 < in_run; j0 += ws) {
+          const int n = static_cast<int>(std::min<Index>(ws, in_run - j0));
           sim::LaneArray ga, sa;
           sim::LaneValues<T> v{};
-          for (int l = 0; l < ws; ++l) {
-            const Index j = j0 + l;
-            if (j >= in_run) break;
-            ga[l] = row_base + j;
-            sa[l] = w * cfg.row_pitch + j;
-          }
+          ga.fill_run(row_base + j0, n);
+          sa.fill_run(w * cfg.row_pitch + j0, n);
           blk.gld(in, ga, v);
           blk.sst(sa, v);
         }
@@ -327,15 +321,19 @@ struct FviSmallKernel {
         if (w >= i1_eff) break;
         const Index row_base = out_base + w * cfg.out_stride_i1;
         for (Index q0 = 0; q0 < out_run; q0 += ws) {
+          const int n = static_cast<int>(std::min<Index>(ws, out_run - q0));
           sim::LaneArray sa, ga;
           sim::LaneValues<T> v{};
-          for (int l = 0; l < ws; ++l) {
-            const Index q = q0 + l;
-            if (q >= out_run) break;
-            const Index jk = q / cfg.n0;
-            const Index e = q % cfg.n0;
-            sa[l] = jk * cfg.row_pitch + w * cfg.n0 + e;
-            ga[l] = row_base + q;
+          ga.fill_run(row_base + q0, n);
+          // One FastDiv divmod for the first lane; (jk, e) advances as
+          // an odometer across the warp's consecutive q values.
+          DivMod jke = cfg.n0_div.divmod(q0);
+          for (int l = 0; l < n; ++l) {
+            sa.set(l, jke.quot * cfg.row_pitch + w * cfg.n0 + jke.rem);
+            if (++jke.rem == cfg.n0) {
+              jke.rem = 0;
+              ++jke.quot;
+            }
           }
           blk.sld(sa, v);
           store_with_epilogue(blk, out, ga, v, epi);
@@ -357,41 +355,42 @@ struct FviLargeKernel {
   Epilogue<T> epi{};
 
   void operator()(sim::BlockCtx& blk) const {
-    const BlockDecode dec = decode_block(blk, cfg.grid_extents,
-                                         cfg.grid_in_strides,
-                                         cfg.grid_out_strides);
-    const Index seg = dec.idx[0];
+    const GridEntry dec = decode_block(blk, cfg.decoder);
+    const Index seg = dec.idx0;
     const Index len =
         std::min<Index>(cfg.seg_len, cfg.n0 - seg * cfg.seg_len);
     const int nthreads = blk.block_dim();
     const int nwarps = blk.num_warps();
     const Index ws = sim::kWarpSize;
     const Index rows =
-        (cfg.batch_rem != 0 && dec.idx[1] == cfg.batch_chunks - 1)
+        (cfg.batch_rem != 0 && dec.idx1 == cfg.batch_chunks - 1)
             ? cfg.batch_rem
             : cfg.batch;
     (void)nthreads;
 
     // Distribute (row, 32-chunk) pairs across the block's warps so both
     // short-and-batched and long-unbatched rows keep every warp busy.
+    // g walks 0..total-1 strictly sequentially, so its (row, chunk)
+    // split is maintained as an odometer — no division at all.
     const Index jchunks = (len + ws - 1) / ws;
     const Index total = rows * jchunks;
+    Index ci = 0, jc = 0;  // g == ci * jchunks + jc
     for (Index g0 = 0; g0 < total; g0 += nwarps) {
       for (int w = 0; w < nwarps; ++w) {
         const Index g = g0 + w;
         if (g >= total) break;
-        const Index ci = g / jchunks;
-        const Index base = (g % jchunks) * ws;
+        const Index base = jc * ws;
         const Index in_base = dec.in_base + ci * cfg.batch_in_stride;
         const Index out_base = dec.out_base + ci * cfg.batch_out_stride;
+        if (++jc == jchunks) {
+          jc = 0;
+          ++ci;
+        }
+        const int n = static_cast<int>(std::min<Index>(ws, len - base));
         sim::LaneArray ga, go;
         sim::LaneValues<T> v{};
-        for (int l = 0; l < ws; ++l) {
-          const Index j = base + l;
-          if (j >= len) break;
-          ga[l] = in_base + j;
-          go[l] = out_base + j;
-        }
+        ga.fill_run(in_base + base, n);
+        go.fill_run(out_base + base, n);
         blk.gld(in, ga, v);
         store_with_epilogue(blk, out, go, v, epi);
       }

@@ -9,12 +9,16 @@
 namespace ttlg {
 
 /// Classifier over the two chunked grid slots (slot 0 and slot 1):
-/// class = partial-A bit | partial-B bit.
+/// class = partial-A bit | partial-B bit. Called for every block of a
+/// sampled sweep, so the slot split is captured as FastDivs.
 inline std::function<std::int64_t(std::int64_t)> chunk_block_class(
     Index a_chunks, Index a_rem, Index b_chunks, Index b_rem) {
+  const FastDiv a_div(a_chunks);
+  const FastDiv b_div(b_chunks);
   return [=](std::int64_t bid) -> std::int64_t {
-    const Index a = bid % a_chunks;
-    const Index b = (bid / a_chunks) % b_chunks;
+    const DivMod am = a_div.divmod(bid);
+    const Index a = am.rem;
+    const Index b = b_div.mod(am.quot);
     return (a_rem != 0 && a == a_chunks - 1 ? 1 : 0) +
            (b_rem != 0 && b == b_chunks - 1 ? 2 : 0);
   };

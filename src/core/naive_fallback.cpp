@@ -11,6 +11,7 @@ NaiveConfig build_naive_config(const TransposeProblem& problem) {
   for (Index d = 0; d < fs.rank(); ++d) {
     cfg.extents.push_back(fs.extent(d));
     cfg.out_strides.push_back(fo.stride(fp.position_of(d)));
+    cfg.extent_divs.emplace_back(fs.extent(d));
   }
   cfg.grid_blocks =
       (cfg.volume + cfg.block_threads - 1) / cfg.block_threads;

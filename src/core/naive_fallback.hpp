@@ -10,17 +10,26 @@
 // wraps the same kernel as the "Naive" comparison backend.
 #pragma once
 
+#include <array>
+
+#include "common/fastdiv.hpp"
 #include "core/kernels.hpp"
 #include "core/problem.hpp"
 #include "gpusim/device.hpp"
 
 namespace ttlg {
 
+/// Digit capacity of the naive kernel's odometer (fused rank bound).
+inline constexpr std::size_t kNaiveMaxRank = 32;
+
 struct NaiveConfig {
   Index volume = 0;
   /// Output stride for each input dimension (fused problem).
   std::vector<Index> extents;
   std::vector<Index> out_strides;
+  /// FastDiv per extent: the block's first element is decoded with
+  /// multiplies and shifts; lanes then advance as an odometer.
+  std::vector<FastDiv> extent_divs;
   Index grid_blocks = 1;
   int block_threads = 256;
 };
@@ -36,6 +45,27 @@ struct NaiveKernel {
 
   void operator()(sim::BlockCtx& blk) const {
     const Index base = blk.block_id() * blk.block_dim();
+    if (base >= cfg.volume) return;
+    const std::size_t rank = cfg.extents.size();
+    TTLG_ASSERT(rank <= kNaiveMaxRank, "fused rank exceeds odometer digits");
+
+    // Decode the block's first element once with FastDiv; every further
+    // element of the block is i+1, so the digit vector and the output
+    // offset advance as an odometer (amortized O(1) per element). The
+    // SIMULATED kernel still recomputes per element — the charge below
+    // is unchanged.
+    std::array<Index, kNaiveMaxRank> digit{};
+    Index off = 0;
+    {
+      Index rest = base;
+      for (std::size_t d = 0; d < rank; ++d) {
+        const DivMod dm = cfg.extent_divs[d].divmod(rest);
+        rest = dm.quot;
+        digit[d] = dm.rem;
+        off += dm.rem * cfg.out_strides[d];
+      }
+    }
+
     for (int w = 0; w < blk.num_warps(); ++w) {
       const Index wbase = base + static_cast<Index>(w) * sim::kWarpSize;
       if (wbase >= cfg.volume) break;
@@ -44,13 +74,15 @@ struct NaiveKernel {
       for (int l = 0; l < sim::kWarpSize; ++l) {
         const Index i = wbase + l;
         if (i >= cfg.volume) break;
-        ga[l] = i;
-        Index rest = i, off = 0;
-        for (std::size_t d = 0; d < cfg.extents.size(); ++d) {
-          off += (rest % cfg.extents[d]) * cfg.out_strides[d];
-          rest /= cfg.extents[d];
+        ga.set(l, i);
+        go.set(l, off);
+        // Advance to element i+1: bump digit 0, carry as needed.
+        for (std::size_t d = 0; d < rank; ++d) {
+          off += cfg.out_strides[d];
+          if (++digit[d] < cfg.extents[d]) break;
+          digit[d] = 0;
+          off -= cfg.extents[d] * cfg.out_strides[d];
         }
-        go[l] = off;
       }
       // Per-element index arithmetic: 2 mod/div per dimension, per lane
       // step — executed once per warp in lock-step.

@@ -150,6 +150,19 @@ OaConfig build_oa_config(const TransposeProblem& problem, const OaSlice& slice,
   for (Index e : cfg.grid_extents) cfg.grid_blocks *= e;
   cfg.block_threads = pick_block_threads(cfg.slice_vol);
 
+  // Strength-reduced decode state (table only for materialized plans).
+  cfg.decoder.init(cfg.grid_extents, cfg.grid_in_strides,
+                   cfg.grid_out_strides, cfg.grid_blocks, with_offsets);
+  cfg.in_vol_div = FastDiv(cfg.in_vol);
+  if (cfg.mask_a_stride > 0) {
+    cfg.mask_a_stride_div = FastDiv(cfg.mask_a_stride);
+    cfg.mask_a_extent_div = FastDiv(cfg.mask_a_extent);
+  }
+  if (cfg.mask_b_stride > 0) {
+    cfg.mask_b_stride_div = FastDiv(cfg.mask_b_stride);
+    cfg.mask_b_extent_div = FastDiv(cfg.mask_b_extent);
+  }
+
   if (!with_offsets) return cfg;
 
   // ---- Alg. 4: offset indirection arrays ----

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/grid_decode.hpp"
 #include "core/problem.hpp"
 
 namespace ttlg {
@@ -73,6 +74,14 @@ struct OaConfig {
   int block_threads = 256;
   Index coarsen_extent = 1;  ///< 1 = coarsening disabled
   Index coarsen_in_stride = 0, coarsen_out_stride = 0;
+
+  /// Strength-reduced block decode plus the kernel's per-lane divisors
+  /// (Alg. 5 lines 7-8 and the remainder masks), precomputed here so
+  /// the inner loops pay multiply+shift instead of 64-bit divides.
+  GridDecoder decoder;
+  FastDiv in_vol_div;       ///< s -> (r, c) split of the copy-in walk
+  FastDiv mask_a_stride_div, mask_a_extent_div;  ///< valid iff stride > 0
+  FastDiv mask_b_stride_div, mask_b_extent_div;
 
   /// Alg. 4 arrays (uploaded to texture memory by the plan).
   std::vector<Index> input_offset;    ///< size oos_vol

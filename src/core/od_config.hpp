@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/grid_decode.hpp"
 #include "core/problem.hpp"
 
 namespace ttlg {
@@ -51,6 +52,10 @@ struct OdConfig {
   std::vector<Index> grid_out_strides;
   Index grid_blocks = 1;
   int block_threads = 256;
+
+  /// Strength-reduced block decode over the slots above (FastDiv always;
+  /// a full block table when with_offsets and the grid is small).
+  GridDecoder decoder;
 
   /// Shared-memory tile pitch; 33 = paper's padded buffer. 32 disables
   /// padding (exposes bank conflicts — for the ablation benchmark).

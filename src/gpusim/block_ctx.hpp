@@ -10,7 +10,9 @@
 // execution while keeping analysis exact.
 #pragma once
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <vector>
 
@@ -20,6 +22,7 @@
 #include "gpusim/dbuffer.hpp"
 #include "gpusim/device_properties.hpp"
 #include "gpusim/lane.hpp"
+#include "gpusim/pattern_cache.hpp"
 #include "gpusim/texture_cache.hpp"
 
 namespace ttlg::sim {
@@ -37,10 +40,16 @@ class BlockCtx {
   /// TextureCache. The launch engine replays the logs in block order
   /// after all blocks finish, so parallel chunked execution charges
   /// exactly the misses sequential execution would have.
+  ///
+  /// `pattern`, when non-null, memoizes the transaction / bank-conflict
+  /// / texture-line analysis on the warp's normalized lane pattern.
+  /// Cached answers equal recomputed ones, so every counter is
+  /// bit-identical with or without it (see pattern_cache.hpp).
   BlockCtx(std::int64_t block_id, int block_threads, ExecMode mode,
            const DeviceProperties& props, LaunchCounters& ctr,
            std::byte* smem, std::int64_t smem_elems, TextureCache& tex,
-           std::vector<std::int64_t>* tex_log = nullptr)
+           std::vector<std::int64_t>* tex_log = nullptr,
+           PatternCache* pattern = nullptr)
       : block_id_(block_id),
         block_threads_(block_threads),
         mode_(mode),
@@ -49,7 +58,8 @@ class BlockCtx {
         smem_(smem),
         smem_elems_(smem_elems),
         tex_(tex),
-        tex_log_(tex_log) {}
+        tex_log_(tex_log),
+        pattern_(pattern) {}
 
   std::int64_t block_id() const { return block_id_; }
   int block_dim() const { return block_threads_; }
@@ -69,20 +79,23 @@ class BlockCtx {
   template <class T>
   void gld(const DeviceBuffer<T>& buf, const LaneArray& lanes,
            LaneValues<T>& vals) {
-    if (!lanes.any_active()) return;
-    ctr_.gld_transactions += count_transactions(
-        lanes, buf.base_addr(), sizeof(T), props_.dram_transaction_bytes);
-    ctr_.payload_bytes +=
-        static_cast<std::int64_t>(lanes.active_count()) * sizeof(T);
+    const int active = lanes.active_count();
+    if (active == 0) return;
+    ctr_.gld_transactions +=
+        pattern_ ? pattern_->transactions(lanes, buf.base_addr(), sizeof(T),
+                                          props_.dram_transaction_bytes)
+                 : count_transactions(lanes, buf.base_addr(), sizeof(T),
+                                      props_.dram_transaction_bytes);
+    ctr_.payload_bytes += static_cast<std::int64_t>(active) * sizeof(T);
     if (mode_ == ExecMode::kCountOnly) {
       vals.fill(T{});
       return;
     }
     TTLG_ASSERT(buf.valid(),
                 "functional access through a storage-free (virtual) buffer");
-    for (int l = 0; l < kWarpSize; ++l) {
+    for (std::uint64_t m = lanes.active_mask(); m != 0; m &= m - 1) {
+      const int l = std::countr_zero(m);
       const std::int64_t a = lanes[l];
-      if (a == kInactive) continue;
       TTLG_ASSERT(a >= 0 && a < buf.size(), "global load out of bounds");
       vals[static_cast<std::size_t>(l)] = buf[a];
     }
@@ -93,17 +106,20 @@ class BlockCtx {
   template <class T>
   void gst(DeviceBuffer<T> buf, const LaneArray& lanes,
            const LaneValues<T>& vals) {
-    if (!lanes.any_active()) return;
-    ctr_.gst_transactions += count_transactions(
-        lanes, buf.base_addr(), sizeof(T), props_.dram_transaction_bytes);
-    ctr_.payload_bytes +=
-        static_cast<std::int64_t>(lanes.active_count()) * sizeof(T);
+    const int active = lanes.active_count();
+    if (active == 0) return;
+    ctr_.gst_transactions +=
+        pattern_ ? pattern_->transactions(lanes, buf.base_addr(), sizeof(T),
+                                          props_.dram_transaction_bytes)
+                 : count_transactions(lanes, buf.base_addr(), sizeof(T),
+                                      props_.dram_transaction_bytes);
+    ctr_.payload_bytes += static_cast<std::int64_t>(active) * sizeof(T);
     if (mode_ == ExecMode::kCountOnly) return;
     TTLG_ASSERT(buf.valid(),
                 "functional access through a storage-free (virtual) buffer");
-    for (int l = 0; l < kWarpSize; ++l) {
+    for (std::uint64_t m = lanes.active_mask(); m != 0; m &= m - 1) {
+      const int l = std::countr_zero(m);
       const std::int64_t a = lanes[l];
-      if (a == kInactive) continue;
       TTLG_ASSERT(a >= 0 && a < buf.size(), "global store out of bounds");
       buf[a] = vals[static_cast<std::size_t>(l)];
     }
@@ -115,52 +131,22 @@ class BlockCtx {
   void tld(const DeviceBuffer<T>& buf, const LaneArray& lanes,
            LaneValues<T>& vals) {
     if (!lanes.any_active()) return;
-    // Distinct texture lines touched by this warp access.
+    // Distinct texture lines touched by this warp access, in first-touch
+    // order (collect_tex_lines; memoized on the lane pattern when the
+    // pattern cache is active).
     std::int64_t lines[kWarpSize];
-    int nlines = 0;
-    // Fast path: fully-active consecutive lanes touch a dense line range.
-    bool consecutive = lanes[0] != kInactive;
-    if (consecutive) {
-      for (int l = 1; l < kWarpSize; ++l) {
-        if (lanes[l] != lanes[0] + l) {
-          consecutive = false;
-          break;
-        }
-      }
-    }
-    if (consecutive) {
-      const std::int64_t es = static_cast<std::int64_t>(sizeof(T));
-      const std::int64_t first =
-          (buf.base_addr() + lanes[0] * es) / tex_.line_bytes();
-      const std::int64_t last =
-          (buf.base_addr() + (lanes[0] + kWarpSize - 1) * es + es - 1) /
-          tex_.line_bytes();
-      for (std::int64_t line = first; line <= last; ++line)
-        lines[nlines++] = line;
-    } else {
-      for (int l = 0; l < kWarpSize; ++l) {
-        const std::int64_t a = lanes[l];
-        if (a == kInactive) continue;
-        const std::int64_t line =
-            (buf.base_addr() + a * static_cast<std::int64_t>(sizeof(T))) /
-            tex_.line_bytes();
-        bool seen = false;
-        for (int s = 0; s < nlines; ++s) {
-          if (lines[s] == line) {
-            seen = true;
-            break;
-          }
-        }
-        if (!seen) lines[nlines++] = line;
-      }
-    }
+    const int nlines =
+        pattern_ ? pattern_->tex_lines(lanes, buf.base_addr(), sizeof(T),
+                                       tex_.line_bytes(), lines)
+                 : collect_tex_lines(lanes, buf.base_addr(), sizeof(T),
+                                     tex_.line_bytes(), lines);
     ctr_.tex_transactions += nlines;
     if (tex_log_) {
       for (int s = 0; s < nlines; ++s)
         tex_log_->push_back(lines[s] * tex_.line_bytes());
     } else {
       for (int s = 0; s < nlines; ++s) {
-        if (!tex_.access(lines[s] * tex_.line_bytes())) ++ctr_.tex_misses;
+        if (!tex_.access_line(lines[s])) ++ctr_.tex_misses;
       }
     }
     // NOTE: texture loads serve the offset indirection arrays, whose
@@ -168,9 +154,9 @@ class BlockCtx {
     // data even in count-only mode or downstream coalescing/bank
     // analysis would see collapsed address streams.
     TTLG_ASSERT(buf.valid(), "texture buffers always have storage");
-    for (int l = 0; l < kWarpSize; ++l) {
+    for (std::uint64_t m = lanes.active_mask(); m != 0; m &= m - 1) {
+      const int l = std::countr_zero(m);
       const std::int64_t a = lanes[l];
-      if (a == kInactive) continue;
       TTLG_ASSERT(a >= 0 && a < buf.size(), "texture load out of bounds");
       vals[static_cast<std::size_t>(l)] = buf[a];
     }
@@ -182,15 +168,17 @@ class BlockCtx {
   void sld(const LaneArray& lanes, LaneValues<T>& vals) {
     if (!lanes.any_active()) return;
     ++ctr_.smem_load_ops;
-    ctr_.smem_bank_conflicts += count_bank_conflicts(lanes, props_.shared_banks);
+    ctr_.smem_bank_conflicts +=
+        pattern_ ? pattern_->bank_conflicts(lanes, props_.shared_banks)
+                 : count_bank_conflicts(lanes, props_.shared_banks);
     if (mode_ == ExecMode::kCountOnly) {
       vals.fill(T{});
       return;
     }
     const T* sm = reinterpret_cast<const T*>(smem_);
-    for (int l = 0; l < kWarpSize; ++l) {
+    for (std::uint64_t m = lanes.active_mask(); m != 0; m &= m - 1) {
+      const int l = std::countr_zero(m);
       const std::int64_t a = lanes[l];
-      if (a == kInactive) continue;
       TTLG_ASSERT(a >= 0 && a < smem_elems_, "shared load out of bounds");
       vals[static_cast<std::size_t>(l)] = sm[a];
     }
@@ -201,12 +189,14 @@ class BlockCtx {
   void sst(const LaneArray& lanes, const LaneValues<T>& vals) {
     if (!lanes.any_active()) return;
     ++ctr_.smem_store_ops;
-    ctr_.smem_bank_conflicts += count_bank_conflicts(lanes, props_.shared_banks);
+    ctr_.smem_bank_conflicts +=
+        pattern_ ? pattern_->bank_conflicts(lanes, props_.shared_banks)
+                 : count_bank_conflicts(lanes, props_.shared_banks);
     if (mode_ == ExecMode::kCountOnly) return;
     T* sm = reinterpret_cast<T*>(smem_);
-    for (int l = 0; l < kWarpSize; ++l) {
+    for (std::uint64_t m = lanes.active_mask(); m != 0; m &= m - 1) {
+      const int l = std::countr_zero(m);
       const std::int64_t a = lanes[l];
-      if (a == kInactive) continue;
       TTLG_ASSERT(a >= 0 && a < smem_elems_, "shared store out of bounds");
       sm[a] = vals[static_cast<std::size_t>(l)];
     }
@@ -222,6 +212,7 @@ class BlockCtx {
   std::int64_t smem_elems_;
   TextureCache& tex_;
   std::vector<std::int64_t>* tex_log_ = nullptr;
+  PatternCache* pattern_ = nullptr;
 };
 
 }  // namespace ttlg::sim

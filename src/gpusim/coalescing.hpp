@@ -24,4 +24,12 @@ int count_transactions(const LaneArray& lanes, std::int64_t base_addr,
 /// matching the paper's 32x33 padding arithmetic).
 int count_bank_conflicts(const LaneArray& lanes, int banks);
 
+/// Distinct texture-cache lines touched by the active lanes, written to
+/// `lines_out` (capacity kWarpSize) in FIRST-TOUCH order — the order the
+/// cache sees them, which fixes the hit/miss sequence. Returns how many.
+/// Requires at least one active lane and line_bytes >= elem_size.
+int collect_tex_lines(const LaneArray& lanes, std::int64_t base_addr,
+                      int elem_size, std::int64_t line_bytes,
+                      std::int64_t* lines_out);
+
 }  // namespace ttlg::sim

@@ -1,5 +1,8 @@
 #include "gpusim/device.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -21,6 +24,14 @@ void check_injected_alloc_fault(std::int64_t bytes) {
 }  // namespace
 
 Device::Device(DeviceProperties props) : props_(std::move(props)) {}
+
+bool Device::default_pattern_cache() {
+  static const bool on = [] {
+    const char* env = std::getenv("TTLG_PATTERN_CACHE");
+    return env == nullptr || std::string_view(env) != "0";
+  }();
+  return on;
+}
 
 std::byte* Device::allocate_bytes(std::int64_t bytes) {
   check_injected_alloc_fault(bytes);

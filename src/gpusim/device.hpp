@@ -80,6 +80,14 @@ class Device {
   void set_num_threads(int n) { num_threads_ = n; }
   int num_threads() const { return num_threads_; }
 
+  /// Memoized access-pattern analysis (transactions, bank conflicts,
+  /// texture-line dedup keyed on the warp's normalized lane pattern —
+  /// pattern_cache.hpp). On by default; TTLG_PATTERN_CACHE=0 flips the
+  /// process-wide default. Counters, outputs and simulated times are
+  /// bit-identical either way.
+  void set_pattern_cache(bool on) { pattern_cache_ = on; }
+  bool pattern_cache() const { return pattern_cache_; }
+
   /// Allocate `n` elements of T in simulated device memory.
   template <class T>
   DeviceBuffer<T> alloc(std::int64_t n) {
@@ -162,9 +170,10 @@ class Device {
                nthreads > 1) {
       run_parallel(kernel, cfg, res, tex, nthreads);
     } else {
+      const PatternCachePool::Lease pc = pattern_pool_.acquire(pattern_cache_);
       for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
         BlockCtx blk(b, cfg.block_threads, mode_, props_, res.counters,
-                     smem.data(), cfg.shared_elems, tex);
+                     smem.data(), cfg.shared_elems, tex, nullptr, pc.get());
         kernel(blk);
       }
     }
@@ -215,10 +224,16 @@ class Device {
           const std::int64_t hi = nb * (c + 1) / nchunks;
           std::vector<std::byte> smem(
               static_cast<std::size_t>(cfg.shared_elems * cfg.elem_size));
+          // One pattern-cache lease per chunk: no sharing between host
+          // threads, and cached == recomputed keeps totals bit-identical
+          // regardless of which chunk warmed which cache.
+          const PatternCachePool::Lease pc =
+              pattern_pool_.acquire(pattern_cache_);
           Shard& sh = shards[static_cast<std::size_t>(c)];
           for (std::int64_t b = lo; b < hi; ++b) {
             BlockCtx blk(b, cfg.block_threads, mode_, props_, sh.ctr,
-                         smem.data(), cfg.shared_elems, tex, &sh.tex_log);
+                         smem.data(), cfg.shared_elems, tex, &sh.tex_log,
+                         pc.get());
             kernel(blk);
           }
         });
@@ -234,6 +249,8 @@ class Device {
   void run_sampled(const Kernel& kernel, const LaunchConfig& cfg,
                    LaunchResult& res, std::vector<std::byte>& smem,
                    TextureCache& tex) {
+    const PatternCachePool::Lease pc = pattern_pool_.acquire(pattern_cache_);
+    PatternCache* pcp = pc.get();
     const std::int64_t nc = cfg.num_classes;
     std::vector<std::int64_t> counts(static_cast<std::size_t>(nc), 0);
     for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
@@ -264,12 +281,12 @@ class Device {
           // steady state, not the launch's cold start.
           LaunchCounters discard;
           BlockCtx warm(b, cfg.block_threads, mode_, props_, discard,
-                        smem.data(), cfg.shared_elems, tex);
+                        smem.data(), cfg.shared_elems, tex, nullptr, pcp);
           kernel(warm);
           warmed = true;
         }
         BlockCtx blk(b, cfg.block_threads, mode_, props_, cls, smem.data(),
-                     cfg.shared_elems, tex);
+                     cfg.shared_elems, tex, nullptr, pcp);
         kernel(blk);
       }
       const double scale =
@@ -314,10 +331,16 @@ class Device {
   /// knob: the pool fan-out costs more than the blocks themselves.
   static constexpr std::int64_t kMinParallelBlocks = 4;
 
+  /// Process-wide default for the pattern-cache knob: true unless
+  /// TTLG_PATTERN_CACHE=0 (defined in device.cpp).
+  static bool default_pattern_cache();
+
   DeviceProperties props_;
   ExecMode mode_ = ExecMode::kFunctional;
   int sampling_ = 0;
   int num_threads_ = 0;  ///< 0 = auto (TTLG_THREADS / hardware)
+  bool pattern_cache_ = default_pattern_cache();
+  PatternCachePool pattern_pool_;
   struct Allocation {
     std::unique_ptr<std::byte[]> storage;
     std::int64_t bytes = 0;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 
 namespace ttlg::sim {
@@ -13,27 +14,68 @@ namespace ttlg::sim {
 inline constexpr int kWarpSize = 32;
 inline constexpr std::int64_t kInactive = -1;
 
-/// Element indices for the 32 lanes of a warp; kInactive masks a lane.
+/// Element indices for the 32 lanes of a warp.
+///
+/// Writes go through set() or the bulk fillers, which maintain the
+/// active-lane bitmask; addr[l] is meaningful ONLY where the mask bit
+/// is set (unset lanes are never initialized), so activity queries are
+/// O(1) and the analysis layer iterates set bits instead of scanning
+/// all 32 lanes. fill_run() additionally marks the array as a
+/// consecutive run, which the coalescing/bank/texture analyses solve
+/// in closed form without re-deriving the shape per access.
 struct LaneArray {
   std::array<std::int64_t, kWarpSize> addr;
+  std::uint64_t mask = 0;  ///< bit l set iff lane l is active
+  bool run = false;        ///< lanes [0, n) hold v0, v0+1, ..., v0+n-1
 
-  LaneArray() { addr.fill(kInactive); }
+  LaneArray() = default;
 
-  std::int64_t& operator[](int lane) { return addr[static_cast<std::size_t>(lane)]; }
+  void set(int lane, std::int64_t v) {
+    addr[static_cast<std::size_t>(lane)] = v;
+    if (v != kInactive) mask |= std::uint64_t{1} << lane;
+    run = false;
+  }
+
+  /// Set lanes [0, n) to the consecutive run v0, v0+1, ... — the
+  /// dominant coalesced shape. One vectorizable loop and a single mask
+  /// update instead of 32 guarded set() calls.
+  void fill_run(std::int64_t v0, int n) {
+    run = mask == 0 && n > 0;
+    for (int l = 0; l < n; ++l)
+      addr[static_cast<std::size_t>(l)] = v0 + l;
+    mask |= (std::uint64_t{1} << n) - 1;
+  }
+
+  /// Set lanes [lane0, lane0+n) to the constant v (a warp-uniform or
+  /// broadcast run). Requires lane0 + n <= kWarpSize.
+  void fill_const_at(int lane0, int n, std::int64_t v) {
+    for (int i = 0; i < n; ++i)
+      addr[static_cast<std::size_t>(lane0 + i)] = v;
+    mask |= ((std::uint64_t{1} << n) - 1) << lane0;
+    run = false;
+  }
+
+  /// Set lanes [0, n) to v0 + l*stride (a constant-stride column walk).
+  void fill_strided(std::int64_t v0, std::int64_t stride, int n) {
+    run = mask == 0 && n > 0 && stride == 1;
+    for (int l = 0; l < n; ++l)
+      addr[static_cast<std::size_t>(l)] = v0 + l * stride;
+    mask |= (std::uint64_t{1} << n) - 1;
+  }
+
   std::int64_t operator[](int lane) const {
     return addr[static_cast<std::size_t>(lane)];
   }
 
-  int active_count() const {
-    int n = 0;
-    for (auto a : addr) n += (a != kInactive);
-    return n;
-  }
-  bool any_active() const {
-    for (auto a : addr)
-      if (a != kInactive) return true;
-    return false;
-  }
+  bool active(int lane) const { return (mask >> lane) & 1; }
+  std::uint64_t active_mask() const { return mask; }
+  int active_count() const { return std::popcount(mask); }
+  bool any_active() const { return mask != 0; }
+
+  /// True when the active lanes are exactly [0, popcount(mask)) holding
+  /// consecutive values — the precondition for the closed-form
+  /// coalescing solutions.
+  bool is_run() const { return run; }
 };
 
 /// Per-lane values travelling with a warp-collective access.

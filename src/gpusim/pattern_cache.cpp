@@ -1,0 +1,360 @@
+#include "gpusim/pattern_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+#include "gpusim/coalescing.hpp"
+
+namespace ttlg::sim {
+
+namespace {
+
+/// murmur3 finalizer: full-avalanche 64-bit mix.
+inline std::uint64_t pc_mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline bool pow2(std::int64_t v) { return (v & (v - 1)) == 0; }
+
+/// n % m (resp. n / m) for n >= 0, avoiding the hardware division when
+/// m is a power of two (device properties are runtime values, so the
+/// compiler can't).
+inline std::int64_t fast_rem(std::int64_t n, std::int64_t m) {
+  return pow2(m) ? n & (m - 1) : n % m;
+}
+
+inline std::int64_t fast_div(std::int64_t n, std::int64_t m) {
+  return pow2(m)
+             ? n >> std::countr_zero(static_cast<std::uint64_t>(m))
+             : n / m;
+}
+
+constexpr std::uint64_t kFullMask = 0xffffffffULL;
+
+}  // namespace
+
+PatternCache::PatternCache() : table_(kCapacity) {}
+
+bool PatternCache::normalize(const LaneArray& lanes, Norm& n) {
+  std::uint64_t m = lanes.active_mask();
+  if (m == 0) return false;
+  n.a0 = lanes[std::countr_zero(m)];
+  n.active = m;
+  // One pass over the SET bits only: per-lane delta plus the running
+  // key hash. Inactive slots of n.deltas stay unwritten — every
+  // consumer walks them through the active mask.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (; m != 0; m &= m - 1) {
+    const int l = std::countr_zero(m);
+    const std::int64_t d = lanes[l] - n.a0;
+    n.deltas[static_cast<std::size_t>(l)] = d;
+    h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(d);
+  }
+  n.hash = h;
+  return true;
+}
+
+std::uint64_t PatternCache::key_hash(std::uint8_t kind, std::int32_t unit,
+                                     std::int64_t scale, std::int64_t phase,
+                                     const Norm& n) {
+  // Fold the scalar key fields into the pattern hash from the fused
+  // normalize pass. Collisions are harmless — probe compares the
+  // complete key.
+  std::uint64_t h = n.hash ^ (0x9e3779b97f4a7c15ULL + kind);
+  h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(unit);
+  h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(scale);
+  h = h * 0x100000001b3ULL ^ static_cast<std::uint64_t>(phase);
+  h = h * 0x100000001b3ULL ^ n.active;
+  return pc_mix(h);
+}
+
+bool PatternCache::verify(const Entry& e, const LaneArray& lanes,
+                          std::int64_t a0) {
+  std::uint64_t m = lanes.active_mask();
+  if (e.active != m) return false;  // O(1) reject on shape mismatch
+  for (; m != 0; m &= m - 1) {
+    const int l = std::countr_zero(m);
+    if (lanes[l] - a0 != e.deltas[static_cast<std::size_t>(l)]) return false;
+  }
+  return true;
+}
+
+int PatternCache::mru_bucket(std::int64_t phase, const LaneArray& lanes,
+                             std::int64_t a0) {
+  // Second active lane's delta: an O(1) shape discriminant that spreads
+  // same-phase patterns (e.g. distinct gather rows) across buckets.
+  const std::uint64_t m2 = lanes.active_mask() & (lanes.active_mask() - 1);
+  const std::int64_t d1 = m2 != 0 ? lanes[std::countr_zero(m2)] - a0 : 0;
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(phase >> 3) ^
+       static_cast<std::uint64_t>(d1)) &
+      static_cast<std::uint64_t>(kMruBuckets - 1));
+}
+
+const PatternCache::Entry* PatternCache::mru_lookup(
+    std::uint8_t kind, std::int32_t unit, std::int64_t scale,
+    std::int64_t phase, int bucket, const LaneArray& lanes,
+    std::int64_t a0) const {
+  const Entry* const* slots = &mru_[kind][
+      static_cast<std::size_t>(bucket * kMruWays)];
+  for (int w = 0; w < kMruWays; ++w) {
+    const Entry* e = slots[w];
+    if (e && e->kind == kind && e->unit == unit && e->scale == scale &&
+        e->phase == phase && verify(*e, lanes, a0)) {
+      return e;
+    }
+  }
+  return nullptr;
+}
+
+void PatternCache::mru_push(std::uint8_t kind, int bucket, const Entry* e) {
+  const Entry** slots =
+      &mru_[kind][static_cast<std::size_t>(bucket * kMruWays)];
+  for (int w = kMruWays - 1; w > 0; --w) slots[w] = slots[w - 1];
+  slots[0] = e;
+}
+
+PatternCache::Entry& PatternCache::probe(std::uint8_t kind,
+                                         std::int32_t unit,
+                                         std::int64_t scale,
+                                         std::int64_t phase, const Norm& n,
+                                         std::uint64_t h, bool& hit) {
+  std::size_t i = static_cast<std::size_t>(h) & (kCapacity - 1);
+  for (;;) {
+    Entry& e = table_[i];
+    if (e.kind == kEmpty) {
+      hit = false;
+      return e;
+    }
+    if (e.hash == h && e.kind == kind && e.unit == unit &&
+        e.scale == scale && e.phase == phase && e.active == n.active) {
+      bool same = true;
+      for (std::uint64_t m = n.active; m != 0; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        if (e.deltas[static_cast<std::size_t>(l)] !=
+            n.deltas[static_cast<std::size_t>(l)]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        hit = true;
+        return e;
+      }
+    }
+    i = (i + 1) & (kCapacity - 1);
+  }
+}
+
+PatternCache::Entry& PatternCache::fill(Entry& e, std::uint8_t kind,
+                                        std::int32_t unit,
+                                        std::int64_t scale,
+                                        std::int64_t phase, const Norm& n,
+                                        std::uint64_t h,
+                                        std::int32_t value) {
+  Entry* slot = &e;
+  if (size_ >= kMaxLoad) {
+    // Epoch reset: a saturated long-lived cache would stop learning new
+    // shapes. Clearing is deterministic and rare (working sets are tiny
+    // compared to the table), and the slot for h is free afterwards.
+    std::fill(table_.begin(), table_.end(), Entry{});
+    size_ = 0;
+    slot = &table_[static_cast<std::size_t>(h) & (kCapacity - 1)];
+  }
+  slot->hash = h;
+  slot->active = n.active;
+  slot->phase = phase;
+  slot->scale = scale;
+  slot->unit = unit;
+  slot->kind = kind;
+  slot->value = value;
+  slot->deltas = n.deltas;
+  ++size_;
+  return *slot;
+}
+
+int PatternCache::transactions(const LaneArray& lanes,
+                               std::int64_t base_addr, int elem_size,
+                               std::int64_t txn_bytes) {
+  // Same fast path as count_transactions: a fully-active consecutive
+  // warp is cheaper to recognize and solve in closed form than to look
+  // up — and it is the dominant coalesced shape.
+  const std::uint64_t mask = lanes.active_mask();
+  if (mask == 0) return 0;
+  const std::int64_t base0 = lanes[std::countr_zero(mask)];
+  bool consecutive = lanes.is_run();
+  if (!consecutive && mask == kFullMask) {
+    consecutive = true;
+    for (int l = 1; l < kWarpSize; ++l) {
+      if (lanes[l] != base0 + l) {
+        consecutive = false;
+        break;
+      }
+    }
+  }
+  if (consecutive) {
+    const int nact = std::popcount(mask);
+    const std::int64_t b0 = base_addr + base0 * elem_size;
+    const std::int64_t b1 =
+        base_addr + (base0 + nact - 1) * elem_size + elem_size - 1;
+    return static_cast<int>(fast_div(b1, txn_bytes) -
+                            fast_div(b0, txn_bytes) + 1);
+  }
+  // Segment ids are translation-invariant: only the first lane's offset
+  // WITHIN a segment (the phase) and the deltas matter.
+  const std::int64_t phase = fast_rem(base_addr + base0 * elem_size,
+                                      txn_bytes);
+  const int bucket = mru_bucket(phase, lanes, base0);
+  if (const Entry* m = mru_lookup(kTxn, elem_size, txn_bytes, phase, bucket,
+                                  lanes, base0))
+    return m->value;
+  Norm n;
+  if (!normalize(lanes, n)) return 0;
+  const std::uint64_t h = key_hash(kTxn, elem_size, txn_bytes, phase, n);
+  bool hit = false;
+  Entry& e = probe(kTxn, elem_size, txn_bytes, phase, n, h, hit);
+  if (hit) {
+    mru_push(kTxn, bucket, &e);
+    return e.value;
+  }
+  const int v = count_transactions(lanes, base_addr, elem_size, txn_bytes);
+  mru_push(kTxn, bucket,
+           &fill(e, kTxn, elem_size, txn_bytes, phase, n, h, v));
+  return v;
+}
+
+int PatternCache::bank_conflicts(const LaneArray& lanes, int banks) {
+  // Same fast path as count_bank_conflicts: consecutive (possibly
+  // partially-active) addresses on warp-wide banks never conflict.
+  const std::uint64_t mask = lanes.active_mask();
+  if (mask == 0) return 0;
+  if (banks == kWarpSize) {
+    if (lanes.is_run()) return 0;
+    if (mask & 1) {
+      const std::int64_t a0 = lanes[0];
+      bool consecutive = true;
+      for (std::uint64_t m = mask & (mask - 1); m != 0; m &= m - 1) {
+        const int l = std::countr_zero(m);
+        if (lanes[l] != a0 + l) {
+          consecutive = false;
+          break;
+        }
+      }
+      if (consecutive) return 0;
+    }
+  }
+  const std::int64_t base0 = lanes[std::countr_zero(mask)];
+  // Conflicts are invariant under a uniform base shift: lanes i and j
+  // collide iff (delta_i - delta_j) % banks == 0, and identical deltas
+  // stay identical addresses — so unlike segments, NO phase is keyed
+  // and one entry serves every warp issuing the same shape.
+  const int bucket = mru_bucket(0, lanes, base0);
+  if (const Entry* m = mru_lookup(kBank, 1, banks, 0, bucket, lanes, base0))
+    return m->value;
+  Norm n;
+  if (!normalize(lanes, n)) return 0;
+  const std::uint64_t h = key_hash(kBank, 1, banks, 0, n);
+  bool hit = false;
+  Entry& e = probe(kBank, 1, banks, 0, n, h, hit);
+  if (hit) {
+    mru_push(kBank, bucket, &e);
+    return e.value;
+  }
+  const int v = count_bank_conflicts(lanes, banks);
+  mru_push(kBank, bucket, &fill(e, kBank, 1, banks, 0, n, h, v));
+  return v;
+}
+
+int PatternCache::tex_lines(const LaneArray& lanes, std::int64_t base_addr,
+                            int elem_size, std::int64_t line_bytes,
+                            std::int64_t* lines_out) {
+  // Same fast path as collect_tex_lines: a fully-active consecutive
+  // warp touches a dense line range.
+  const std::uint64_t mask = lanes.active_mask();
+  if (mask == 0) return 0;
+  const std::int64_t base0 = lanes[std::countr_zero(mask)];
+  bool consecutive = lanes.is_run();
+  if (!consecutive && mask == kFullMask) {
+    consecutive = true;
+    for (int l = 1; l < kWarpSize; ++l) {
+      if (lanes[l] != base0 + l) {
+        consecutive = false;
+        break;
+      }
+    }
+  }
+  if (consecutive) {
+    const int nact = std::popcount(mask);
+    const std::int64_t b0 = base_addr + base0 * elem_size;
+    const std::int64_t b1 =
+        base_addr + (base0 + nact - 1) * elem_size + elem_size - 1;
+    const std::int64_t first = fast_div(b0, line_bytes);
+    const std::int64_t last = fast_div(b1, line_bytes);
+    int k = 0;
+    for (std::int64_t line = first; line <= last; ++line)
+      lines_out[k++] = line;
+    return k;
+  }
+  const std::int64_t addr0 = base_addr + base0 * elem_size;
+  const std::int64_t line0 = fast_div(addr0, line_bytes);
+  // Line ids are translation-invariant like segments; the cached value
+  // is the first-touch-ordered list of line deltas from the first
+  // active lane's line, rebased onto line0 at lookup.
+  const std::int64_t phase = fast_rem(addr0, line_bytes);
+  const int bucket = mru_bucket(phase, lanes, base0);
+  if (const Entry* m = mru_lookup(kTex, elem_size, line_bytes, phase, bucket,
+                                  lanes, base0)) {
+    for (int s = 0; s < m->nlines; ++s)
+      lines_out[s] = line0 + m->lines[static_cast<std::size_t>(s)];
+    return m->nlines;
+  }
+  Norm n;
+  if (!normalize(lanes, n)) return 0;
+  const std::uint64_t h = key_hash(kTex, elem_size, line_bytes, phase, n);
+  bool hit = false;
+  Entry& e = probe(kTex, elem_size, line_bytes, phase, n, h, hit);
+  if (hit) {
+    mru_push(kTex, bucket, &e);
+    for (int s = 0; s < e.nlines; ++s)
+      lines_out[s] = line0 + e.lines[static_cast<std::size_t>(s)];
+    return e.nlines;
+  }
+  const int k =
+      collect_tex_lines(lanes, base_addr, elem_size, line_bytes, lines_out);
+  TTLG_ASSERT(k >= 1 && k <= kWarpSize, "texture line count out of range");
+  TTLG_ASSERT(lines_out[0] == line0,
+              "first-touch line must belong to the first active lane");
+  Entry& w = fill(e, kTex, elem_size, line_bytes, phase, n, h, k);
+  w.nlines = static_cast<std::int8_t>(k);
+  for (int s = 0; s < k; ++s)
+    w.lines[static_cast<std::size_t>(s)] = lines_out[s] - line0;
+  mru_push(kTex, bucket, &w);
+  return k;
+}
+
+PatternCachePool::Lease PatternCachePool::acquire(bool enabled) {
+  if (!enabled) return {};
+  std::unique_ptr<PatternCache> cache;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+      cache = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (!cache) cache = std::make_unique<PatternCache>();
+  return Lease(this, std::move(cache));
+}
+
+void PatternCachePool::release(std::unique_ptr<PatternCache> cache) {
+  std::lock_guard<std::mutex> lk(mu_);
+  free_.push_back(std::move(cache));
+}
+
+}  // namespace ttlg::sim

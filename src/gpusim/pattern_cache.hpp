@@ -1,0 +1,160 @@
+// Memoized access-pattern analysis (the paper's §IV-C grouping rules,
+// strength-reduced). Kernels issue the same few warp shapes millions of
+// times: a tile row load, a padded shared-memory column, a scattered
+// offset gather. Each analysis result is fully determined by the lane
+// pattern NORMALIZED to its first active lane — the per-lane deltas plus
+// the base address's alignment phase within the grouping unit — so the
+// cache looks results up by that key and falls back to the exact
+// analysis on a miss. Cached and recomputed answers are identical by
+// construction, which keeps counters bit-exact whether the cache is on,
+// off, shared or sharded (determinism_test covers on-vs-off).
+//
+// One PatternCache serves one execution stream (a launch, or one chunk
+// of the parallel engine); it is not thread-safe.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gpusim/lane.hpp"
+
+namespace ttlg::sim {
+
+class PatternCache {
+ public:
+  PatternCache();
+
+  /// Memoized count_transactions (same contract).
+  int transactions(const LaneArray& lanes, std::int64_t base_addr,
+                   int elem_size, std::int64_t txn_bytes);
+
+  /// Memoized count_bank_conflicts (same contract).
+  int bank_conflicts(const LaneArray& lanes, int banks);
+
+  /// Memoized texture-line dedup: fills `lines_out` (capacity kWarpSize)
+  /// with the distinct line ids touched by the warp, in first-touch
+  /// order, and returns how many. Matches collect_tex_lines exactly.
+  int tex_lines(const LaneArray& lanes, std::int64_t base_addr,
+                int elem_size, std::int64_t line_bytes,
+                std::int64_t* lines_out);
+
+ private:
+  /// Lane pattern normalized to the first active lane: deltas are
+  /// element offsets relative to it (0 for inactive lanes; the active
+  /// mask disambiguates).
+  struct Norm {
+    std::array<std::int64_t, kWarpSize> deltas;  // written by normalize
+    std::uint64_t active = 0;
+    std::uint64_t hash = 0;  ///< running hash over the deltas
+    std::int64_t a0 = 0;
+  };
+
+  enum Kind : std::uint8_t { kEmpty = 0, kTxn, kBank, kTex };
+
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::uint64_t active = 0;
+    std::int64_t phase = 0;  ///< first-lane byte (or bank) alignment
+    std::int64_t scale = 0;  ///< txn_bytes / banks / line_bytes
+    std::int32_t unit = 0;   ///< element size in bytes (1 for banks)
+    std::uint8_t kind = kEmpty;
+    std::int8_t nlines = 0;  ///< kTex: number of line deltas
+    std::int32_t value = 0;
+    std::array<std::int64_t, kWarpSize> deltas{};
+    std::array<std::int64_t, kWarpSize> lines{};  ///< kTex: line - line0
+  };
+
+  static bool normalize(const LaneArray& lanes, Norm& n);
+  static std::uint64_t key_hash(std::uint8_t kind, std::int32_t unit,
+                                std::int64_t scale, std::int64_t phase,
+                                const Norm& n);
+
+  /// True when `lanes` normalized to base `a0` matches the entry's
+  /// stored pattern — one fused compare pass, no delta materialization.
+  static bool verify(const Entry& e, const LaneArray& lanes,
+                     std::int64_t a0);
+
+  /// MRU front-end: kernels alternate a handful of shapes per call
+  /// site, so recently used entries catch most calls with a scalar key
+  /// check + verify(), skipping normalize/hash/probe. Buckets are
+  /// indexed by the phase XOR the second active lane's delta — both
+  /// O(1) reads — so phase-rich texture patterns and same-phase gather
+  /// shapes land in different buckets instead of thrashing one list.
+  static int mru_bucket(std::int64_t phase, const LaneArray& lanes,
+                        std::int64_t a0);
+  const Entry* mru_lookup(std::uint8_t kind, std::int32_t unit,
+                          std::int64_t scale, std::int64_t phase, int bucket,
+                          const LaneArray& lanes, std::int64_t a0) const;
+  void mru_push(std::uint8_t kind, int bucket, const Entry* e);
+
+  /// Probe for (kind, unit, scale, phase, pattern). Returns the matching
+  /// entry (hit=true) or the empty slot it would occupy (hit=false).
+  Entry& probe(std::uint8_t kind, std::int32_t unit, std::int64_t scale,
+               std::int64_t phase, const Norm& n, std::uint64_t h,
+               bool& hit);
+
+  /// Fill `e` as a fresh entry. When the table has reached its load
+  /// limit it is reset first (epoch clear) so a long-lived cache keeps
+  /// memoizing new shapes instead of degrading to pass-through; the
+  /// caller must re-probe after a reset, so fill() returns the entry
+  /// actually written.
+  Entry& fill(Entry& e, std::uint8_t kind, std::int32_t unit,
+              std::int64_t scale, std::int64_t phase, const Norm& n,
+              std::uint64_t h, std::int32_t value);
+
+  static constexpr std::size_t kCapacity = 1024;  // power of two
+  static constexpr std::size_t kMaxLoad = kCapacity / 4 * 3;
+  static constexpr int kMruBuckets = 16;  // power of two
+  static constexpr int kMruWays = 2;
+
+  std::vector<Entry> table_;
+  std::size_t size_ = 0;
+  /// Per-kind set-associative MRU entry pointers (table_ never
+  /// reallocates; epoch resets clear entries to kEmpty, which the
+  /// lookup's kind check rejects safely).
+  std::array<std::array<const Entry*, kMruBuckets * kMruWays>, 4> mru_{};
+};
+
+/// Reuses PatternCache instances across launches: the table is ~0.5 MB,
+/// so per-launch construction would cost more than small launches
+/// themselves. Stale entries are harmless — every key fully determines
+/// its value — so caches are handed back and forth without clearing.
+/// Thread-safe; each lease is used by one execution stream at a time.
+class PatternCachePool {
+ public:
+  /// RAII lease: returns the cache to the pool on destruction. get()
+  /// is nullptr when the lease was acquired disabled.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(PatternCachePool* pool, std::unique_ptr<PatternCache> cache)
+        : pool_(pool), cache_(std::move(cache)) {}
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ && cache_) pool_->release(std::move(cache_));
+    }
+    PatternCache* get() const { return cache_.get(); }
+
+   private:
+    PatternCachePool* pool_ = nullptr;
+    std::unique_ptr<PatternCache> cache_;
+  };
+
+  /// An empty (nullptr) lease when `enabled` is false; otherwise a
+  /// pooled cache, constructing one only when the free list is empty.
+  Lease acquire(bool enabled);
+
+ private:
+  void release(std::unique_ptr<PatternCache> cache);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<PatternCache>> free_;
+};
+
+}  // namespace ttlg::sim

@@ -1,27 +1,18 @@
 #include "gpusim/texture_cache.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace ttlg::sim {
 
 TextureCache::TextureCache(std::int64_t num_lines, std::int64_t line_bytes)
     : line_bytes_(line_bytes),
+      line_div_(line_bytes > 0 ? line_bytes : 1),
+      slot_div_(num_lines > 0 ? num_lines : 1),
       tags_(static_cast<std::size_t>(num_lines), -1) {
   TTLG_CHECK(num_lines > 0 && line_bytes > 0,
              "texture cache needs positive geometry");
-}
-
-bool TextureCache::access(std::int64_t byte_addr) {
-  const std::int64_t line = byte_addr / line_bytes_;
-  const std::size_t slot =
-      static_cast<std::size_t>(line) % tags_.size();
-  if (tags_[slot] == line) {
-    ++hits_;
-    return true;
-  }
-  tags_[slot] = line;
-  ++misses_;
-  return false;
 }
 
 void TextureCache::reset() {

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fastdiv.hpp"
+
 namespace ttlg::sim {
 
 class TextureCache {
@@ -15,7 +17,23 @@ class TextureCache {
 
   /// Record an access to the cache line containing the given device byte
   /// address. Returns true on hit.
-  bool access(std::int64_t byte_addr);
+  bool access(std::int64_t byte_addr) {
+    return access_line(line_div_.div(byte_addr));
+  }
+
+  /// Record an access by line id directly — the analysis layer already
+  /// works in line ids, so this skips the byte round-trip (a multiply
+  /// at the call site plus a divide here).
+  bool access_line(std::int64_t line) {
+    const std::size_t slot = static_cast<std::size_t>(slot_div_.mod(line));
+    if (tags_[slot] == line) {
+      ++hits_;
+      return true;
+    }
+    tags_[slot] = line;
+    ++misses_;
+    return false;
+  }
 
   void reset();
 
@@ -25,6 +43,10 @@ class TextureCache {
 
  private:
   std::int64_t line_bytes_;
+  /// Geometry is a runtime device property, so the per-access / and %
+  /// are magic-number divisions (see common/fastdiv.hpp).
+  FastDiv line_div_;
+  FastDiv slot_div_;
   std::vector<std::int64_t> tags_;  // -1 == invalid
   std::int64_t hits_ = 0;
   std::int64_t misses_ = 0;

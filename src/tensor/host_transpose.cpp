@@ -10,21 +10,21 @@ namespace {
 // the output offset incrementally, so the inner loop is stride-add only
 // (no mod/div per element). Fusion is applied first so the inner loop is
 // as long as the problem allows.
-template <class T>
-void transpose_impl(std::span<const T> in, std::span<T> out,
-                    const Shape& shape, const Permutation& perm) {
-  TTLG_CHECK(static_cast<Index>(in.size()) == shape.volume(),
-             "input span size does not match shape volume");
-  TTLG_CHECK(static_cast<Index>(out.size()) == shape.volume(),
-             "output span size does not match shape volume");
-
+//
+// Transposition only moves bits, so the implementation is templated on
+// the element WIDTH (an unsigned integer of 1/2/4/8 bytes), not the
+// element type: float and double dispatch into the same instantiations
+// as the like-sized integers instead of duplicating the odometer.
+template <class W>
+void transpose_width(const W* src, W* dst_base, const Shape& shape,
+                     const Permutation& perm) {
   const FusedProblem fused = fuse_indices(shape, perm);
   const Shape& fs = fused.shape;
   const Shape out_shape = fused.perm.apply(fs);
   const Index rank = fs.rank();
 
   if (rank == 1) {  // identity after fusion
-    std::copy(in.begin(), in.end(), out.begin());
+    std::copy(src, src + fs.volume(), dst_base);
     return;
   }
 
@@ -39,10 +39,9 @@ void transpose_impl(std::span<const T> in, std::span<T> out,
   const Index os0 = out_stride[0];
   const Index volume = fs.volume();
 
-  const T* src = in.data();
   Index out_off = 0;
   for (Index base = 0; base < volume; base += n0) {
-    T* dst = out.data() + out_off;
+    W* dst = dst_base + out_off;
     for (Index i = 0; i < n0; ++i) dst[i * os0] = src[base + i];
     // Advance the odometer over dimensions 1..rank-1.
     for (Index d = 1; d < rank; ++d) {
@@ -55,28 +54,63 @@ void transpose_impl(std::span<const T> in, std::span<T> out,
   }
 }
 
+/// Unsigned integer of the same width as T (T is trivially copyable and
+/// of a width the library supports, so the reinterpret round-trip is
+/// value-preserving).
+template <class T>
+struct width_of;
+template <>
+struct width_of<std::uint8_t> {
+  using type = std::uint8_t;
+};
+template <>
+struct width_of<std::uint16_t> {
+  using type = std::uint16_t;
+};
+template <>
+struct width_of<float> {
+  using type = std::uint32_t;
+};
+template <>
+struct width_of<double> {
+  using type = std::uint64_t;
+};
+
+template <class T>
+void transpose_dispatch(std::span<const T> in, std::span<T> out,
+                        const Shape& shape, const Permutation& perm) {
+  TTLG_CHECK(static_cast<Index>(in.size()) == shape.volume(),
+             "input span size does not match shape volume");
+  TTLG_CHECK(static_cast<Index>(out.size()) == shape.volume(),
+             "output span size does not match shape volume");
+  using W = typename width_of<T>::type;
+  static_assert(sizeof(W) == sizeof(T));
+  transpose_width(reinterpret_cast<const W*>(in.data()),
+                  reinterpret_cast<W*>(out.data()), shape, perm);
+}
+
 }  // namespace
 
 void host_transpose(std::span<const float> in, std::span<float> out,
                     const Shape& shape, const Permutation& perm) {
-  transpose_impl(in, out, shape, perm);
+  transpose_dispatch(in, out, shape, perm);
 }
 
 void host_transpose(std::span<const double> in, std::span<double> out,
                     const Shape& shape, const Permutation& perm) {
-  transpose_impl(in, out, shape, perm);
+  transpose_dispatch(in, out, shape, perm);
 }
 
 void host_transpose(std::span<const std::uint8_t> in,
                     std::span<std::uint8_t> out, const Shape& shape,
                     const Permutation& perm) {
-  transpose_impl(in, out, shape, perm);
+  transpose_dispatch(in, out, shape, perm);
 }
 
 void host_transpose(std::span<const std::uint16_t> in,
                     std::span<std::uint16_t> out, const Shape& shape,
                     const Permutation& perm) {
-  transpose_impl(in, out, shape, perm);
+  transpose_dispatch(in, out, shape, perm);
 }
 
 }  // namespace ttlg

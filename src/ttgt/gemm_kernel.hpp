@@ -69,10 +69,9 @@ struct GemmKernel {
           if (kk >= kw) break;
           sim::LaneArray ga, sa;
           sim::LaneValues<T> v{};
-          for (int l = 0; l < mw; ++l) {
-            ga[l] = (kt * ws + kk) * cfg.m + tm * ws + l;
-            sa[l] = kk * kGemmTilePitch + l;
-          }
+          ga.fill_run((kt * ws + kk) * cfg.m + tm * ws,
+                      static_cast<int>(mw));
+          sa.fill_run(kk * kGemmTilePitch, static_cast<int>(mw));
           blk.gld(a, ga, v);
           blk.sst(sa, v);
         }
@@ -84,10 +83,9 @@ struct GemmKernel {
           if (j >= nh) break;
           sim::LaneArray ga, sa;
           sim::LaneValues<T> v{};
-          for (int l = 0; l < kw; ++l) {
-            ga[l] = (tn * ws + j) * cfg.k + kt * ws + l;
-            sa[l] = kBTile + j * kGemmTilePitch + l;
-          }
+          ga.fill_run((tn * ws + j) * cfg.k + kt * ws,
+                      static_cast<int>(kw));
+          sa.fill_run(kBTile + j * kGemmTilePitch, static_cast<int>(kw));
           blk.gld(b, ga, v);
           blk.sst(sa, v);
         }
@@ -102,8 +100,8 @@ struct GemmKernel {
           for (Index kk = 0; kk < kw; ++kk) {
             sim::LaneArray sa_a, sa_b;
             sim::LaneValues<T> va{}, vb{};
-            for (int l = 0; l < mw; ++l) sa_a[l] = kk * kGemmTilePitch + l;
-            sa_b[0] = kBTile + j * kGemmTilePitch + kk;  // warp broadcast
+            sa_a.fill_run(kk * kGemmTilePitch, static_cast<int>(mw));
+            sa_b.set(0, kBTile + j * kGemmTilePitch + kk);  // warp broadcast
             blk.sld(sa_a, va);
             blk.sld(sa_b, vb);
             blk.count_fma(mw);
@@ -123,8 +121,7 @@ struct GemmKernel {
         const Index j = static_cast<Index>(w) * rows_per_warp + jj;
         if (j >= nh) break;
         sim::LaneArray ga;
-        for (int l = 0; l < mw; ++l)
-          ga[l] = (tn * ws + j) * cfg.m + tm * ws + l;
+        ga.fill_run((tn * ws + j) * cfg.m + tm * ws, static_cast<int>(mw));
         auto v = acc[static_cast<std::size_t>(j)];
         if (beta != T{0}) {
           sim::LaneValues<T> old{};

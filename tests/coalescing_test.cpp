@@ -9,7 +9,7 @@ namespace {
 
 LaneArray consecutive(std::int64_t start, int count = kWarpSize) {
   LaneArray a;
-  for (int l = 0; l < count; ++l) a[l] = start + l;
+  for (int l = 0; l < count; ++l) a.set(l, start + l);
   return a;
 }
 
@@ -33,21 +33,21 @@ TEST(Coalescing, MisalignedRunTouchesOneExtraSegment) {
 
 TEST(Coalescing, StridedAccessSerializesFully) {
   LaneArray a;
-  for (int l = 0; l < kWarpSize; ++l) a[l] = l * 32;  // one elem per segment
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, l * 32);  // one elem per segment
   EXPECT_EQ(count_transactions(a, 0, 4, 128), 32);
 }
 
 TEST(Coalescing, BroadcastIsOneTransaction) {
   LaneArray a;
-  for (int l = 0; l < kWarpSize; ++l) a[l] = 123;
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, 123);
   EXPECT_EQ(count_transactions(a, 0, 8, 128), 1);
 }
 
 TEST(Coalescing, InactiveLanesDoNotCount) {
   LaneArray a;
   EXPECT_EQ(count_transactions(a, 0, 4, 128), 0);
-  a[0] = 0;
-  a[31] = 1000;
+  a.set(0, 0);
+  a.set(31, 1000);
   EXPECT_EQ(count_transactions(a, 0, 4, 128), 2);
 }
 
@@ -63,29 +63,29 @@ TEST(BankConflicts, ConsecutiveIsConflictFree) {
 
 TEST(BankConflicts, Stride32IsWorstCase) {
   LaneArray a;
-  for (int l = 0; l < kWarpSize; ++l) a[l] = l * 32;
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, l * 32);
   EXPECT_EQ(count_bank_conflicts(a, 32), 31);
 }
 
 TEST(BankConflicts, Stride33IsConflictFree) {
   // The paper's padded 32x33 buffer: column accesses stride by 33.
   LaneArray a;
-  for (int l = 0; l < kWarpSize; ++l) a[l] = l * 33;
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, l * 33);
   EXPECT_EQ(count_bank_conflicts(a, 32), 0);
 }
 
 TEST(BankConflicts, BroadcastDoesNotConflict) {
   LaneArray a;
-  for (int l = 0; l < kWarpSize; ++l) a[l] = 77;
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, 77);
   EXPECT_EQ(count_bank_conflicts(a, 32), 0);
 }
 
 TEST(BankConflicts, TwoWayConflict) {
   LaneArray a;
   for (int l = 0; l < kWarpSize; ++l)
-    a[l] = (l % 16) * 32 + (l / 16);  // two distinct addrs per bank... no:
+    a.set(l, (l % 16) * 32 + (l / 16));  // two distinct addrs per bank... no:
   // lanes 0..15 hit banks 0 (addresses 0,32,...) — rebuild precisely:
-  for (int l = 0; l < kWarpSize; ++l) a[l] = (l % 2) * 32 + (l / 2);
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, (l % 2) * 32 + (l / 2));
   // addresses: {0,32,1,33,2,34,...}: bank b gets addresses b and b+32?
   // bank of 32+k is k: so bank k sees {k, k+32} for k<16 -> 2-way.
   EXPECT_EQ(count_bank_conflicts(a, 32), 1);
@@ -93,7 +93,7 @@ TEST(BankConflicts, TwoWayConflict) {
 
 TEST(BankConflicts, PartialWarpStride32) {
   LaneArray a;
-  for (int l = 0; l < 8; ++l) a[l] = l * 32;
+  for (int l = 0; l < 8; ++l) a.set(l, l * 32);
   EXPECT_EQ(count_bank_conflicts(a, 32), 7);
 }
 
@@ -105,7 +105,7 @@ TEST_P(PaddingSweep, PitchConflictsMatchNumberTheory) {
   // 32 / (32 / gcd(pitch,32)).
   const int pitch = GetParam();
   LaneArray a;
-  for (int l = 0; l < kWarpSize; ++l) a[l] = l * pitch;
+  for (int l = 0; l < kWarpSize; ++l) a.set(l, l * pitch);
   int g = std::gcd(pitch, 32);
   EXPECT_EQ(count_bank_conflicts(a, 32), g - 1) << "pitch " << pitch;
 }

@@ -12,7 +12,7 @@ struct CopyBlockKernel {
     LaneArray a;
     LaneValues<double> v{};
     for (int l = 0; l < kWarpSize; ++l)
-      a[l] = blk.block_id() * kWarpSize + l;
+      a.set(l, blk.block_id() * kWarpSize + l);
     blk.gld(in, a, v);
     blk.gst(out, a, v);
   }

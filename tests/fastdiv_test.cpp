@@ -1,0 +1,116 @@
+// Property test for the Granlund–Montgomery fast division in
+// src/common/fastdiv.hpp: div/mod/divmod must agree bit-for-bit with
+// the hardware `/` and `%` over the full supported domain — divisors 1,
+// powers of two, primes small and Mersenne-large, and divisors or
+// numerators sitting right at INT64_MAX. CI additionally runs this
+// binary under UBSan, so any shift/overflow sloppiness in the magic-
+// number path is a hard failure, not just a wrong answer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "common/fastdiv.hpp"
+#include "common/rng.hpp"
+
+namespace ttlg {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+void expect_matches(const FastDiv& fd, std::int64_t n) {
+  const std::int64_t d = fd.divisor();
+  ASSERT_GE(n, 0);
+  EXPECT_EQ(fd.div(n), n / d) << "n=" << n << " d=" << d;
+  EXPECT_EQ(fd.mod(n), n % d) << "n=" << n << " d=" << d;
+  const DivMod dm = fd.divmod(n);
+  EXPECT_EQ(dm.quot, n / d) << "n=" << n << " d=" << d;
+  EXPECT_EQ(dm.rem, n % d) << "n=" << n << " d=" << d;
+}
+
+// Numerators that stress a given divisor: boundaries of the quotient
+// steps, powers of two, and the extremes of the domain.
+std::vector<std::int64_t> interesting_numerators(std::int64_t d) {
+  std::vector<std::int64_t> ns = {0, 1, 2, 31, 32, 33, 1000003,
+                                  (std::int64_t{1} << 31) - 1,
+                                  std::int64_t{1} << 31,
+                                  (std::int64_t{1} << 62) - 1,
+                                  std::int64_t{1} << 62,
+                                  kMax - 2, kMax - 1, kMax};
+  for (std::int64_t k : {std::int64_t{1}, std::int64_t{2}, std::int64_t{7}}) {
+    if (d <= kMax / k) {
+      const std::int64_t kd = k * d;
+      ns.push_back(kd - 1);
+      ns.push_back(kd);
+      if (kd < kMax) ns.push_back(kd + 1);
+    }
+  }
+  return ns;
+}
+
+std::vector<std::int64_t> interesting_divisors() {
+  std::vector<std::int64_t> ds = {1};
+  for (int k = 1; k <= 62; ++k) ds.push_back(std::int64_t{1} << k);
+  // Primes: small, the classic Mersenne ladder, and INT64_MAX itself
+  // (2^63 - 1 = 7 * 73 * 127 * 337 * 92737 * 649657 is not prime, but
+  // it is the largest representable divisor, and 2^61 - 1 is prime).
+  for (std::int64_t p :
+       {std::int64_t{3}, std::int64_t{5}, std::int64_t{7}, std::int64_t{11},
+        std::int64_t{13}, std::int64_t{31}, std::int64_t{61},
+        std::int64_t{127}, std::int64_t{8191}, std::int64_t{131071},
+        std::int64_t{524287}, std::int64_t{2147483647},
+        (std::int64_t{1} << 61) - 1})
+    ds.push_back(p);
+  // Values near the top of the domain.
+  for (std::int64_t d : {kMax, kMax - 1, kMax - 24, (std::int64_t{1} << 62) - 1,
+                         (std::int64_t{1} << 62) + 1})
+    ds.push_back(d);
+  // Typical tensor extents (the actual workload of this class).
+  for (std::int64_t d = 2; d <= 64; ++d) ds.push_back(d);
+  return ds;
+}
+
+TEST(FastDiv, MatchesHardwareDivModOnInterestingPairs) {
+  for (std::int64_t d : interesting_divisors()) {
+    const FastDiv fd(d);
+    EXPECT_EQ(fd.divisor(), d);
+    for (std::int64_t n : interesting_numerators(d)) expect_matches(fd, n);
+  }
+}
+
+TEST(FastDiv, MatchesHardwareDivModOnRandomPairs) {
+  Rng rng(20260805);
+  std::vector<std::int64_t> ds = interesting_divisors();
+  for (int i = 0; i < 200; ++i)
+    ds.push_back(1 + static_cast<std::int64_t>(rng() >> 1) % kMax);
+  for (std::int64_t d : ds) {
+    const FastDiv fd(d);
+    for (int i = 0; i < 64; ++i) {
+      const std::int64_t n = static_cast<std::int64_t>(rng() >> 1);  // [0,2^63)
+      expect_matches(fd, n);
+    }
+  }
+}
+
+TEST(FastDiv, DefaultConstructedDividesByOne) {
+  const FastDiv fd;
+  EXPECT_EQ(fd.divisor(), 1);
+  for (std::int64_t n : {std::int64_t{0}, std::int64_t{17}, kMax}) {
+    EXPECT_EQ(fd.div(n), n);
+    EXPECT_EQ(fd.mod(n), 0);
+  }
+}
+
+TEST(FastDiv, ConstexprUsable) {
+  constexpr FastDiv fd(48);
+  static_assert(fd.div(100) == 2);
+  static_assert(fd.mod(100) == 4);
+  static_assert(fd.divmod(95).quot == 1);
+  static_assert(fd.divmod(95).rem == 47);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ttlg
