@@ -32,20 +32,34 @@ echo "== perf smoke: microbench hot-path gate =="
 perf_dir=$(mktemp -d)
 TTLG_BENCH_JSON_DIR="$perf_dir" \
   build/bench/microbench --benchmark_filter='BM_Execute' \
-  --benchmark_min_time=0.1s >/dev/null
+  --benchmark_min_time=0.1 >/dev/null
 mv "$perf_dir/BENCH_microbench.json" "$perf_dir/baseline.json"
 TTLG_BENCH_JSON_DIR="$perf_dir" TTLG_PERF_BASELINE="$perf_dir/baseline.json" \
   build/bench/microbench --benchmark_filter='BM_Execute' \
-  --benchmark_min_time=0.1s | tail -n 2
+  --benchmark_min_time=0.1 | tail -n 2
 if TTLG_BENCH_JSON_DIR="$perf_dir" \
    TTLG_PERF_BASELINE="$perf_dir/baseline.json" TTLG_PERF_SCALE=1.5 \
    build/bench/microbench --benchmark_filter='BM_Execute' \
-   --benchmark_min_time=0.1s >/dev/null 2>&1; then
+   --benchmark_min_time=0.1 >/dev/null 2>&1; then
   echo "perf gate did NOT fail on an injected 1.5x slowdown" >&2
   exit 1
 fi
 echo "perf smoke: gate passes clean and rejects injected 1.5x slowdown"
 rm -rf "$perf_dir"
+
+echo "== perfdiff: bench-trajectory gate over results/ =="
+# Every committed BENCH_*.json must pass the schema check, a self-diff
+# must be regression-free, and the analyzer must reject an injected
+# 1.5x slowdown (self-test of the gate itself). The perf-smoke stage
+# above remains the per-commit hot-path fallback; this stage guards the
+# whole committed trajectory.
+build/tools/perfdiff --check results
+build/tools/perfdiff results results >/dev/null
+if build/tools/perfdiff --scale 1.5 results results >/dev/null 2>&1; then
+  echo "perfdiff did NOT fail on an injected 1.5x slowdown" >&2
+  exit 1
+fi
+echo "perfdiff: schema check, self-diff and slowdown rejection all pass"
 
 echo "== sanitizer pass: -DTTLG_SANITIZE=address =="
 cmake -B build-asan -S . -G Ninja -DTTLG_SANITIZE=address \

@@ -1,0 +1,233 @@
+#include "benchlib/perfdiff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace ttlg::bench {
+namespace {
+
+using telemetry::Json;
+
+std::string scalar_to_string(const Json& v) {
+  if (v.is_string()) return v.as_str();
+  if (v.is_int()) return std::to_string(v.as_int());
+  if (v.is_double()) {
+    std::ostringstream os;
+    os << v.as_double();
+    return os.str();
+  }
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  return "?";
+}
+
+/// Append `field` to the key when present; true when it was.
+bool add_component(const Json& c, const char* field, std::string& key) {
+  const Json* v = c.find(field);
+  if (v == nullptr || v->is_null() || v->is_array() || v->is_object())
+    return false;
+  if (!key.empty()) key += '/';
+  key += scalar_to_string(*v);
+  return true;
+}
+
+/// (field, to-nanoseconds factor), in priority order.
+constexpr struct {
+  const char* field;
+  double to_ns;
+} kTimeMetrics[] = {
+    {"real_time_ns", 1.0},
+    {"kernel_ms", 1e6},
+    {"actual_ms", 1e6},
+    {"serial_wall_s", 1e9},
+};
+
+}  // namespace
+
+std::string case_key(const Json& c, std::size_t index) {
+  std::string key;
+  if (add_component(c, "name", key)) return key;
+  if (add_component(c, "case_id", key)) {
+    add_component(c, "backend", key);
+    return key;
+  }
+  if (add_component(c, "ablation", key)) {
+    add_component(c, "variant", key);
+    return key;
+  }
+  if (add_component(c, "perm", key)) {
+    add_component(c, "device", key);
+    return key;
+  }
+  if (add_component(c, "id", key)) return key;
+  if (add_component(c, "kernel", key)) {
+    add_component(c, "counter", key);
+    return key;
+  }
+  if (add_component(c, "slice_vol", key)) return key;
+  // snprintf instead of string concatenation: gcc-12 misfires
+  // -Wrestrict on the operator+/append forms here.
+  char fallback[32];
+  std::snprintf(fallback, sizeof fallback, "#%zu", index);
+  return fallback;
+}
+
+BenchFile load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  TTLG_CHECK_CODE(in.good(), ErrorCode::kInvalidArgument,
+                  "cannot open bench report '" + path + "'");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Json doc;
+  try {
+    doc = Json::parse(text);
+  } catch (const Error& e) {
+    TTLG_RAISE(ErrorCode::kDataLoss,
+               path + ": not valid JSON: " + e.what());
+  }
+  TTLG_CHECK_CODE(doc.is_object(), ErrorCode::kDataLoss,
+                  path + ": bench report must be a JSON object");
+  const Json* bench = doc.find("bench");
+  TTLG_CHECK_CODE(bench != nullptr && bench->is_string(), ErrorCode::kDataLoss,
+                  path + ": missing string field 'bench'");
+  const Json* version = doc.find("schema_version");
+  TTLG_CHECK_CODE(version != nullptr && version->is_int() &&
+                      version->as_int() >= 1,
+                  ErrorCode::kDataLoss,
+                  path + ": missing integer field 'schema_version' (>= 1)");
+  const Json* cases = doc.find("cases");
+  TTLG_CHECK_CODE(cases != nullptr && cases->is_array(), ErrorCode::kDataLoss,
+                  path + ": missing array field 'cases'");
+
+  BenchFile bf;
+  bf.path = path;
+  bf.bench = bench->as_str();
+  bf.schema_version = static_cast<int>(version->as_int());
+  bf.total_cases = cases->size();
+  for (std::size_t i = 0; i < cases->size(); ++i) {
+    const Json& c = cases->at(i);
+    TTLG_CHECK_CODE(c.is_object(), ErrorCode::kDataLoss,
+                    path + ": cases[" + std::to_string(i) +
+                        "] is not an object");
+    for (const auto& m : kTimeMetrics) {
+      const Json* t = c.find(m.field);
+      if (t == nullptr || !t->is_number()) continue;
+      const double ns = t->as_double() * m.to_ns;
+      TTLG_CHECK_CODE(ns >= 0 && std::isfinite(ns), ErrorCode::kDataLoss,
+                      path + ": cases[" + std::to_string(i) + "]." + m.field +
+                          " is not a finite non-negative time");
+      PerfCase pc;
+      pc.key = case_key(c, i);
+      pc.time_ns = ns;
+      pc.metric = m.field;
+      bf.cases.push_back(std::move(pc));
+      break;
+    }
+  }
+  return bf;
+}
+
+Expected<BenchFile> try_load_bench_file(const std::string& path) {
+  return capture([&] { return load_bench_file(path); });
+}
+
+DiffReport diff_benches(const std::vector<BenchFile>& base,
+                        const std::vector<BenchFile>& candidate,
+                        const DiffOptions& opts) {
+  std::map<std::pair<std::string, std::string>, double> base_times;
+  for (const BenchFile& f : base)
+    for (const PerfCase& c : f.cases)
+      base_times.emplace(std::make_pair(f.bench, c.key), c.time_ns);
+
+  DiffReport report;
+  std::map<std::pair<std::string, std::string>, bool> matched;
+  double log_speedup_sum = 0;
+  std::size_t log_speedup_n = 0;
+
+  for (const BenchFile& f : candidate) {
+    for (const PerfCase& c : f.cases) {
+      const auto key = std::make_pair(f.bench, c.key);
+      const auto it = base_times.find(key);
+      if (it == base_times.end()) {
+        report.only_new.push_back(f.bench + "/" + c.key);
+        continue;
+      }
+      matched[key] = true;
+      CaseDiff d;
+      d.bench = f.bench;
+      d.key = c.key;
+      d.base_ns = it->second;
+      d.new_ns = c.time_ns * opts.scale;
+      // Zero-time cases (trivial or unmeasured) cannot be scored as a
+      // ratio; treat equal-zero as OK and any nonzero-vs-zero pair as
+      // incomparable-but-flagged via speedup extremes.
+      if (d.base_ns <= 0 && d.new_ns <= 0) {
+        d.speedup = 1.0;
+      } else if (d.base_ns <= 0) {
+        d.speedup = 0.0;
+      } else if (d.new_ns <= 0) {
+        d.speedup = 1.0;
+      } else {
+        d.speedup = d.base_ns / d.new_ns;
+      }
+      if (d.new_ns > d.base_ns * (1.0 + opts.tolerance)) {
+        d.verdict = CaseDiff::Verdict::kRegressed;
+        ++report.regressions;
+      } else if (d.new_ns < d.base_ns * (1.0 - opts.tolerance)) {
+        d.verdict = CaseDiff::Verdict::kImproved;
+        ++report.improvements;
+      }
+      if (d.speedup > 0) {
+        log_speedup_sum += std::log(d.speedup);
+        ++log_speedup_n;
+      }
+      report.cases.push_back(std::move(d));
+    }
+  }
+  for (const auto& [key, t] : base_times) {
+    if (matched.find(key) == matched.end())
+      report.only_base.push_back(key.first + "/" + key.second);
+  }
+  if (log_speedup_n > 0)
+    report.geomean_speedup =
+        std::exp(log_speedup_sum / static_cast<double>(log_speedup_n));
+  return report;
+}
+
+std::string render_report(const DiffReport& report, bool csv) {
+  std::ostringstream os;
+  Table t({"bench", "case", "base_ms", "new_ms", "speedup", "verdict"});
+  for (const CaseDiff& d : report.cases) {
+    const char* verdict = d.verdict == CaseDiff::Verdict::kRegressed
+                              ? "REGRESSED"
+                          : d.verdict == CaseDiff::Verdict::kImproved
+                              ? "improved"
+                              : "ok";
+    t.add_row({d.bench, d.key, Table::num(d.base_ns / 1e6, 6),
+               Table::num(d.new_ns / 1e6, 6), Table::num(d.speedup, 3),
+               verdict});
+  }
+  if (csv)
+    t.print_csv(os);
+  else
+    t.print(os);
+  os << report.cases.size() << " matched case(s): " << report.regressions
+     << " regressed, " << report.improvements << " improved, geomean speedup "
+     << Table::num(report.geomean_speedup, 3) << '\n';
+  if (!report.only_base.empty())
+    os << report.only_base.size()
+       << " case(s) only in the baseline (first: " << report.only_base.front()
+       << ")\n";
+  if (!report.only_new.empty())
+    os << report.only_new.size()
+       << " case(s) only in the candidate (first: " << report.only_new.front()
+       << ")\n";
+  return os.str();
+}
+
+}  // namespace ttlg::bench

@@ -1,0 +1,100 @@
+// Bench-trajectory analysis: load BENCH_*.json reports, normalize their
+// heterogeneous per-case timing fields to one scale, and diff two
+// snapshots of the repo's performance trajectory with a noise
+// tolerance. This is the engine behind `tools/perfdiff` and the CI perf
+// gate: "is this build slower than the last one, and where?"
+//
+// The BENCH files come from different harnesses with different shapes:
+// the microbench emits google-benchmark-style {name, real_time_ns}
+// rows, the paper-figure benches emit {case_id, backend, kernel_ms},
+// the ablations emit {ablation, variant, kernel_ms}, and so on.
+// Normalization handles all of them: the case *key* is assembled from
+// the first identity fields present (see case_key), and the *time* is
+// taken from the first recognized metric (real_time_ns > kernel_ms >
+// actual_ms > serial_wall_s), converted to nanoseconds. Cases with no
+// recognized time metric (pure count tables like table1) still pass the
+// schema check — they simply contribute no comparable rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "telemetry/json.hpp"
+
+namespace ttlg::bench {
+
+/// One comparable case: a stable key within its bench + a normalized
+/// time. `metric` names the source field the time came from.
+struct PerfCase {
+  std::string key;
+  double time_ns = 0;
+  std::string metric;
+};
+
+/// One parsed and schema-checked BENCH_*.json.
+struct BenchFile {
+  std::string path;
+  std::string bench;  ///< the report's top-level "bench" name
+  int schema_version = 0;
+  std::size_t total_cases = 0;   ///< all rows, timed or not
+  std::vector<PerfCase> cases;   ///< rows with a recognized time metric
+};
+
+/// Identity of a case row: the first of name | case_id(+backend) |
+/// ablation+variant | perm(+device) | id | kernel+counter | slice_vol
+/// present, else "#<index>". Components join with '/'.
+std::string case_key(const telemetry::Json& c, std::size_t index);
+
+/// Parse + schema-check one report: a JSON object with a string
+/// "bench", an integer "schema_version" >= 1 and a "cases" array whose
+/// elements are objects. Throws a classified Error (kDataLoss) naming
+/// the violated rule; I/O failures are kInvalidArgument.
+BenchFile load_bench_file(const std::string& path);
+
+/// Non-throwing wrapper for batch validation (the CI gate).
+Expected<BenchFile> try_load_bench_file(const std::string& path);
+
+struct DiffOptions {
+  /// Relative slowdown tolerated as noise: a case regresses when
+  /// new > old * (1 + tolerance) and improves when new < old *
+  /// (1 - tolerance).
+  double tolerance = 0.10;
+  /// Multiplier applied to every candidate time before comparison —
+  /// the CI gate's self-test injects a synthetic slowdown with it.
+  double scale = 1.0;
+};
+
+struct CaseDiff {
+  std::string bench;
+  std::string key;
+  double base_ns = 0;
+  double new_ns = 0;      ///< after DiffOptions::scale
+  double speedup = 1.0;   ///< base/new; < 1 is a slowdown
+  enum class Verdict { kOk, kImproved, kRegressed } verdict = Verdict::kOk;
+};
+
+struct DiffReport {
+  std::vector<CaseDiff> cases;          ///< matched, file order
+  std::vector<std::string> only_base;   ///< "bench/key" without a partner
+  std::vector<std::string> only_new;
+  int regressions = 0;
+  int improvements = 0;
+  double geomean_speedup = 1.0;  ///< over matched cases (1.0 when none)
+
+  bool has_regression() const { return regressions > 0; }
+};
+
+/// Match cases by (bench, key) across the two file sets and score each
+/// pair against the tolerance. Files appearing on only one side are
+/// fine (their cases land in only_base/only_new).
+DiffReport diff_benches(const std::vector<BenchFile>& base,
+                        const std::vector<BenchFile>& candidate,
+                        const DiffOptions& opts = {});
+
+/// Human-readable report: a per-case table (src/common/table) followed
+/// by a one-line summary. `csv` switches the table to CSV.
+std::string render_report(const DiffReport& report, bool csv = false);
+
+}  // namespace ttlg::bench

@@ -6,6 +6,8 @@
 #include "common/timer.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "telemetry/accuracy.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -117,6 +119,11 @@ std::string Plan::describe() const {
 void Plan::record_execution(const sim::LaunchResult& res,
                             bool planned_kernel) const {
   telemetry::MetricsRegistry::global().counter("plan.executions").inc();
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global()
+        .histogram("plan.exec_us", {1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+                                    1000.0, 3000.0, 10000.0})
+        .observe(res.time_s * 1e6);
   // Accuracy residuals compare the model's prediction with the kernel
   // it actually predicted — fallback executions would poison them.
   if (planned_kernel)
@@ -127,6 +134,16 @@ void Plan::record_execution(const sim::LaunchResult& res,
 void Plan::note_fallback(const char* stage, const char* to,
                          const Error& cause) const {
   count_robustness(std::string("robustness.fallback.") + stage + "." + to);
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kWarn)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kWarn, "robustness",
+                           "fallback");
+    ev.field("stage", stage)
+        .field("to", to)
+        .field("code", to_string(cause.code()))
+        .field("cause", std::string(cause.what()));
+    ev.detail(std::string(stage) + "->" + to + " on " +
+              to_string(cause.code()));
+  }
   if (telemetry::trace_enabled()) {
     telemetry::Json args = telemetry::Json::object();
     args["stage"] = stage;
@@ -269,8 +286,25 @@ Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
   plan.fallback_enabled_ = opts.enable_fallback;
   plan.max_exec_retries_ = opts.max_exec_retries;
   plan.plan_wall_s_ = timer.seconds();
-  if (telemetry::counters_enabled())
-    telemetry::MetricsRegistry::global().counter("plan.created").inc();
+  if (telemetry::counters_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter("plan.created").inc();
+    reg.histogram("plan.wall_ms",
+                  {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0})
+        .observe(plan.plan_wall_s_ * 1e3);
+  }
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kInfo)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kInfo, "planner",
+                           "plan.created");
+    ev.field("shape", shape.to_string())
+        .field("perm", perm.to_string())
+        .field("schema", to_string(plan.schema()))
+        .field("predicted_us", plan.predicted_time_s() * 1e6)
+        .field("plan_wall_ms", plan.plan_wall_s() * 1e3);
+    if (plan.degraded()) ev.field("degraded", to_string(plan.plan_path()));
+    ev.detail(std::string(to_string(plan.schema())) + " " +
+              shape.to_string() + "->" + perm.to_string());
+  }
   if (span.active()) {
     span.arg("shape", shape.to_string());
     span.arg("perm", perm.to_string());
@@ -282,10 +316,27 @@ Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
   return plan;
 }
 
+const Status& note_status_failure(const char* site, const Status& st) {
+  if (st.is_ok()) return st;
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kError)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kError, "robustness",
+                           "status.error");
+    ev.field("site", site)
+        .field("code", to_string(st.code()))
+        .field("message", st.message());
+    ev.detail(std::string(site) + ": " + st.to_string());
+  }
+  telemetry::FlightRecorder::global().dump_on_error(site, st.code(),
+                                                    st.message());
+  return st;
+}
+
 Expected<Plan> try_make_plan(sim::Device& dev, const Shape& shape,
                              const Permutation& perm,
                              const PlanOptions& opts) {
-  return capture([&] { return make_plan(dev, shape, perm, opts); });
+  auto res = capture([&] { return make_plan(dev, shape, perm, opts); });
+  if (!res.has_value()) note_status_failure("make_plan", res.status());
+  return res;
 }
 
 double predict_transpose_time(const sim::DeviceProperties& props,

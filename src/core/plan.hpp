@@ -34,6 +34,13 @@ enum class ExecPath : int { kPlanned = 0, kGenericOa = 1, kNaive = 2 };
 
 const char* to_string(ExecPath path);
 
+/// Post-mortem hook shared by the try_* entry points: when `st` is
+/// non-OK, emits an error-level structured log event and asks the
+/// flight recorder to dump its last-N-events context naming `site`
+/// (telemetry/flight_recorder.hpp). No-op on an OK status; returns
+/// `st` unchanged so call sites can stay expression-shaped.
+const Status& note_status_failure(const char* site, const Status& st);
+
 class Plan {
  public:
   Plan() = default;
@@ -170,7 +177,9 @@ class Plan {
                                           sim::DeviceBuffer<T> out,
                                           T alpha = T{1},
                                           T beta = T{0}) const {
-    return capture([&] { return execute<T>(in, out, alpha, beta); });
+    auto res = capture([&] { return execute<T>(in, out, alpha, beta); });
+    if (!res.has_value()) note_status_failure("plan.execute", res.status());
+    return res;
   }
 
  private:

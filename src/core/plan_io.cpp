@@ -7,6 +7,8 @@
 #include <sstream>
 #include <string>
 
+#include "telemetry/log.hpp"
+
 namespace ttlg {
 namespace {
 
@@ -165,6 +167,12 @@ void save_plan(std::ostream& os, const Plan& plan) {
   const std::string payload = body.str();
   os << payload << "checksum " << std::hex << fnv1a(payload) << std::dec
      << '\n';
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kDebug, "plan_io", "save");
+    ev.field("schema", to_string(sel.schema))
+        .field("shape", problem.shape.to_string())
+        .field("bytes", static_cast<std::int64_t>(payload.size()));
+  }
 }
 
 Plan load_plan(sim::Device& dev, std::istream& is) {
@@ -224,6 +232,12 @@ Plan load_plan(sim::Device& dev, std::istream& is) {
                std::string("plan file body is corrupt: ") + e.what());
   }
 
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kDebug, "plan_io", "load");
+    ev.field("schema", to_string(parsed.second.schema))
+        .field("shape", parsed.first.shape.to_string());
+  }
+
   // Outside the catch: a device-side failure while uploading offset
   // arrays is a resource problem, not data loss, and must keep its own
   // classification (it is retryable; data loss is not).
@@ -232,7 +246,9 @@ Plan load_plan(sim::Device& dev, std::istream& is) {
 }
 
 Expected<Plan> try_load_plan(sim::Device& dev, std::istream& is) {
-  return capture([&] { return load_plan(dev, is); });
+  auto res = capture([&] { return load_plan(dev, is); });
+  if (!res.has_value()) note_status_failure("load_plan", res.status());
+  return res;
 }
 
 }  // namespace ttlg

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "core/kernels.hpp"
 #include "gpusim/lane.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -62,6 +63,13 @@ Schema classify(const TransposeProblem& problem) {
     span.arg("decision", to_string(schema));
     span.arg("path", path);
   }
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kDebug, "planner", "classify");
+    ev.field("fused_shape", fs.to_string())
+        .field("decision", to_string(schema))
+        .field("path", path);
+    ev.detail(path);
+  }
   return schema;
 }
 
@@ -104,6 +112,15 @@ KernelSelection select_kernel(const TransposeProblem& problem,
       span.arg("schema", to_string(s.schema));
       span.arg("predicted_us", s.predicted_s * 1e6);
       span.arg("candidates_considered", s.candidates_considered);
+    }
+    if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug)) {
+      telemetry::LogEvent ev(telemetry::LogLevel::kDebug, "planner",
+                             "select_kernel");
+      ev.field("schema", to_string(s.schema))
+          .field("predicted_us", s.predicted_s * 1e6)
+          .field("candidates_considered", s.candidates_considered);
+      ev.detail(std::string(to_string(s.schema)) + " from " +
+                std::to_string(s.candidates_considered) + " candidates");
     }
     return s;
   };

@@ -136,6 +136,18 @@ double Device::telemetry_now_us() {
   return telemetry::TraceCollector::global().now_us();
 }
 
+void Device::log_launch(const LaunchConfig& cfg,
+                        const LaunchResult& res) const {
+  telemetry::LogEvent ev(telemetry::LogLevel::kDebug, "sim", "launch");
+  ev.field("kernel", cfg.kernel_name.empty() ? "kernel" : cfg.kernel_name)
+      .field("grid_blocks", cfg.grid_blocks)
+      .field("block_threads", cfg.block_threads)
+      .field("simulated_us", res.time_s * 1e6);
+  ev.detail((cfg.kernel_name.empty() ? std::string("kernel")
+                                     : cfg.kernel_name) +
+            " " + std::to_string(cfg.grid_blocks) + " blocks");
+}
+
 void Device::record_launch_telemetry(const LaunchConfig& cfg,
                                      const LaunchResult& res,
                                      double start_us) const {
@@ -149,6 +161,11 @@ void Device::record_launch_telemetry(const LaunchConfig& cfg,
   reg.counter("sim.payload_bytes").inc(res.counters.payload_bytes);
   reg.counter("sim.smem_bank_conflicts").inc(res.counters.smem_bank_conflicts);
   reg.gauge("sim.kernel_time_s").add(res.time_s);
+  reg.histogram("sim.launch_us",
+                {1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0})
+      .observe(res.time_s * 1e6);
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug))
+    log_launch(cfg, res);
 
   if (!telemetry::trace_enabled()) return;
   auto& tc = telemetry::TraceCollector::global();

@@ -28,6 +28,7 @@
 #include "gpusim/device_properties.hpp"
 #include "gpusim/thread_pool.hpp"
 #include "gpusim/timing_model.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace ttlg::sim {
@@ -179,7 +180,11 @@ class Device {
     }
     res.timing = kernel_timing(props_, res.counters);
     res.time_s = res.timing.total_s;
-    if (telem) record_launch_telemetry(cfg, res, telem_start_us);
+    if (telem)
+      record_launch_telemetry(cfg, res, telem_start_us);
+    else if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug))
+      log_launch(cfg, res);  // structured log wants launches even when
+                             // the counters level is off
     return res;
   }
 
@@ -315,6 +320,9 @@ class Device {
   void record_launch_telemetry(const LaunchConfig& cfg,
                                const LaunchResult& res,
                                double start_us) const;
+  /// kDebug structured-log record for one launch (also mirrored into
+  /// the flight-recorder ring); gated by the caller.
+  void log_launch(const LaunchConfig& cfg, const LaunchResult& res) const;
 
   /// Raises for the `launch`/`tex` fault-injection sites (slow path,
   /// only entered when the injector is armed).

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -140,6 +142,19 @@ bool FaultInjector::fire(FaultSite site) {
                  sim::to_string(site))
         .inc();
   }
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kWarn)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kWarn, "faults", "injected");
+    ev.field("site", sim::to_string(site))
+        .field("query", n)
+        .field("injected", injected_[i]);
+    ev.detail(std::string("fault at ") + sim::to_string(site) + " (query " +
+              std::to_string(n) + ")");
+  }
+  // An injected fault is exactly the post-mortem moment the flight
+  // recorder exists for: dump the last-N-events context naming the site.
+  telemetry::FlightRecorder::global().dump_on_error(
+      sim::to_string(site), ErrorCode::kFaultInjected,
+      "fault injected at site " + std::string(sim::to_string(site)));
   return true;
 }
 

@@ -1,5 +1,6 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -7,40 +8,68 @@
 
 namespace ttlg::telemetry {
 
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::int64_t>& counts, double q) {
+  if (counts.size() != bounds.size() + 1) return 0.0;
+  std::int64_t total = 0;
+  for (std::int64_t c : counts) total += c;
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next >= rank && counts[b] > 0) {
+      // Overflow bucket has no finite upper edge: clamp to the last
+      // finite bound (the estimate cannot exceed observed knowledge).
+      if (b == bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double frac = (rank - cumulative) / static_cast<double>(counts[b]);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (std::size_t i = 1; i < bounds_.size(); ++i)
     TTLG_CHECK(bounds_[i - 1] < bounds_[i],
                "histogram bucket bounds must be strictly increasing");
-  counts_.assign(bounds_.size() + 1, 0);
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
 }
 
 void Histogram::observe(double x) {
   std::size_t b = 0;
   while (b < bounds_.size() && x > bounds_[b]) ++b;
-  std::lock_guard<std::mutex> lock(mu_);
-  ++counts_[b];
-  ++count_;
-  sum_ += x;
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
 }
 
 std::vector<std::int64_t> Histogram::bucket_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counts_;
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
 }
 
 std::int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  return count_.load(std::memory_order_relaxed);
 }
 
-double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
-}
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  const std::int64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  return histogram_quantile(bounds_, bucket_counts(), q);
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -133,7 +162,7 @@ std::string MetricsRegistry::to_table() const {
     t.print(os);
   }
   if (!histograms_.empty()) {
-    Table t({"histogram", "count", "mean", "buckets"});
+    Table t({"histogram", "count", "mean", "p50", "p95", "p99", "buckets"});
     for (const auto& [name, h] : histograms_) {
       std::ostringstream buckets;
       const auto counts = h->bucket_counts();
@@ -142,7 +171,9 @@ std::string MetricsRegistry::to_table() const {
         buckets << counts[i];
       }
       t.add_row({name, Table::num(h->count()), Table::num(h->mean(), 6),
-                 buckets.str()});
+                 Table::num(h->quantile(0.50), 6),
+                 Table::num(h->quantile(0.95), 6),
+                 Table::num(h->quantile(0.99), 6), buckets.str()});
     }
     t.print(os);
   }

@@ -7,11 +7,11 @@
 // Handles returned by counter()/gauge()/histogram() stay valid until
 // clear() — the registries are node-based maps.
 //
-// Thread safety: Counter and Gauge updates are lock-free atomics and
-// Histogram::observe takes an internal mutex, so handles may be used
-// from any thread concurrently (the parallel block-execution engine
-// and concurrent planning depend on this). Registry lookups were
-// already serialized by the registry mutex.
+// Thread safety: Counter, Gauge and Histogram updates are lock-free
+// atomics, so handles may be used from any thread concurrently (the
+// parallel block-execution engine and concurrent planning depend on
+// this). Registry lookups were already serialized by the registry
+// mutex.
 #pragma once
 
 #include <atomic>
@@ -45,8 +45,25 @@ class Gauge {
   std::atomic<double> v_{0};
 };
 
+/// Quantile estimate from fixed-bucket histogram data: `bounds` are
+/// inclusive upper edges, `counts` has bounds.size()+1 entries
+/// (overflow last). Linear interpolation inside the owning bucket; the
+/// overflow bucket clamps to the last finite bound (0 when there are no
+/// bounds). q is clamped to [0,1]; returns 0 for an empty histogram.
+/// Free-standing so it works on live histograms and on snapshot files
+/// alike (the Prometheus exporter and `ttlg stats --from` reuse it).
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::int64_t>& counts, double q);
+
 /// Fixed-bucket histogram: `bounds` are the inclusive upper edges of
 /// the first bounds.size() buckets; one overflow bucket follows.
+///
+/// observe() is wait-free on the counts (relaxed per-bucket atomics)
+/// and lock-free on the sum (atomic<double> fetch_add); there is no
+/// mutex, so observation sites on strength-reduced hot paths pay a few
+/// uncontended atomic RMWs. Snapshots (bucket_counts/count/sum) read
+/// each atomic individually — per-value accuracy, not a cross-field
+/// consistent cut, which is all the exporters ever needed.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds = {});
@@ -59,13 +76,16 @@ class Histogram {
   std::int64_t count() const;
   double sum() const;
   double mean() const;
+  /// histogram_quantile() over the current snapshot.
+  double quantile(double q) const;
 
  private:
   std::vector<double> bounds_;
-  mutable std::mutex mu_;
-  std::vector<std::int64_t> counts_;  ///< bounds_.size() + 1 (overflow last)
-  std::int64_t count_ = 0;
-  double sum_ = 0;
+  /// bounds_.size() + 1 slots (overflow last); atomics are not movable,
+  /// hence the array indirection.
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
 };
 
 class MetricsRegistry {
@@ -99,7 +119,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
-  // unique_ptr: Histogram owns a mutex and cannot be moved into a map
+  // unique_ptr: Histogram owns atomics and cannot be moved into a map
   // node; the indirection also keeps handle stability explicit.
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };

@@ -1,0 +1,89 @@
+// Prometheus text-format exporter for MetricsRegistry, plus a periodic
+// snapshot-to-file writer for long-running processes.
+//
+// The renderer consumes the registry's *JSON snapshot* (the
+// MetricsRegistry::to_json() shape) rather than the registry object, so
+// the same code path renders a live registry, a BENCH_*.json "counters"
+// section, or a snapshot file loaded from disk (`ttlg stats --from`).
+//
+// Exposition rules (text format 0.0.4):
+//  - names are prefixed "ttlg_" and dots become underscores:
+//    "plan_cache.hit" -> ttlg_plan_cache_hit;
+//  - counters/gauges emit `# HELP` + `# TYPE` + one sample;
+//  - histograms emit cumulative `_bucket{le="..."}` samples ending in
+//    le="+Inf", then `_sum` and `_count`, plus derived p50/p95/p99
+//    gauges (`<name>_p50` ...) estimated by linear interpolation inside
+//    the owning bucket.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.hpp"
+
+namespace ttlg::telemetry {
+
+class MetricsRegistry;
+
+/// "plan_cache.hit" -> "ttlg_plan_cache_hit"; any character outside
+/// [a-zA-Z0-9_] maps to '_'.
+std::string prometheus_name(const std::string& name);
+
+/// Render a MetricsRegistry::to_json() snapshot as Prometheus text.
+/// Unknown / malformed sections are skipped, never fatal — the exporter
+/// must not take down the process it observes.
+std::string to_prometheus(const Json& snapshot);
+
+/// Convenience: snapshot + render the registry.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Periodically writes the global registry to a file. The format
+/// follows the path: "*.prom" gets Prometheus text, anything else the
+/// JSON snapshot. Writes are atomic (tmp + rename) so a scraper's
+/// file-watch never sees a torn file. A final snapshot is written on
+/// stop()/destruction.
+///
+/// maybe_start_from_env() starts the writer when TTLG_METRICS_SNAPSHOT
+/// names a path (period TTLG_METRICS_SNAPSHOT_PERIOD_MS, default 1000);
+/// the CLI calls it once at startup — the library never spawns the
+/// thread on its own.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+  ~SnapshotWriter() { stop(); }
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Idempotent; restarting with a new path stops the old thread first.
+  void start(std::string path, std::int64_t period_ms = 1000);
+  /// Writes one last snapshot, then joins the thread. Safe when not
+  /// running.
+  void stop();
+  bool running() const;
+
+  /// One immediate write (also what the thread calls). Returns false on
+  /// I/O failure (reported to stderr once per path).
+  bool write_now() const;
+
+  static SnapshotWriter& global();
+  /// Honors TTLG_METRICS_SNAPSHOT / TTLG_METRICS_SNAPSHOT_PERIOD_MS on
+  /// the global writer. Returns true when a writer is (now) running.
+  static bool maybe_start_from_env();
+
+ private:
+  void run();
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::thread thread_;
+  std::string path_;
+  std::int64_t period_ms_ = 1000;
+  bool stop_requested_ = false;
+  bool running_ = false;
+};
+
+}  // namespace ttlg::telemetry

@@ -1,7 +1,11 @@
 #include "telemetry/trace.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
+
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace ttlg::telemetry {
 namespace {
@@ -12,17 +16,49 @@ double steady_seconds() {
       .count();
 }
 
+std::size_t default_capacity() {
+  if (const char* env = std::getenv("TTLG_TRACE_CAPACITY");
+      env != nullptr && *env != '\0') {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 65536;
+}
+
+// Span depth is a per-thread property: concurrent worker spans must not
+// see each other's nesting. The slot follows the collector the thread
+// touched last, which is all the library needs (only the global
+// collector ever runs spans).
+struct ThreadDepth {
+  const TraceCollector* owner = nullptr;
+  int depth = 0;
+};
+
+ThreadDepth& thread_depth() {
+  thread_local ThreadDepth d;
+  return d;
+}
+
 }  // namespace
 
-TraceCollector::TraceCollector() : epoch_s_(steady_seconds()) {}
+TraceCollector::TraceCollector()
+    : epoch_s_(steady_seconds()), capacity_(default_capacity()) {}
 
 double TraceCollector::now_us() const {
   return (steady_seconds() - epoch_s_) * 1e6;
 }
 
+bool TraceCollector::has_room_locked() {
+  if (events_.size() < capacity_) return true;
+  ++dropped_;
+  // Rare overflow path; the registry lookup cost does not matter here.
+  MetricsRegistry::global().counter("trace.dropped_events").inc();
+  return false;
+}
+
 void TraceCollector::add(TraceEvent ev) {
   std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(ev));
+  if (has_room_locked()) events_.push_back(std::move(ev));
 }
 
 void TraceCollector::instant(std::string name, std::string cat, Json args) {
@@ -31,12 +67,10 @@ void TraceCollector::instant(std::string name, std::string cat, Json args) {
   ev.cat = std::move(cat);
   ev.ph = 'i';
   ev.ts_us = now_us();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ev.depth = depth_;
-    ev.args = std::move(args);
-    events_.push_back(std::move(ev));
-  }
+  ev.depth = depth();
+  ev.tid = this_thread_id();
+  ev.args = std::move(args);
+  add(std::move(ev));
 }
 
 std::size_t TraceCollector::size() const {
@@ -52,22 +86,43 @@ std::vector<TraceEvent> TraceCollector::events() const {
 void TraceCollector::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
-  depth_ = 0;
+  dropped_ = 0;
+  ThreadDepth& d = thread_depth();
+  if (d.owner == this) d.depth = 0;
+}
+
+std::size_t TraceCollector::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceCollector::set_capacity(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = cap > 0 ? cap : 1;
+}
+
+std::int64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
 }
 
 int TraceCollector::enter_span() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return depth_++;
+  ThreadDepth& d = thread_depth();
+  if (d.owner != this) {
+    d.owner = this;
+    d.depth = 0;
+  }
+  return d.depth++;
 }
 
 void TraceCollector::exit_span() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (depth_ > 0) --depth_;
+  ThreadDepth& d = thread_depth();
+  if (d.owner == this && d.depth > 0) --d.depth;
 }
 
 int TraceCollector::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return depth_;
+  const ThreadDepth& d = thread_depth();
+  return d.owner == this ? d.depth : 0;
 }
 
 Json TraceCollector::to_json() const {
@@ -83,7 +138,9 @@ Json TraceCollector::to_json() const {
     if (ev.ph == 'X') j["dur"] = ev.dur_us;
     if (ev.ph == 'i') j["s"] = "t";  // instant scope: thread
     j["pid"] = 1;
-    j["tid"] = 1;
+    // Events recorded before tid tracking (or hand-built in tests)
+    // default to lane 1.
+    j["tid"] = static_cast<std::int64_t>(ev.tid == 0 ? 1 : ev.tid);
     Json args = ev.args.is_null() ? Json::object() : ev.args;
     args["depth"] = ev.depth;
     j["args"] = std::move(args);
@@ -106,11 +163,11 @@ TraceCollector& TraceCollector::global() {
   return collector;
 }
 
-TraceSpan::TraceSpan(std::string name, std::string cat) {
+TraceSpan::TraceSpan(const char* name, const char* cat) {
   if (!trace_enabled()) return;
   active_ = true;
-  name_ = std::move(name);
-  cat_ = std::move(cat);
+  name_ = name;
+  cat_ = cat;
   TraceCollector& tc = TraceCollector::global();
   depth_ = tc.enter_span();
   start_us_ = tc.now_us();
@@ -120,12 +177,13 @@ TraceSpan::~TraceSpan() {
   if (!active_) return;
   TraceCollector& tc = TraceCollector::global();
   TraceEvent ev;
-  ev.name = std::move(name_);
-  ev.cat = std::move(cat_);
+  ev.name = name_;
+  ev.cat = cat_;
   ev.ph = 'X';
   ev.ts_us = start_us_;
   ev.dur_us = tc.now_us() - start_us_;
   ev.depth = depth_;
+  ev.tid = this_thread_id();
   ev.args = std::move(args_);
   tc.exit_span();
   tc.add(std::move(ev));

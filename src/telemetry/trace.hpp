@@ -2,13 +2,24 @@
 // Format", JSON array flavour). TraceSpan is the RAII instrumentation
 // primitive: construction samples the wall clock, destruction appends a
 // complete ('X') event carrying whatever args the span accumulated.
-// Spans nest lexically; nesting is reconstructed by the viewer from
-// [ts, ts+dur] containment and recorded explicitly as a `depth` arg.
+// Spans nest lexically *per thread*; nesting is reconstructed by the
+// viewer from [ts, ts+dur] containment within a thread lane and
+// recorded explicitly as a `depth` arg. Every event carries the
+// emitting thread's id (this_thread_id()), so worker-pool spans render
+// as separate Perfetto lanes instead of one interleaved mess.
 //
 // All span work is gated on trace_enabled() at construction: with the
-// trace level off a span is a bool check and nothing else.
+// trace level off a span is a bool check and nothing else. Span names
+// and categories are const char* (string literals at every call site),
+// so an inactive span performs no allocation either.
+//
+// The collector retains at most capacity() events (default 65536, or
+// TTLG_TRACE_CAPACITY) so a long-running process cannot grow without
+// bound; overflow drops the newest event and counts it in the global
+// registry under "trace.dropped_events".
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -21,11 +32,12 @@ namespace ttlg::telemetry {
 struct TraceEvent {
   std::string name;
   std::string cat;
-  char ph = 'X';      ///< 'X' complete span, 'i' instant
-  double ts_us = 0;   ///< wall-clock microseconds since collector epoch
-  double dur_us = 0;  ///< 'X' events only
-  int depth = 0;      ///< span nesting depth at emission
-  Json args;          ///< object (or null when the event has no args)
+  char ph = 'X';           ///< 'X' complete span, 'i' instant
+  double ts_us = 0;        ///< wall-clock microseconds since collector epoch
+  double dur_us = 0;       ///< 'X' events only
+  int depth = 0;           ///< per-thread span nesting depth at emission
+  std::uint32_t tid = 0;   ///< this_thread_id() of the emitter (0 = unset)
+  Json args;               ///< object (or null when the event has no args)
 };
 
 class TraceCollector {
@@ -53,22 +65,37 @@ class TraceCollector {
 
   static TraceCollector& global();
 
-  // Span-depth bookkeeping (used by TraceSpan).
+  /// Retention cap in events; excess events are dropped (and counted).
+  std::size_t capacity() const;
+  void set_capacity(std::size_t cap);
+  /// Events dropped by this collector since construction/clear().
+  std::int64_t dropped() const;
+
+  // Span-depth bookkeeping (used by TraceSpan). Depth is tracked
+  // per thread: concurrent spans on worker threads do not perturb each
+  // other. A thread's depth follows whichever collector it touched
+  // last — interleaving spans of two collectors on one thread is not
+  // supported (nothing does).
   int enter_span();
   void exit_span();
-  int depth() const;
+  int depth() const;  ///< calling thread's current depth
 
  private:
+  bool has_room_locked();  ///< false = drop (already counted)
+
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   double epoch_s_ = 0;
-  int depth_ = 0;
+  std::size_t capacity_;
+  std::int64_t dropped_ = 0;
 };
 
 class TraceSpan {
  public:
   /// Active (and timed) only when trace_enabled() at construction.
-  explicit TraceSpan(std::string name, std::string cat = "ttlg");
+  /// `name`/`cat` must outlive the span — in practice they are string
+  /// literals, which keeps a disabled span allocation-free.
+  explicit TraceSpan(const char* name, const char* cat = "ttlg");
   ~TraceSpan();
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -83,8 +110,8 @@ class TraceSpan {
   bool active_ = false;
   double start_us_ = 0;
   int depth_ = 0;
-  std::string name_;
-  std::string cat_;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
   Json args_;
 };
 

@@ -1,0 +1,153 @@
+// Bench-trajectory regression analysis (src/benchlib/perfdiff) against
+// the golden fixtures in tests/data: schema checks, case-key and
+// time-metric normalization, tolerance-banded verdicts, and the report
+// rendering the CI gate greps.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "benchlib/perfdiff.hpp"
+#include "common/error.hpp"
+
+using namespace ttlg;
+using bench::BenchFile;
+using bench::CaseDiff;
+using bench::DiffOptions;
+
+namespace {
+
+std::string fixture(const char* name) {
+  return std::string(TTLG_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(CaseKey, FollowsIdentityFieldPriority) {
+  using telemetry::Json;
+  EXPECT_EQ(bench::case_key(Json::parse(R"({"name": "a", "case_id": "b"})"),
+                            0),
+            "a");
+  EXPECT_EQ(bench::case_key(
+                Json::parse(R"({"case_id": "t1", "backend": "ttlg"})"), 0),
+            "t1/ttlg");
+  EXPECT_EQ(bench::case_key(
+                Json::parse(R"({"ablation": "no_fuse", "variant": "v2"})"), 0),
+            "no_fuse/v2");
+  EXPECT_EQ(bench::case_key(
+                Json::parse(R"x({"perm": "(2 0 1)", "device": "k40c"})x"), 0),
+            "(2 0 1)/k40c");
+  EXPECT_EQ(bench::case_key(Json::parse(R"({"bytes": 64})"), 7), "#7");
+}
+
+TEST(LoadBenchFile, ParsesAndNormalizesTheFixture) {
+  const BenchFile bf =
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"));
+  EXPECT_EQ(bf.bench, "perfdiff_fixture");
+  EXPECT_EQ(bf.schema_version, 1);
+  EXPECT_EQ(bf.total_cases, 4u);
+  ASSERT_EQ(bf.cases.size(), 3u);  // the metadata-only row is not timed
+  EXPECT_EQ(bf.cases[0].key, "transpose_2d_small");
+  EXPECT_EQ(bf.cases[0].metric, "real_time_ns");
+  EXPECT_DOUBLE_EQ(bf.cases[0].time_ns, 1e6);
+  // kernel_ms normalizes to nanoseconds.
+  EXPECT_EQ(bf.cases[2].key, "transpose_4d_tiled");
+  EXPECT_EQ(bf.cases[2].metric, "kernel_ms");
+  EXPECT_DOUBLE_EQ(bf.cases[2].time_ns, 2e6);
+}
+
+TEST(LoadBenchFile, SchemaViolationsAreClassified) {
+  const auto bad =
+      bench::try_load_bench_file(fixture("BENCH_perfdiff_bad.json"));
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), ErrorCode::kDataLoss);
+  EXPECT_NE(bad.status().message().find("schema_version"), std::string::npos);
+
+  const auto missing = bench::try_load_bench_file(fixture("no_such.json"));
+  ASSERT_FALSE(missing.has_value());
+  EXPECT_EQ(missing.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(DiffBenches, IdenticalInputsShowNoRegression) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  const auto report = bench::diff_benches(base, base, DiffOptions{});
+  EXPECT_EQ(report.cases.size(), 3u);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.improvements, 0);
+  EXPECT_DOUBLE_EQ(report.geomean_speedup, 1.0);
+  EXPECT_TRUE(report.only_base.empty());
+  EXPECT_TRUE(report.only_new.empty());
+}
+
+TEST(DiffBenches, UniformSlowdownRegressesEveryCase) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  const std::vector<BenchFile> slow = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_slow.json"))};
+  const auto report = bench::diff_benches(base, slow, DiffOptions{});
+  ASSERT_EQ(report.cases.size(), 3u);
+  EXPECT_TRUE(report.has_regression());
+  EXPECT_EQ(report.regressions, 3);
+  for (const CaseDiff& d : report.cases) {
+    EXPECT_EQ(d.verdict, CaseDiff::Verdict::kRegressed);
+    EXPECT_NEAR(d.speedup, 1.0 / 1.5, 1e-12);
+  }
+  EXPECT_NEAR(report.geomean_speedup, 1.0 / 1.5, 1e-12);
+}
+
+TEST(DiffBenches, ToleranceAbsorbsNoiseAndScaleInjectsSlowdowns) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  // A 5% synthetic slowdown sits inside the default 10% noise band...
+  DiffOptions noise;
+  noise.scale = 1.05;
+  EXPECT_FALSE(bench::diff_benches(base, base, noise).has_regression());
+  // ...a 50% one does not (this is exactly the CI gate's self-test).
+  DiffOptions gate;
+  gate.scale = 1.5;
+  EXPECT_TRUE(bench::diff_benches(base, base, gate).has_regression());
+  // Tightening the tolerance flips the 5% verdict.
+  DiffOptions strict;
+  strict.scale = 1.05;
+  strict.tolerance = 0.01;
+  EXPECT_TRUE(bench::diff_benches(base, base, strict).has_regression());
+  // Symmetrically, a speedup beyond tolerance counts as an improvement.
+  DiffOptions faster;
+  faster.scale = 0.5;
+  const auto report = bench::diff_benches(base, base, faster);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.improvements, 3);
+}
+
+TEST(DiffBenches, UnmatchedCasesAreReportedNotScored) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  std::vector<BenchFile> renamed = base;
+  renamed[0].cases[0].key = "renamed_case";
+  const auto report = bench::diff_benches(base, renamed, DiffOptions{});
+  EXPECT_EQ(report.cases.size(), 2u);
+  ASSERT_EQ(report.only_base.size(), 1u);
+  EXPECT_EQ(report.only_base[0], "perfdiff_fixture/transpose_2d_small");
+  ASSERT_EQ(report.only_new.size(), 1u);
+  EXPECT_EQ(report.only_new[0], "perfdiff_fixture/renamed_case");
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(RenderReport, NamesTheRegressionsAndSummarizes) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  const std::vector<BenchFile> slow = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_slow.json"))};
+  const auto report = bench::diff_benches(base, slow, DiffOptions{});
+
+  const std::string text = bench::render_report(report);
+  EXPECT_NE(text.find("transpose_2d_small"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("3 regressed"), std::string::npos);
+
+  const std::string csv = bench::render_report(report, /*csv=*/true);
+  EXPECT_NE(csv.find("perfdiff_fixture,transpose_2d_small"),
+            std::string::npos);
+}
+
+}  // namespace

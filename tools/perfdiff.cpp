@@ -1,0 +1,169 @@
+// perfdiff: compare BENCH_*.json performance reports across builds.
+//
+//   perfdiff [options] <old> <new>    diff two reports or results/ dirs
+//   perfdiff --check <path>...        schema-validate reports (no diff)
+//
+// <old>/<new> are either single BENCH_*.json files or directories, in
+// which case every BENCH_*.json inside is loaded and reports are
+// matched by their "bench" name. Exit codes: 0 = no regression,
+// 1 = at least one case regressed beyond tolerance, 2 = usage error or
+// unreadable/malformed input.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "benchlib/perfdiff.hpp"
+#include "common/error.hpp"
+
+namespace fs = std::filesystem;
+using ttlg::bench::BenchFile;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: perfdiff [--tolerance FRAC] [--scale MULT] [--csv] OLD NEW\n"
+      "       perfdiff --check PATH...\n"
+      "\n"
+      "OLD/NEW/PATH are BENCH_*.json files or directories of them.\n"
+      "  --tolerance FRAC  relative slowdown treated as noise "
+      "(default 0.10)\n"
+      "  --scale MULT      multiply NEW times before comparing "
+      "(gate self-test)\n"
+      "  --csv             emit the per-case table as CSV\n"
+      "  --check           schema-validate only; no baseline needed\n"
+      "exit: 0 = ok, 1 = regression, 2 = bad input\n");
+}
+
+/// A file argument is taken as-is; a directory contributes every
+/// BENCH_*.json inside (sorted, for stable output).
+std::vector<std::string> expand(const std::string& arg) {
+  std::error_code ec;
+  if (!fs::is_directory(arg, ec)) return {arg};
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(arg, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.rfind(".json") == name.size() - 5)
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty())
+    std::fprintf(stderr, "perfdiff: no BENCH_*.json files under '%s'\n",
+                 arg.c_str());
+  return paths;
+}
+
+/// Load every report under `arg`; false (with diagnostics) on any
+/// schema violation.
+bool load_all(const std::string& arg, std::vector<BenchFile>& out) {
+  bool ok = true;
+  for (const std::string& path : expand(arg)) {
+    auto bf = ttlg::bench::try_load_bench_file(path);
+    if (bf.has_value()) {
+      out.push_back(std::move(bf.value()));
+    } else {
+      std::fprintf(stderr, "perfdiff: %s\n",
+                   bf.status().to_string().c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ttlg::bench::DiffOptions opts;
+  bool csv = false;
+  bool check_only = false;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "perfdiff: %s needs a value\n", flag);
+        std::exit(kExitError);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return kExitOk;
+    } else if (arg == "--tolerance") {
+      opts.tolerance = std::atof(next_value("--tolerance"));
+      if (opts.tolerance < 0) {
+        std::fprintf(stderr, "perfdiff: --tolerance must be >= 0\n");
+        return kExitError;
+      }
+    } else if (arg == "--scale") {
+      opts.scale = std::atof(next_value("--scale"));
+      if (opts.scale <= 0) {
+        std::fprintf(stderr, "perfdiff: --scale must be > 0\n");
+        return kExitError;
+      }
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "perfdiff: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return kExitError;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (check_only) {
+    if (positional.empty()) {
+      usage(stderr);
+      return kExitError;
+    }
+    bool ok = true;
+    std::size_t files = 0, timed = 0;
+    for (const std::string& arg : positional) {
+      std::vector<BenchFile> loaded;
+      ok = load_all(arg, loaded) && ok;
+      for (const BenchFile& f : loaded) {
+        ++files;
+        timed += f.cases.size();
+        std::printf("%s: bench '%s' schema v%d, %zu case(s), %zu timed\n",
+                    f.path.c_str(), f.bench.c_str(), f.schema_version,
+                    f.total_cases, f.cases.size());
+      }
+    }
+    std::printf("%zu report(s) valid, %zu comparable case(s)\n", files,
+                timed);
+    return ok ? kExitOk : kExitError;
+  }
+
+  if (positional.size() != 2) {
+    usage(stderr);
+    return kExitError;
+  }
+  std::vector<BenchFile> base, candidate;
+  if (!load_all(positional[0], base) || !load_all(positional[1], candidate))
+    return kExitError;
+  if (base.empty() || candidate.empty()) return kExitError;
+
+  const auto report = ttlg::bench::diff_benches(base, candidate, opts);
+  std::fputs(ttlg::bench::render_report(report, csv).c_str(), stdout);
+  if (report.cases.empty()) {
+    std::fprintf(stderr,
+                 "perfdiff: no comparable cases between '%s' and '%s'\n",
+                 positional[0].c_str(), positional[1].c_str());
+    return kExitError;
+  }
+  return report.has_regression() ? kExitRegression : kExitOk;
+}

@@ -26,6 +26,7 @@
 #include "core/ttlg.hpp"
 #include "telemetry/accuracy.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "ttgt/contraction.hpp"
@@ -342,6 +343,112 @@ int cmd_contract(const Cli& cli) {
   return max_err < 1e-9 ? 0 : 1;
 }
 
+/// Render a metrics-registry JSON snapshot as the counters / gauges /
+/// histograms tables (the same shape MetricsRegistry::to_table uses,
+/// including derived p50/p95/p99 per histogram).
+std::string render_metrics_snapshot(const telemetry::Json& snapshot,
+                                    bool csv) {
+  std::ostringstream os;
+  const auto print = [&](Table& t, bool rows) {
+    if (!rows) return;
+    if (csv)
+      t.print_csv(os);
+    else
+      t.print(os);
+  };
+  if (const telemetry::Json* counters = snapshot.find("counters");
+      counters != nullptr && counters->is_object()) {
+    Table t({"counter", "value"});
+    bool rows = false;
+    for (const auto& [name, v] : counters->items()) {
+      if (!v.is_number()) continue;
+      t.add_row({name, Table::num(v.as_double(), 0)});
+      rows = true;
+    }
+    print(t, rows);
+  }
+  if (const telemetry::Json* gauges = snapshot.find("gauges");
+      gauges != nullptr && gauges->is_object()) {
+    Table t({"gauge", "value"});
+    bool rows = false;
+    for (const auto& [name, v] : gauges->items()) {
+      if (!v.is_number()) continue;
+      t.add_row({name, Table::num(v.as_double(), 4)});
+      rows = true;
+    }
+    print(t, rows);
+  }
+  if (const telemetry::Json* hists = snapshot.find("histograms");
+      hists != nullptr && hists->is_object()) {
+    Table t({"histogram", "count", "mean", "p50", "p95", "p99"});
+    bool rows = false;
+    for (const auto& [name, h] : hists->items()) {
+      if (!h.is_object()) continue;
+      const telemetry::Json* jbounds = h.find("bounds");
+      const telemetry::Json* jcounts = h.find("counts");
+      const telemetry::Json* jsum = h.find("sum");
+      const telemetry::Json* jcount = h.find("count");
+      if (!jbounds || !jcounts || !jsum || !jcount) continue;
+      if (!jbounds->is_array() || !jcounts->is_array()) continue;
+      if (jcounts->size() != jbounds->size() + 1) continue;
+      std::vector<double> bounds;
+      for (std::size_t i = 0; i < jbounds->size(); ++i)
+        bounds.push_back(jbounds->at(i).as_double());
+      std::vector<std::int64_t> counts;
+      for (std::size_t i = 0; i < jcounts->size(); ++i)
+        counts.push_back(jcounts->at(i).as_int());
+      const std::int64_t n = jcount->as_int();
+      const double mean = n > 0 ? jsum->as_double() / static_cast<double>(n)
+                                : 0.0;
+      t.add_row({name, Table::num(static_cast<double>(n), 0),
+                 Table::num(mean, 4),
+                 Table::num(telemetry::histogram_quantile(bounds, counts,
+                                                          0.50),
+                            4),
+                 Table::num(telemetry::histogram_quantile(bounds, counts,
+                                                          0.95),
+                            4),
+                 Table::num(telemetry::histogram_quantile(bounds, counts,
+                                                          0.99),
+                            4)});
+      rows = true;
+    }
+    print(t, rows);
+  }
+  if (os.str().empty()) os << "(no metrics recorded)\n";
+  return os.str();
+}
+
+int cmd_stats(const Cli& cli) {
+  const std::string from = cli.get("from", "");
+  telemetry::Json snapshot;
+  if (!from.empty()) {
+    std::ifstream in(from);
+    TTLG_CHECK(in.good(), "cannot open metrics snapshot '" + from + "'");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      snapshot = telemetry::Json::parse(text);
+    } catch (const Error&) {
+      TTLG_RAISE(ErrorCode::kInvalidArgument,
+                 "'" + from + "' is not a JSON metrics snapshot (a .prom "
+                 "snapshot is already Prometheus text — read it directly)");
+    }
+    TTLG_CHECK(snapshot.is_object(),
+               "'" + from + "' is not a metrics snapshot (expected a JSON "
+               "object with counters/gauges/histograms)");
+  } else {
+    snapshot = telemetry::MetricsRegistry::global().to_json();
+  }
+  if (cli.get_bool("prometheus")) {
+    std::fputs(telemetry::to_prometheus(snapshot).c_str(), stdout);
+    return 0;
+  }
+  std::fputs(render_metrics_snapshot(snapshot, cli.get_bool("csv")).c_str(),
+             stdout);
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const Cli& cli) {
   if (cmd == "plan") return cmd_plan(cli);
   if (cmd == "run") return cmd_run(cli);
@@ -350,6 +457,7 @@ int dispatch(const std::string& cmd, const Cli& cli) {
   if (cmd == "profile") return cmd_profile(cli);
   if (cmd == "fuzz") return cmd_fuzz(cli);
   if (cmd == "contract") return cmd_contract(cli);
+  if (cmd == "stats") return cmd_stats(cli);
   std::printf(
       "ttlg <command> [flags]\n"
       "  plan     --dims d0,d1,... --perm p0,p1,...   show the chosen kernel\n"
@@ -359,6 +467,7 @@ int dispatch(const std::string& cmd, const Cli& cli) {
       "  profile  --dims ...                          per-kernel profile\n"
       "  fuzz     [--iters N] [--seed S]              fault-injection sweep\n"
       "  contract --spec \"iak,kbj->abij\" --a ... --b ...   TTGT demo\n"
+      "  stats    [--from <snapshot.json>] [--prometheus]   metrics tables\n"
       "Common flags: --float, --analytic, --no-coarsening, --csv,\n"
       "              --measure, --save <file> (plan), --load <file> (run),\n"
       "              --threads N (host threads; 0 = auto from TTLG_THREADS\n"
@@ -366,7 +475,10 @@ int dispatch(const std::string& cmd, const Cli& cli) {
       "              bit-identical at every setting),\n"
       "              --telemetry off|counters|trace, --trace-out <file>,\n"
       "              --faults <spec> (fault injection, same grammar as\n"
-      "              TTLG_FAULTS, e.g. \"seed=7,alloc.p=0.25,launch.nth=3\")\n");
+      "              TTLG_FAULTS, e.g. \"seed=7,alloc.p=0.25,launch.nth=3\")\n"
+      "Observability env: TTLG_LOG_LEVEL, TTLG_LOG_FILE, TTLG_FLIGHT_DUMP_DIR,\n"
+      "              TTLG_METRICS_SNAPSHOT (.json or .prom; periodic, see\n"
+      "              TTLG_METRICS_SNAPSHOT_PERIOD_MS) — docs/observability.md\n");
   return cmd == "help" ? 0 : 2;
 }
 
@@ -412,8 +524,12 @@ int main(int argc, char** argv) {
     const std::string faults = cli.get("faults", "");
     if (!faults.empty() && cmd != "fuzz")
       sim::FaultInjector::global().configure(faults);
+    // TTLG_METRICS_SNAPSHOT starts the periodic exporter for any
+    // subcommand; stop() below flushes the terminal snapshot.
+    telemetry::SnapshotWriter::maybe_start_from_env();
     rc = dispatch(cmd, cli);
     finish_telemetry(cli);
+    telemetry::SnapshotWriter::global().stop();
   } catch (const Error& e) {
     std::fprintf(stderr, "error [%s]: %s\n", to_string(e.code()), e.what());
     return 2;
