@@ -92,4 +92,14 @@ cmake --build build-tsan -j
 "build-tsan/tests/test_concurrency" --gtest_brief=1
 "build-tsan/tests/test_determinism" --gtest_brief=1
 
+echo "== chaos soak: service battery under TSan with faults armed =="
+# The serving layer's keystone property — every request terminates with
+# a classified status, zero lost or hung, bit-identical served outputs
+# — must hold under ThreadSanitizer WITH the fault injector armed: the
+# soak hammers admission control, quotas, deadline propagation, retry
+# backoff and server shutdown from 8+ client threads at once.
+"build-tsan/tests/test_service" --gtest_brief=1
+TTLG_FAULTS="seed=11,alloc.p=0.05,launch.p=0.05,tex.p=0.05,smem.p=0.05" \
+  "build-tsan/tests/test_chaos_soak" --gtest_brief=1
+
 echo "CI passed."

@@ -1,0 +1,64 @@
+// Thread-local deadline propagation for long-running library paths.
+//
+// A serving front end that accepted a request with a deadline needs the
+// library to stop burning simulator time the moment the deadline
+// passes — in particular between the rungs of the execute-time
+// degradation ladder, where a doomed request would otherwise fall all
+// the way to the (slow) naive kernel before anyone notices. Threading a
+// deadline parameter through every template entry point would bloat the
+// API, so the context is thread-local: the caller installs a
+// ScopedDeadline around the work, and deep library code polls
+// throw_if_past_deadline() at its natural cancellation points.
+//
+// The check is an arbitrary predicate (not a time point) so callers
+// choose their own clock — the service layer binds either a real
+// steady clock or the seeded manual clock its tests run on. With no
+// context installed every check is a single thread-local load and a
+// null test, so non-serving callers pay essentially nothing.
+#pragma once
+
+#include <functional>
+
+#include "common/error.hpp"
+
+namespace ttlg {
+
+/// Returns true when the active request's deadline has passed.
+using DeadlineCheck = std::function<bool()>;
+
+namespace detail {
+inline thread_local const DeadlineCheck* tl_deadline_check = nullptr;
+}  // namespace detail
+
+/// Install `check` as the calling thread's deadline context for the
+/// current scope. Nests: the previous context is restored on exit.
+/// The referenced check must outlive the scope.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(const DeadlineCheck& check)
+      : prev_(detail::tl_deadline_check) {
+    detail::tl_deadline_check = &check;
+  }
+  ~ScopedDeadline() { detail::tl_deadline_check = prev_; }
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  const DeadlineCheck* prev_;
+};
+
+/// True when a deadline context is installed and reports expiry.
+inline bool past_deadline() {
+  return detail::tl_deadline_check != nullptr &&
+         (*detail::tl_deadline_check)();
+}
+
+/// Cancellation point: raises kDeadlineExceeded (non-retryable, so it
+/// propagates straight through the degradation ladder) naming `site`.
+inline void throw_if_past_deadline(const char* site) {
+  if (past_deadline())
+    TTLG_RAISE(ErrorCode::kDeadlineExceeded,
+               std::string(site) + ": request deadline exceeded");
+}
+
+}  // namespace ttlg

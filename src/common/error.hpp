@@ -23,6 +23,8 @@ enum class ErrorCode : int {
   kDataLoss = 3,          ///< corrupted persisted state (plan files)
   kFaultInjected = 4,     ///< failure raised by the fault injector
   kInternal = 5,          ///< broken library invariant (a bug)
+  kDeadlineExceeded = 6,  ///< request deadline passed; retrying cannot help
+  kUnavailable = 7,       ///< transient overload: shed / quota rejection
 };
 
 inline const char* to_string(ErrorCode code) {
@@ -33,17 +35,23 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kDataLoss: return "DataLoss";
     case ErrorCode::kFaultInjected: return "FaultInjected";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }
 
-/// Codes the degradation ladder is allowed to recover from: transient
-/// device conditions and injected faults. Caller mistakes, corrupted
-/// files and internal bugs must surface, never be papered over.
+/// Codes a caller (the degradation ladder, the serving retry policy) is
+/// allowed to recover from: transient device conditions, injected
+/// faults and overload rejections. Caller mistakes, corrupted files,
+/// expired deadlines and internal bugs must surface, never be papered
+/// over — retrying a DeadlineExceeded request only burns more time the
+/// request no longer has.
 inline bool retryable(ErrorCode code) {
   return code == ErrorCode::kResourceExhausted ||
          code == ErrorCode::kFaultInjected ||
-         code == ErrorCode::kUnsupported;
+         code == ErrorCode::kUnsupported ||
+         code == ErrorCode::kUnavailable;
 }
 
 /// Exception type for all errors raised by the TTLG library and its

@@ -37,8 +37,25 @@ class BatchedPlan {
       res.total_time_s += run.time_s;
       res.counters += run.counters;
       res.per_call_s.push_back(run.time_s);
-      res.counters.grid_blocks += run.counters.grid_blocks;
     }
+    return res;
+  }
+
+  /// Non-throwing batched execution for serving paths (mirrors
+  /// Plan::try_execute): classified failures — including a
+  /// kDeadlineExceeded raised between ladder rungs — come back as a
+  /// Status instead of unwinding across the request-queue boundary.
+  /// Members already executed when a later member fails are lost with
+  /// the partial result; the service treats the whole batch as one
+  /// request.
+  template <class T>
+  Expected<BatchedResult> try_execute(
+      const std::vector<std::pair<sim::DeviceBuffer<T>,
+                                  sim::DeviceBuffer<T>>>& batch,
+      T alpha = T{1}, T beta = T{0}) const {
+    auto res = capture([&] { return execute<T>(batch, alpha, beta); });
+    if (!res.has_value())
+      note_status_failure("batched_plan.execute", res.status());
     return res;
   }
 

@@ -265,6 +265,9 @@ Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
     plan = Plan::from_selection(dev, problem, sel);
   } catch (const Error& e) {
     if (!opts.enable_fallback || !retryable(e.code())) throw;
+    // Same contract as the execute-time ladder: a request whose
+    // deadline already passed must not pay for fallback plan builds.
+    throw_if_past_deadline("make_plan.fallback");
     bool recovered = false;
     if (sel.schema != Schema::kOrthogonalArbitrary) {
       try {

@@ -17,6 +17,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/deadline.hpp"
 #include "common/status.hpp"
 #include "core/launch_helpers.hpp"
 #include "core/naive_fallback.hpp"
@@ -132,6 +133,10 @@ class Plan {
         return res;
       } catch (const Error& e) {
         if (!fallback_enabled_ || !retryable(e.code())) throw;
+        // A doomed request must not keep descending the ladder: every
+        // rung transition is a deadline cancellation point (the serving
+        // layer installs the context via ScopedDeadline).
+        throw_if_past_deadline("plan.execute.retry");
         if (attempt++ < max_exec_retries_) {
           note_fallback("exec", "retry", e);
           continue;
@@ -157,12 +162,14 @@ class Plan {
         return res;
       } catch (const Error& e) {
         if (!retryable(e.code())) throw;
+        throw_if_past_deadline("plan.execute.oa_fallback");
         note_fallback("exec", "naive", e);
       }
     }
 
     // Rung 3: the naive kernel — no shared memory, no texture arrays.
     // If even this launch fails the classified error propagates.
+    throw_if_past_deadline("plan.execute.naive_fallback");
     res = launch_naive<T>(*dev_, naive_config(), in, out, epi);
     last_path_ = ExecPath::kNaive;
     note_recovered();

@@ -27,6 +27,17 @@ std::shared_ptr<const Plan> PlanCache::get_shared(sim::Device& dev,
                                                   const Permutation& perm,
                                                   const PlanOptions& opts,
                                                   bool* was_hit) {
+  return get_shared(dev, shape, perm, opts, was_hit,
+                    [](sim::Device& d, const Shape& s, const Permutation& p,
+                       const PlanOptions& o) { return make_plan(d, s, p, o); });
+}
+
+std::shared_ptr<const Plan> PlanCache::get_shared(sim::Device& dev,
+                                                  const Shape& shape,
+                                                  const Permutation& perm,
+                                                  const PlanOptions& opts,
+                                                  bool* was_hit,
+                                                  const PlanBuilder& build) {
   Key key{shape.extents(), perm.vec(), opts.elem_size};
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -45,7 +56,7 @@ std::shared_ptr<const Plan> PlanCache::get_shared(sim::Device& dev,
   // on different keys should not serialize each other.
   std::shared_ptr<Plan> plan;
   try {
-    plan = std::make_shared<Plan>(make_plan(dev, shape, perm, opts));
+    plan = std::make_shared<Plan>(build(dev, shape, perm, opts));
   } catch (...) {
     // A failed make_plan is a failure, not a miss: nothing was built,
     // nothing is inserted, and a permanently-failing key never occupies

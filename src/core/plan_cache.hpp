@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,15 @@
 #include "core/plan.hpp"
 
 namespace ttlg {
+
+/// Pluggable plan builder for get_shared: how a cache miss turns into a
+/// Plan. The default is make_plan; the serving layer substitutes
+/// make_plan_measured below its load watermark and the plain heuristic
+/// above it, while both populate the same cross-tenant cache (the key
+/// is the problem, not the planning mode — whoever plans first wins).
+using PlanBuilder = std::function<Plan(sim::Device&, const Shape&,
+                                       const Permutation&,
+                                       const PlanOptions&)>;
 
 class PlanCache {
  public:
@@ -48,6 +58,16 @@ class PlanCache {
                                          const Permutation& perm,
                                          const PlanOptions& opts = {},
                                          bool* was_hit = nullptr);
+
+  /// As above, but a miss plans through `build` instead of make_plan.
+  /// `build` runs outside the cache lock and must return a plan for
+  /// exactly (shape, perm, opts.elem_size) — the entry is keyed on the
+  /// problem, so a mismatched builder would poison every later hit.
+  std::shared_ptr<const Plan> get_shared(sim::Device& dev, const Shape& shape,
+                                         const Permutation& perm,
+                                         const PlanOptions& opts,
+                                         bool* was_hit,
+                                         const PlanBuilder& build);
 
   /// Reference-returning convenience for single-threaded callers: the
   /// reference is only guaranteed valid until the next get() on this

@@ -34,7 +34,12 @@ struct LaunchCounters {
   // Useful payload actually moved (bytes), for efficiency metrics.
   std::int64_t payload_bytes = 0;
 
+  /// Accumulate another launch's (or shard's) counters. All additive
+  /// event counts sum, including grid_blocks (total blocks launched);
+  /// block_threads and shared_bytes_per_block are per-launch structure,
+  /// not event counts, and keep the left-hand side's values.
   LaunchCounters& operator+=(const LaunchCounters& o) {
+    grid_blocks += o.grid_blocks;
     gld_transactions += o.gld_transactions;
     gst_transactions += o.gst_transactions;
     smem_load_ops += o.smem_load_ops;

@@ -124,4 +124,31 @@ void ThreadPool::run_indexed(std::int64_t n, int parallelism,
   if (job->err) std::rethrow_exception(job->err);
 }
 
+bool ThreadPool::try_run_indexed(std::int64_t n,
+                                 const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return true;
+  // Refuse, never inline: a pool worker draining a request queue would
+  // starve the job it is part of, and a busy pool would serialize all n
+  // long-running loops onto the calling thread.
+  if (tl_in_worker) return false;
+  std::unique_lock<std::mutex> lk(mu_);
+  if (job_) return false;
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  job_ = job;
+  lk.unlock();
+  work_cv_.notify_all();
+  work_on(*job);
+  {
+    std::unique_lock<std::mutex> wait_lk(mu_);
+    done_cv_.wait(wait_lk, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
+    job_ = nullptr;
+  }
+  if (job->err) std::rethrow_exception(job->err);
+  return true;
+}
+
 }  // namespace ttlg::sim

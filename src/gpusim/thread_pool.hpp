@@ -57,6 +57,19 @@ class ThreadPool {
   void run_indexed(std::int64_t n, int parallelism,
                    const std::function<void(std::int64_t)>& fn);
 
+  /// Queue-draining hook for the serving layer: like run_indexed, but
+  /// REFUSES the inline path — when the pool is already busy with
+  /// another caller's range, or the caller is itself a pool worker, it
+  /// returns false without running anything, so a server can fall back
+  /// to dedicated drain threads instead of silently serializing all of
+  /// its workers onto one thread. fn indices are long-running worker
+  /// loops here, so true concurrency is min(n, workers() + 1): surplus
+  /// indices start only as earlier loops exit (at queue shutdown).
+  /// Returns true after all n indices have completed; exceptions
+  /// propagate with run_indexed's lowest-index semantics.
+  bool try_run_indexed(std::int64_t n,
+                       const std::function<void(std::int64_t)>& fn);
+
   /// Process-wide pool shared by the simulator, planner and benchlib.
   static ThreadPool& global();
 

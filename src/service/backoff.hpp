@@ -1,0 +1,51 @@
+// Deterministic exponential backoff with seeded jitter, for the
+// bounded retry of retryable request failures (kResourceExhausted,
+// kFaultInjected server-side; kUnavailable client-side after a shed or
+// quota rejection).
+//
+// The wait is a pure function of (seed, request id, attempt): the
+// exponential slot doubles per attempt from base_us up to cap_us, and
+// the jitter — up to half a slot, drawn from an Rng keyed on all three
+// inputs — decorrelates retry storms across requests while keeping
+// every individual request's schedule exactly reproducible for a fixed
+// seed (the property the service test battery pins).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace ttlg::service {
+
+struct BackoffPolicy {
+  int max_retries = 2;              ///< attempts beyond the first try
+  std::int64_t base_us = 200;       ///< first retry's slot
+  std::int64_t cap_us = 5000;       ///< slot ceiling (pre-jitter)
+  std::uint64_t seed = 1;           ///< decorrelation seed
+};
+
+/// Wait before retry number `attempt` (1-based: attempt 1 follows the
+/// first failure). Deterministic in (seed, request_id, attempt).
+inline std::int64_t backoff_us(const BackoffPolicy& policy,
+                               std::uint64_t request_id, int attempt) {
+  if (attempt < 1) attempt = 1;
+  const std::int64_t base = std::max<std::int64_t>(policy.base_us, 1);
+  const std::int64_t cap = std::max<std::int64_t>(policy.cap_us, base);
+  // Exponential slot, saturating at the cap (shift guarded: 2^62 us is
+  // already ~146k years, far past any cap).
+  std::int64_t slot = cap;
+  if (attempt - 1 < 62) {
+    const std::int64_t grown = base << (attempt - 1);
+    slot = (grown / base == (std::int64_t{1} << (attempt - 1)))
+               ? std::min(grown, cap)
+               : cap;
+  }
+  Rng rng(policy.seed ^ (request_id * 0x9E3779B97F4A7C15ull) ^
+          static_cast<std::uint64_t>(attempt));
+  const std::int64_t jitter = static_cast<std::int64_t>(
+      rng.uniform(0, static_cast<std::uint64_t>(slot / 2)));
+  return slot + jitter;
+}
+
+}  // namespace ttlg::service

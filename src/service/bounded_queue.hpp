@@ -1,0 +1,88 @@
+// Bounded MPMC priority queue — the admission-control chokepoint of
+// the transpose service. Capacity is fixed at construction; try_push
+// NEVER blocks (a full queue is a load-shedding signal, not a wait),
+// while pop blocks until an item, shutdown, or a caller-supplied
+// wakeup. Strict priority between classes, FIFO within a class.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "service/request.hpp"
+
+namespace ttlg::service {
+
+class BoundedQueue {
+ public:
+  /// capacity 0 admits nothing: every try_push sheds. (Useful as the
+  /// degenerate "service drains, accepts no new work" configuration,
+  /// and pinned by the edge-case tests.)
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admit. False = queue full (or closed) and the item
+  /// was NOT taken — the caller sheds it with a classified status.
+  bool try_push(Request r) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || size_ >= capacity_) return false;
+      lanes_[static_cast<int>(r.priority)].push_back(std::move(r));
+      ++size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop in priority order. Empty optional = the queue was
+  /// closed and fully drained (worker shutdown signal).
+  std::optional<Request> pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this] { return size_ > 0 || closed_; });
+    return pop_locked();
+  }
+
+  /// Close the queue: pending items still drain, new pushes shed,
+  /// blocked poppers wake once the backlog is gone.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return size_;
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  std::optional<Request> pop_locked() {
+    for (auto& lane : lanes_) {
+      if (!lane.empty()) {
+        Request r = std::move(lane.front());
+        lane.pop_front();
+        --size_;
+        return r;
+      }
+    }
+    return std::nullopt;  // closed_ && empty
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> lanes_[kNumPriorities];
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ttlg::service

@@ -1,0 +1,28 @@
+#include "service/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace ttlg::service {
+
+namespace {
+const std::chrono::steady_clock::time_point kEpoch =
+    std::chrono::steady_clock::now();
+}  // namespace
+
+std::int64_t SteadyClock::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - kEpoch)
+      .count();
+}
+
+void SteadyClock::sleep_us(std::int64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+SteadyClock& SteadyClock::global() {
+  static SteadyClock clock;
+  return clock;
+}
+
+}  // namespace ttlg::service

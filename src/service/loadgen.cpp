@@ -1,0 +1,186 @@
+#include "service/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg::service {
+namespace {
+
+/// One precomputed problem: the request payload plus the host oracle.
+struct ProblemMix {
+  Shape shape;
+  Permutation perm;
+  std::shared_ptr<const std::vector<double>> input;
+  std::vector<double> expected;
+};
+
+std::vector<ProblemMix> build_mix(const LoadgenConfig& cfg) {
+  std::vector<ProblemMix> mix;
+  mix.reserve(static_cast<std::size_t>(std::max(cfg.distinct_shapes, 1)));
+  for (int k = 0; k < std::max(cfg.distinct_shapes, 1); ++k) {
+    Rng rng(cfg.seed * 1009 + static_cast<std::uint64_t>(k));
+    const Index rank = 2 + static_cast<Index>(rng.uniform(0, 2));  // 2..4
+    Extents ext(static_cast<std::size_t>(rank));
+    for (auto& e : ext)
+      e = 2 + static_cast<Index>(
+                  rng.uniform(0, static_cast<std::uint64_t>(
+                                     std::max<Index>(cfg.max_extent - 2, 1))));
+    std::vector<Index> p(static_cast<std::size_t>(rank));
+    std::iota(p.begin(), p.end(), Index{0});
+    // Fisher–Yates with the seeded Rng; retry once if identity came out.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = p.size(); i > 1; --i)
+        std::swap(p[i - 1],
+                  p[rng.uniform(0, static_cast<std::uint64_t>(i - 1))]);
+      if (!std::is_sorted(p.begin(), p.end())) break;
+    }
+    ProblemMix m;
+    m.shape = Shape(ext);
+    m.perm = Permutation(p);
+    auto input = std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(m.shape.volume()));
+    for (std::size_t i = 0; i < input->size(); ++i)
+      (*input)[i] = static_cast<double>(k + 1) + static_cast<double>(i) * 0.5;
+    m.expected.resize(input->size());
+    host_transpose(std::span<const double>(*input),
+                   std::span<double>(m.expected), m.shape, m.perm);
+    m.input = std::move(input);
+    mix.push_back(std::move(m));
+  }
+  return mix;
+}
+
+struct SharedTally {
+  std::mutex mu;
+  LoadgenReport report;
+};
+
+/// One in-flight request a client is waiting on.
+struct InFlight {
+  std::future<Response> future;
+  std::int64_t request_index = 0;  ///< global index, picks the problem
+  int resubmits = 0;
+};
+
+}  // namespace
+
+std::int64_t LoadgenReport::latency_quantile_us(double q) const {
+  if (latencies_us.empty()) return 0;
+  std::vector<std::int64_t> sorted = latencies_us;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = std::clamp(q, 0.0, 1.0) *
+                     static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(pos + 0.5)];
+}
+
+LoadgenReport run_load(Server& server, const LoadgenConfig& cfg) {
+  const auto mix = build_mix(cfg);
+  SharedTally tally;
+  const int clients = std::max(cfg.clients, 1);
+  const int window = std::max(cfg.outstanding, 1);
+
+  auto make_request = [&](std::int64_t r) {
+    const ProblemMix& m = mix[static_cast<std::size_t>(r) % mix.size()];
+    Request req;
+    req.tenant = "tenant-" + std::to_string(r % std::max(cfg.tenants, 1));
+    req.priority = static_cast<Priority>(r % kNumPriorities);
+    req.shape = m.shape;
+    req.perm = m.perm;
+    req.input = m.input;
+    if (cfg.deadline_us > 0)
+      req.deadline_us = server.clock().now_us() + cfg.deadline_us;
+    return req;
+  };
+
+  auto client_fn = [&](int c) {
+    LoadgenReport local;
+    std::deque<InFlight> inflight;
+
+    auto settle = [&](InFlight fl) {
+      for (;;) {
+        Response res = fl.future.get();
+        ++local.issued;
+        if (res.outcome == Outcome::kShedQueueFull ||
+            res.outcome == Outcome::kShedQuota) {
+          // Contractual client reaction to kUnavailable: back off
+          // (deterministically) and resubmit, a bounded number of times.
+          if (fl.resubmits < cfg.client_max_retries) {
+            ++fl.resubmits;
+            ++local.client_retries;
+            server.clock().sleep_us(
+                backoff_us(cfg.client_backoff,
+                           static_cast<std::uint64_t>(fl.request_index),
+                           fl.resubmits));
+            fl.future = server.submit(make_request(fl.request_index));
+            continue;
+          }
+          ++local.shed;
+        } else if (res.outcome == Outcome::kExpired) {
+          ++local.expired;
+        } else if (res.outcome == Outcome::kFailed) {
+          ++local.failed;
+        } else {
+          ++local.served;
+          local.latencies_us.push_back(res.latency_us);
+          local.sim_time_s += res.sim_time_s;
+          const ProblemMix& m =
+              mix[static_cast<std::size_t>(fl.request_index) % mix.size()];
+          if (res.output != m.expected) ++local.mismatches;
+        }
+        ++local.completed;
+        return;
+      }
+    };
+
+    for (std::int64_t r = c; r < cfg.requests;
+         r += static_cast<std::int64_t>(clients)) {
+      if (static_cast<int>(inflight.size()) >= window) {
+        settle(std::move(inflight.front()));
+        inflight.pop_front();
+      }
+      InFlight fl;
+      fl.request_index = r;
+      fl.future = server.submit(make_request(r));
+      inflight.push_back(std::move(fl));
+    }
+    while (!inflight.empty()) {
+      settle(std::move(inflight.front()));
+      inflight.pop_front();
+    }
+
+    std::lock_guard<std::mutex> lk(tally.mu);
+    LoadgenReport& g = tally.report;
+    g.issued += local.issued;
+    g.completed += local.completed;
+    g.served += local.served;
+    g.shed += local.shed;
+    g.expired += local.expired;
+    g.failed += local.failed;
+    g.client_retries += local.client_retries;
+    g.mismatches += local.mismatches;
+    g.sim_time_s += local.sim_time_s;
+    g.latencies_us.insert(g.latencies_us.end(), local.latencies_us.begin(),
+                          local.latencies_us.end());
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) threads.emplace_back(client_fn, c);
+  for (auto& t : threads) t.join();
+  tally.report.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return tally.report;
+}
+
+}  // namespace ttlg::service

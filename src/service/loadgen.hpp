@@ -1,0 +1,60 @@
+// Multi-tenant load generator, shared by `ttlg serve` and the
+// ext_service_load benchmark (and, with the fault injector armed, the
+// chaos soak). Client threads submit a deterministic request mix —
+// shapes, tenants, priorities and deadlines all drawn from a seeded
+// Rng — with a bounded outstanding window per client and client-side
+// backoff-resubmit on kUnavailable (the contractual reaction to a shed
+// or quota rejection). Every served output is verified bit-identical
+// against a precomputed host_transpose oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/server.hpp"
+
+namespace ttlg::service {
+
+struct LoadgenConfig {
+  std::int64_t requests = 1000;  ///< distinct requests (excl. resubmits)
+  int tenants = 4;
+  int clients = 4;               ///< client threads
+  int outstanding = 16;          ///< per-client in-flight window
+  int distinct_shapes = 6;       ///< problem mix size (plan-cache reuse)
+  Index max_extent = 16;         ///< per-dimension extent bound
+  /// Relative deadline assigned to each request (us on the server's
+  /// clock, from submit). 0 = no deadline.
+  std::int64_t deadline_us = 0;
+  /// Client-side resubmits after a kUnavailable rejection, each
+  /// preceded by the deterministic backoff wait.
+  int client_max_retries = 3;
+  BackoffPolicy client_backoff;
+  std::uint64_t seed = 42;
+};
+
+struct LoadgenReport {
+  std::int64_t issued = 0;     ///< submit() calls incl. resubmits
+  std::int64_t completed = 0;  ///< distinct requests, terminal client-side
+  std::int64_t served = 0;
+  std::int64_t shed = 0;     ///< still kUnavailable after client retries
+  std::int64_t expired = 0;
+  std::int64_t failed = 0;
+  std::int64_t client_retries = 0;
+  /// Served outputs that did NOT match the host oracle (must be 0 —
+  /// the chaos soak's bit-identity property).
+  std::int64_t mismatches = 0;
+  std::vector<std::int64_t> latencies_us;  ///< per served request
+  double wall_s = 0;        ///< host wall time for the whole run
+  double sim_time_s = 0;    ///< summed simulated kernel time
+
+  std::int64_t latency_quantile_us(double q) const;
+};
+
+/// Drive `server` (already started) with cfg's request mix. Blocks
+/// until every request is terminal. Deterministic request CONTENT for a
+/// fixed seed; interleaving (and hence shed/expired splits under real
+/// clocks) is whatever the scheduler does.
+LoadgenReport run_load(Server& server, const LoadgenConfig& cfg);
+
+}  // namespace ttlg::service

@@ -1,0 +1,94 @@
+// Per-tenant token-bucket quotas. Each tenant owns a bucket of
+// `burst` tokens refilled continuously at `rate_per_s`; an admission
+// costs one token, an empty bucket means backpressure (the request is
+// shed with kUnavailable, which is retryable — the client backs off
+// and resubmits). Refill is computed from Clock timestamps, never from
+// a background thread, so a ManualClock makes the arithmetic exactly
+// reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/clock.hpp"
+
+namespace ttlg::service {
+
+struct QuotaConfig {
+  /// Sustained admissions per second per tenant. 0 = unlimited (the
+  /// quota layer admits everything and allocates no buckets).
+  double rate_per_s = 0;
+  /// Bucket depth: admissions a tenant can burst above the sustained
+  /// rate after an idle period.
+  double burst = 8;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_s, double burst, std::int64_t now_us)
+      : rate_(rate_per_s), burst_(burst), tokens_(burst), last_us_(now_us) {}
+
+  /// Take one token if available. Deterministic in the timestamp
+  /// sequence: refill = elapsed_us * rate / 1e6, clamped at burst.
+  bool try_acquire(std::int64_t now_us) {
+    refill(now_us);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(std::int64_t now_us) {
+    refill(now_us);
+    return tokens_;
+  }
+
+ private:
+  void refill(std::int64_t now_us) {
+    if (now_us <= last_us_) return;
+    tokens_ += static_cast<double>(now_us - last_us_) * rate_ / 1e6;
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_us_ = now_us;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::int64_t last_us_;
+};
+
+/// Bucket-per-tenant map behind one mutex (admission is not the hot
+/// path — the planner and simulator dwarf a map lookup).
+class QuotaManager {
+ public:
+  QuotaManager(QuotaConfig cfg, Clock& clock) : cfg_(cfg), clock_(clock) {}
+
+  /// True = the tenant may proceed (and one token was spent).
+  bool admit(const std::string& tenant) {
+    if (cfg_.rate_per_s <= 0) return true;
+    const std::int64_t now = clock_.now_us();
+    std::lock_guard<std::mutex> lk(mu_);
+    auto [it, inserted] = buckets_.try_emplace(
+        tenant, TokenBucket(cfg_.rate_per_s, cfg_.burst, now));
+    return it->second.try_acquire(now);
+  }
+
+  /// Current token balance (diagnostics / tests). Unlimited quota
+  /// reports the configured burst.
+  double tokens(const std::string& tenant) {
+    if (cfg_.rate_per_s <= 0) return cfg_.burst;
+    const std::int64_t now = clock_.now_us();
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = buckets_.find(tenant);
+    return it == buckets_.end() ? cfg_.burst : it->second.tokens(now);
+  }
+
+ private:
+  const QuotaConfig cfg_;
+  Clock& clock_;
+  std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace ttlg::service

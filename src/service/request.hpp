@@ -1,0 +1,95 @@
+// Request/Response types for the multi-tenant transpose service. A
+// Request names a transposition problem (shape + permutation), the
+// tenant issuing it, a priority class and an absolute deadline; the
+// Response carries the classified outcome — every submitted request
+// terminates in exactly one of the Outcome states, the invariant the
+// chaos soak pins.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/plan.hpp"
+#include "service/clock.hpp"
+#include "tensor/permutation.hpp"
+#include "tensor/shape.hpp"
+
+namespace ttlg::service {
+
+/// Priority classes, highest first. Under queue pressure high-priority
+/// requests are dequeued ahead of lower ones (strict priority between
+/// classes, FIFO within a class).
+enum class Priority : int { kHigh = 0, kNormal = 1, kBatch = 2 };
+inline constexpr int kNumPriorities = 3;
+
+inline const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
+struct Request {
+  std::uint64_t id = 0;           ///< assigned by Server::submit
+  std::string tenant;             ///< quota / accounting key
+  Priority priority = Priority::kNormal;
+  Shape shape;
+  Permutation perm;
+  /// Absolute deadline on the server's Clock (kNoDeadline = none).
+  /// Checked at admission, at dequeue, and at every degradation-ladder
+  /// rung transition inside Plan::execute.
+  std::int64_t deadline_us = kNoDeadline;
+  /// Input elements, shape.volume() of them. shared_ptr so a client can
+  /// fan one tensor out across many requests without copies.
+  std::shared_ptr<const std::vector<double>> input;
+  double alpha = 1.0;
+  double beta = 0.0;
+};
+
+/// Terminal classification of a request. Exactly one per request.
+enum class Outcome : int {
+  kServed = 0,         ///< transpose executed, output present
+  kShedQueueFull = 1,  ///< admission refused: queue at capacity
+  kShedQuota = 2,      ///< admission refused: tenant over its quota
+  kExpired = 3,        ///< deadline passed (admission, queue or exec)
+  kFailed = 4,         ///< classified execution failure after retries
+};
+
+inline const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kServed: return "served";
+    case Outcome::kShedQueueFull: return "shed_queue_full";
+    case Outcome::kShedQuota: return "shed_quota";
+    case Outcome::kExpired: return "expired";
+    case Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+struct Response {
+  std::uint64_t id = 0;
+  std::string tenant;
+  Outcome outcome = Outcome::kFailed;
+  /// OK iff outcome == kServed; otherwise the classified reason
+  /// (kUnavailable for sheds — retryable client-side — and
+  /// kDeadlineExceeded for expiry, which is not).
+  Status status;
+  /// Present iff outcome == kServed: the permuted tensor.
+  std::vector<double> output;
+  /// Ladder rung the serving execution ran on (kServed only).
+  ExecPath exec_path = ExecPath::kPlanned;
+  bool plan_cache_hit = false;
+  int attempts = 0;       ///< execution attempts (>=1 when work started)
+  std::int64_t latency_us = 0;     ///< submit -> terminal, service clock
+  std::int64_t queue_wait_us = 0;  ///< submit -> dequeue (0 if shed)
+  double sim_time_s = 0;           ///< simulated kernel time (served)
+
+  bool served() const { return outcome == Outcome::kServed; }
+};
+
+}  // namespace ttlg::service

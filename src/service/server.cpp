@@ -1,0 +1,363 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/deadline.hpp"
+#include "core/plan.hpp"
+#include "gpusim/thread_pool.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ttlg::service {
+namespace {
+
+void bump(const char* name, std::int64_t d = 1) {
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global().counter(name).inc(d);
+}
+
+void observe(const char* name, double v) {
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global()
+        .histogram(name,
+                   {100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1e6})
+        .observe(v);
+}
+
+void set_queue_depth(std::size_t depth) {
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global()
+        .gauge("service.queue_depth")
+        .set(static_cast<double>(depth));
+}
+
+void log_terminal(const Request& req, const Response& res) {
+  const telemetry::LogLevel lv = res.served() ? telemetry::LogLevel::kDebug
+                                              : telemetry::LogLevel::kWarn;
+  if (!telemetry::log_site_enabled(lv)) return;
+  telemetry::LogEvent ev(lv, "service", "request");
+  ev.field("id", static_cast<double>(req.id))
+      .field("tenant", req.tenant)
+      .field("priority", to_string(req.priority))
+      .field("outcome", to_string(res.outcome))
+      .field("attempts", static_cast<double>(res.attempts))
+      .field("latency_us", static_cast<double>(res.latency_us));
+  if (!res.status.is_ok()) ev.field("status", res.status.to_string());
+  ev.detail(std::string("request ") + to_string(res.outcome) + " tenant=" +
+            req.tenant);
+}
+
+}  // namespace
+
+Server::Server(sim::Device& dev, ServerConfig cfg)
+    : dev_(dev),
+      cfg_(std::move(cfg)),
+      clock_(cfg_.clock ? *cfg_.clock : SteadyClock::global()),
+      watermark_(cfg_.high_watermark > 0 ? cfg_.high_watermark
+                                         : cfg_.queue_capacity * 3 / 4),
+      queue_(cfg_.queue_capacity),
+      quota_(cfg_.quota, clock_),
+      cache_(cfg_.plan_cache_capacity) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  if (started_) return;
+  started_ = true;
+  const int workers = std::max(cfg_.workers, 1);
+  // One drain thread tries to run the worker loops on the shared pool;
+  // if the pool is busy (or we are nested inside it) the service gets
+  // dedicated threads instead — it must never silently serialize.
+  drain_ = std::thread([this, workers] {
+    auto loop = [this](std::int64_t) { worker_loop(); };
+    if (!sim::ThreadPool::global().try_run_indexed(workers, loop)) {
+      std::vector<std::thread> own;
+      own.reserve(static_cast<std::size_t>(workers));
+      for (int i = 0; i < workers; ++i)
+        own.emplace_back([this] { worker_loop(); });
+      for (auto& t : own) t.join();
+    }
+  });
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_.close();
+  if (drain_.joinable()) drain_.join();
+  // A server that was never started drains its own backlog here so
+  // every admitted future still resolves.
+  worker_loop();
+}
+
+std::future<Response> Server::submit(Request req) {
+  req.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t submit_us = clock_.now_us();
+  n_.submitted.fetch_add(1, std::memory_order_relaxed);
+  bump("service.submitted");
+
+  // 1. Deadline already blown: classify without touching planner/queue.
+  if (req.deadline_us != kNoDeadline && submit_us >= req.deadline_us) {
+    n_.expired_admission.fetch_add(1, std::memory_order_relaxed);
+    bump("service.expired.admission");
+    std::promise<Response> p;
+    auto f = p.get_future();
+    p.set_value(reject(req, Outcome::kExpired,
+                       Status::error(ErrorCode::kDeadlineExceeded,
+                                     "deadline expired before admission"),
+                       submit_us));
+    return f;
+  }
+
+  // 2. Tenant over quota: shed with backpressure (retryable).
+  if (!quota_.admit(req.tenant)) {
+    n_.shed_quota.fetch_add(1, std::memory_order_relaxed);
+    bump("service.shed.quota");
+    std::promise<Response> p;
+    auto f = p.get_future();
+    p.set_value(reject(req, Outcome::kShedQuota,
+                       Status::error(ErrorCode::kUnavailable,
+                                     "tenant '" + req.tenant +
+                                         "' over quota; back off and retry"),
+                       submit_us));
+    return f;
+  }
+
+  // 3. Bounded queue: register the promise BEFORE pushing (a worker may
+  // complete the request before we return), roll back on a full queue.
+  const std::uint64_t id = req.id;
+  std::future<Response> f;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    Pending& slot = pending_[id];
+    slot.submit_us = submit_us;
+    f = slot.promise.get_future();
+  }
+  if (!queue_.try_push(req)) {
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      pending_.erase(id);
+    }
+    n_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    bump("service.shed.queue_full");
+    std::promise<Response> p;
+    auto rf = p.get_future();
+    p.set_value(reject(req, Outcome::kShedQueueFull,
+                       Status::error(ErrorCode::kUnavailable,
+                                     "request queue full; back off and retry"),
+                       submit_us));
+    return rf;
+  }
+  n_.admitted.fetch_add(1, std::memory_order_relaxed);
+  bump("service.admitted");
+  set_queue_depth(queue_.size());
+  return f;
+}
+
+Response Server::reject(const Request& req, Outcome outcome, Status st,
+                        std::int64_t submit_us) {
+  Response res;
+  res.id = req.id;
+  res.tenant = req.tenant;
+  res.outcome = outcome;
+  res.status = std::move(st);
+  res.latency_us = clock_.now_us() - submit_us;
+  log_terminal(req, res);
+  return res;
+}
+
+void Server::finish(const Request& req, Response res) {
+  std::promise<Response> promise;
+  std::int64_t submit_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    auto it = pending_.find(req.id);
+    TTLG_ASSERT(it != pending_.end(),
+                "service invariant: admitted request has a pending slot");
+    promise = std::move(it->second.promise);
+    submit_us = it->second.submit_us;
+    pending_.erase(it);
+  }
+  res.latency_us = clock_.now_us() - submit_us;
+  observe("service.latency_us", static_cast<double>(res.latency_us));
+  log_terminal(req, res);
+  promise.set_value(std::move(res));
+}
+
+void Server::worker_loop() {
+  while (auto req = queue_.pop()) {
+    set_queue_depth(queue_.size());
+    process(std::move(*req));
+  }
+}
+
+std::shared_ptr<const Plan> Server::resolve_plan(const Request& req,
+                                                 std::int64_t headroom_us,
+                                                 bool* was_hit) {
+  const bool pressured = queue_.size() >= watermark_;
+  const bool tight =
+      req.deadline_us != kNoDeadline && headroom_us < cfg_.measured_min_headroom_us;
+  const bool measured = cfg_.measured_planning && !pressured && !tight;
+  if (cfg_.measured_planning && !measured) {
+    n_.heuristic_forced.fetch_add(1, std::memory_order_relaxed);
+    bump("service.heuristic_forced");
+  }
+  PlanBuilder builder = [measured](sim::Device& dev, const Shape& shape,
+                                   const Permutation& perm,
+                                   const PlanOptions& opts) {
+    return measured ? make_plan_measured(dev, shape, perm, opts)
+                    : make_plan(dev, shape, perm, opts);
+  };
+  PlanOptions opts = cfg_.plan;
+  opts.elem_size = static_cast<int>(sizeof(double));
+  return cache_.get_shared(dev_, req.shape, req.perm, opts, was_hit, builder);
+}
+
+void Server::process(Request req) {
+  std::int64_t submit_us = 0;
+  {
+    std::lock_guard<std::mutex> lk(pending_mu_);
+    auto it = pending_.find(req.id);
+    if (it != pending_.end()) submit_us = it->second.submit_us;
+  }
+  const std::int64_t dequeue_us = clock_.now_us();
+
+  Response res;
+  res.id = req.id;
+  res.tenant = req.tenant;
+  res.queue_wait_us = dequeue_us - submit_us;
+  observe("service.queue_wait_us", static_cast<double>(res.queue_wait_us));
+
+  // Dequeue-time deadline check: a request that died waiting must not
+  // reach the planner.
+  if (req.deadline_us != kNoDeadline && dequeue_us >= req.deadline_us) {
+    n_.expired_queue.fetch_add(1, std::memory_order_relaxed);
+    bump("service.expired.queue");
+    res.outcome = Outcome::kExpired;
+    res.status = Status::error(ErrorCode::kDeadlineExceeded,
+                               "deadline expired while queued");
+    finish(req, std::move(res));
+    return;
+  }
+
+  // Deadline context for everything below: plan construction, the
+  // execute-time degradation ladder, and our own retry loop all poll
+  // this predicate (through common/deadline.hpp cancellation points).
+  const std::int64_t deadline_us = req.deadline_us;
+  Clock& clock = clock_;
+  const DeadlineCheck check = [deadline_us, &clock] {
+    return deadline_us != kNoDeadline && clock.now_us() >= deadline_us;
+  };
+  ScopedDeadline scoped(check);
+
+  const std::int64_t headroom_us =
+      deadline_us == kNoDeadline ? kNoDeadline : deadline_us - dequeue_us;
+
+  auto classify = [&](const Status& st) {
+    if (st.code() == ErrorCode::kDeadlineExceeded) {
+      n_.expired_exec.fetch_add(1, std::memory_order_relaxed);
+      bump("service.expired.exec");
+      res.outcome = Outcome::kExpired;
+    } else {
+      n_.failed.fetch_add(1, std::memory_order_relaxed);
+      bump("service.failed");
+      res.outcome = Outcome::kFailed;
+      note_status_failure("service.process", st);
+    }
+    res.status = st;
+  };
+
+  // Bounded retry: a fresh plan resolution + execution per attempt
+  // (the failure may have been the plan build itself), with
+  // deterministic backoff between retryable failures.
+  const int max_attempts = 1 + std::max(cfg_.backoff.max_retries, 0);
+  for (int attempt = 1;; ++attempt) {
+    res.attempts = attempt;
+    Status st;
+    try {
+      bool hit = false;
+      std::shared_ptr<const Plan> plan = resolve_plan(req, headroom_us, &hit);
+      res.plan_cache_hit = hit;
+      const std::int64_t volume = req.shape.volume();
+      TTLG_CHECK(req.input && static_cast<std::int64_t>(req.input->size()) ==
+                                  volume,
+                 "request input must hold shape.volume() elements");
+      auto in = dev_.alloc_copy<double>(
+          std::span<const double>(req.input->data(), req.input->size()));
+      sim::DeviceBuffer<double> out;
+      try {
+        out = dev_.alloc<double>(volume);
+      } catch (...) {
+        dev_.try_free(in);
+        throw;
+      }
+      auto exec = plan->try_execute<double>(in, out, req.alpha, req.beta);
+      if (exec.has_value()) {
+        res.output.assign(out.data(), out.data() + out.size());
+        res.exec_path = plan->last_exec_path();
+        res.sim_time_s = exec->time_s;
+        observe("service.exec_us", exec->time_s * 1e6);
+      }
+      dev_.try_free(in);
+      dev_.try_free(out);
+      st = exec.status();
+    } catch (const Error& e) {
+      // Classified failures outside try_execute (plan build, buffer
+      // allocation) join the same retry/classify path.
+      st = Status::from(e);
+    }
+    if (st.is_ok()) {
+      n_.served.fetch_add(1, std::memory_order_relaxed);
+      bump("service.served");
+      res.outcome = Outcome::kServed;
+      res.status = Status::ok();
+      break;
+    }
+    const bool can_retry = attempt < max_attempts && retryable(st.code()) &&
+                           st.code() != ErrorCode::kUnsupported;
+    if (!can_retry) {
+      classify(st);
+      break;
+    }
+    n_.retries.fetch_add(1, std::memory_order_relaxed);
+    bump("service.retries");
+    if (telemetry::log_site_enabled(telemetry::LogLevel::kInfo)) {
+      telemetry::LogEvent ev(telemetry::LogLevel::kInfo, "service", "retry");
+      ev.field("id", static_cast<double>(req.id))
+          .field("attempt", static_cast<double>(attempt))
+          .field("status", st.to_string());
+    }
+    clock_.sleep_us(backoff_us(cfg_.backoff, req.id, attempt));
+    if (check()) {
+      classify(Status::error(ErrorCode::kDeadlineExceeded,
+                             "deadline expired during retry backoff"));
+      break;
+    }
+  }
+  finish(req, std::move(res));
+}
+
+Server::Counts Server::counts() const {
+  Counts c;
+  c.submitted = n_.submitted.load(std::memory_order_relaxed);
+  c.admitted = n_.admitted.load(std::memory_order_relaxed);
+  c.served = n_.served.load(std::memory_order_relaxed);
+  c.shed_queue_full = n_.shed_queue_full.load(std::memory_order_relaxed);
+  c.shed_quota = n_.shed_quota.load(std::memory_order_relaxed);
+  c.expired_admission = n_.expired_admission.load(std::memory_order_relaxed);
+  c.expired_queue = n_.expired_queue.load(std::memory_order_relaxed);
+  c.expired_exec = n_.expired_exec.load(std::memory_order_relaxed);
+  c.failed = n_.failed.load(std::memory_order_relaxed);
+  c.retries = n_.retries.load(std::memory_order_relaxed);
+  c.heuristic_forced = n_.heuristic_forced.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace ttlg::service

@@ -1,0 +1,150 @@
+// The overload-hardened transpose service. A Server owns a bounded
+// request queue, a per-tenant quota manager, a shared PlanCache and a
+// set of workers drained from the process-wide sim::ThreadPool; every
+// submitted Request terminates with a classified Response:
+//
+//   submit ──deadline?──quota?──queue?──► queued ──► worker:
+//     dequeue-deadline? ──► plan (cache; measured below the
+//     high-watermark, heuristic above it) ──► execute under a
+//     ScopedDeadline, with bounded deterministic-backoff retry on
+//     retryable failures ──► served | expired | failed
+//
+// Shed and expired requests resolve their futures immediately at
+// admission — rejection is cheap and never touches the planner. All
+// outcomes land in the service.* metrics, the structured event log and
+// (for failures) the flight-recorder post-mortem path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/measure_plan.hpp"
+#include "core/plan_cache.hpp"
+#include "gpusim/device.hpp"
+#include "service/backoff.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/clock.hpp"
+#include "service/quota.hpp"
+#include "service/request.hpp"
+
+namespace ttlg::service {
+
+struct ServerConfig {
+  int workers = 4;
+  std::size_t queue_capacity = 256;
+  /// Queue depth above which admission forces heuristic-only planning
+  /// (make_plan instead of make_plan_measured) to protect latency.
+  /// 0 = auto: 3/4 of queue_capacity.
+  std::size_t high_watermark = 0;
+  /// Plan cache misses use measurement-based planning when the service
+  /// is below the watermark AND the request's deadline leaves at least
+  /// measured_min_headroom_us. Off by default: measurement is the
+  /// throughput-optimal choice only for long-lived repeated shapes.
+  bool measured_planning = false;
+  std::int64_t measured_min_headroom_us = 10000;
+  std::size_t plan_cache_capacity = 64;
+  QuotaConfig quota;
+  BackoffPolicy backoff;
+  PlanOptions plan;    ///< planner knobs shared by all requests
+  /// Time source for deadlines, quota refill and backoff sleeps.
+  /// nullptr = SteadyClock::global(). Must outlive the Server.
+  Clock* clock = nullptr;
+};
+
+class Server {
+ public:
+  Server(sim::Device& dev, ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launch the workers. Requests may be submitted before start();
+  /// they queue up (within capacity) until workers exist.
+  void start();
+
+  /// Close admission, drain the backlog, join the workers. Every
+  /// admitted request's future resolves before stop() returns.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// Admission control. Always returns a valid future: rejections
+  /// (expired deadline, quota, full queue) resolve immediately with a
+  /// classified Response and never touch the planner.
+  std::future<Response> submit(Request req);
+
+  /// Exact outcome accounting (every submit lands in exactly one
+  /// terminal bucket; the chaos soak checks the sum).
+  struct Counts {
+    std::int64_t submitted = 0;
+    std::int64_t admitted = 0;
+    std::int64_t served = 0;
+    std::int64_t shed_queue_full = 0;
+    std::int64_t shed_quota = 0;
+    std::int64_t expired_admission = 0;
+    std::int64_t expired_queue = 0;
+    std::int64_t expired_exec = 0;
+    std::int64_t failed = 0;
+    std::int64_t retries = 0;           ///< execution re-attempts
+    std::int64_t heuristic_forced = 0;  ///< measured planning suppressed
+    std::int64_t terminal() const {
+      return served + shed_queue_full + shed_quota + expired_admission +
+             expired_queue + expired_exec + failed;
+    }
+  };
+  Counts counts() const;
+
+  const PlanCache& cache() const { return cache_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t high_watermark() const { return watermark_; }
+  Clock& clock() const { return clock_; }
+
+ private:
+  struct Pending {
+    std::promise<Response> promise;
+    std::int64_t submit_us = 0;
+  };
+
+  void worker_loop();
+  void process(Request req);
+  Response reject(const Request& req, Outcome outcome, Status st,
+                  std::int64_t submit_us);
+  void finish(const Request& req, Response res);
+  std::shared_ptr<const Plan> resolve_plan(const Request& req,
+                                           std::int64_t headroom_us,
+                                           bool* was_hit);
+
+  sim::Device& dev_;
+  const ServerConfig cfg_;
+  Clock& clock_;
+  std::size_t watermark_;
+  BoundedQueue queue_;
+  QuotaManager quota_;
+  PlanCache cache_;
+
+  std::mutex pending_mu_;
+  std::map<std::uint64_t, Pending> pending_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::thread drain_;                ///< runs the pool-backed workers
+  std::vector<std::thread> fallback_workers_;  ///< pool unavailable
+  std::mutex lifecycle_mu_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  struct AtomicCounts {
+    std::atomic<std::int64_t> submitted{0}, admitted{0}, served{0},
+        shed_queue_full{0}, shed_quota{0}, expired_admission{0},
+        expired_queue{0}, expired_exec{0}, failed{0}, retries{0},
+        heuristic_forced{0};
+  };
+  mutable AtomicCounts n_;
+};
+
+}  // namespace ttlg::service

@@ -1,0 +1,148 @@
+// Chaos soak — the keystone of the overload-hardened service: many
+// client threads, an armed fault injector, tight deadlines and tiny
+// quotas all at once, and still
+//
+//   1. every request terminates with a classified status (zero lost,
+//      zero hung — the run itself would deadlock otherwise),
+//   2. the terminal-outcome accounting balances exactly
+//      (served + shed + expired + failed == submitted),
+//   3. every SERVED output is bit-identical to the host oracle
+//      (degradation and retries never trade correctness for liveness).
+//
+// The test runs under ASan and TSan in CI (scripts/ci.sh chaos-soak
+// stage) with TTLG_FAULTS armed on top, so the same battery doubles as
+// a data-race and lifetime shakedown of the whole service stack.
+#include <gtest/gtest.h>
+
+#include "gpusim/fault_injector.hpp"
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
+
+namespace ttlg::service {
+namespace {
+
+struct SoakResult {
+  LoadgenReport report;
+  Server::Counts counts;
+};
+
+SoakResult soak(const ServerConfig& scfg, const LoadgenConfig& lcfg) {
+  sim::Device dev;
+  dev.set_num_threads(1);  // service workers are the parallel axis
+  Server server(dev, scfg);
+  server.start();
+  SoakResult r;
+  r.report = run_load(server, lcfg);
+  server.stop();
+  r.counts = server.counts();
+  return r;
+}
+
+void expect_invariants(const SoakResult& r, const LoadgenConfig& lcfg) {
+  // 1. Nothing lost or hung: every distinct request reached a terminal
+  // client-side state, and the server's books balance.
+  EXPECT_EQ(r.report.completed, lcfg.requests);
+  EXPECT_EQ(r.counts.terminal(), r.counts.submitted);
+  EXPECT_EQ(r.counts.submitted, r.report.issued);
+  // 2. Served outputs are bit-identical to the host oracle.
+  EXPECT_EQ(r.report.mismatches, 0);
+  EXPECT_EQ(r.report.served, r.counts.served);
+}
+
+TEST(ChaosSoak, FaultsDeadlinesAndQuotasAtOnce) {
+  // Faults at every site; also honors a pre-armed TTLG_FAULTS from the
+  // environment (the CI chaos stage arms its own spec).
+  sim::ScopedFaults faults(
+      "seed=11,alloc.p=0.05,launch.p=0.05,tex.p=0.05,smem.p=0.05");
+
+  ServerConfig scfg;
+  scfg.workers = 4;
+  scfg.queue_capacity = 48;         // small: queue sheds under the burst
+  scfg.quota.rate_per_s = 400;      // tiny per-tenant budget
+  scfg.quota.burst = 8;
+  scfg.backoff.max_retries = 2;
+  scfg.backoff.base_us = 50;
+  scfg.backoff.cap_us = 1000;
+
+  LoadgenConfig lcfg;
+  lcfg.requests = 600;
+  lcfg.clients = 8;                 // >= 8 concurrent clients
+  lcfg.tenants = 5;
+  lcfg.outstanding = 8;
+  lcfg.distinct_shapes = 5;
+  lcfg.max_extent = 8;
+  lcfg.deadline_us = 150000;        // tight but not hopeless
+  lcfg.client_max_retries = 2;
+  lcfg.client_backoff.base_us = 50;
+  lcfg.client_backoff.cap_us = 500;
+  lcfg.seed = 77;
+
+  const SoakResult r = soak(scfg, lcfg);
+  expect_invariants(r, lcfg);
+  // The chaos mix must actually exercise the hardened paths — a soak
+  // where nothing ever sheds, expires, faults or retries proves only
+  // that the config was too gentle.
+  EXPECT_GT(r.counts.served, 0);
+  EXPECT_GT(r.counts.shed_quota + r.counts.shed_queue_full +
+                r.counts.expired_admission + r.counts.expired_queue +
+                r.counts.expired_exec + r.counts.failed + r.counts.retries,
+            0);
+}
+
+TEST(ChaosSoak, ImpossibleDeadlinesAllTerminate) {
+  ServerConfig scfg;
+  scfg.workers = 4;
+  LoadgenConfig lcfg;
+  lcfg.requests = 200;
+  lcfg.clients = 8;
+  lcfg.max_extent = 8;
+  lcfg.deadline_us = 1;  // effectively already expired on arrival
+  lcfg.client_max_retries = 0;
+  const SoakResult r = soak(scfg, lcfg);
+  expect_invariants(r, lcfg);
+  EXPECT_EQ(r.report.served + r.report.expired + r.report.shed +
+                r.report.failed,
+            lcfg.requests);
+  EXPECT_GT(r.report.expired, 0);
+}
+
+TEST(ChaosSoak, StarvedQuotaShedsButNeverLoses) {
+  ServerConfig scfg;
+  scfg.workers = 2;
+  scfg.quota.rate_per_s = 50;  // far below the offered load
+  scfg.quota.burst = 2;
+  LoadgenConfig lcfg;
+  lcfg.requests = 300;
+  lcfg.clients = 8;
+  lcfg.tenants = 3;
+  lcfg.max_extent = 8;
+  lcfg.client_max_retries = 1;
+  lcfg.client_backoff.base_us = 10;
+  lcfg.client_backoff.cap_us = 100;
+  const SoakResult r = soak(scfg, lcfg);
+  expect_invariants(r, lcfg);
+  EXPECT_GT(r.counts.shed_quota, 0);
+  EXPECT_GT(r.counts.served, 0) << "backpressure must not starve everyone";
+}
+
+// Repeated identical soaks must never lose requests either — this is
+// the regression net for shutdown races (promise resolution vs queue
+// close vs worker teardown).
+TEST(ChaosSoak, RepeatedSoaksStayBalanced) {
+  sim::ScopedFaults faults("seed=3,launch.p=0.1");
+  for (int round = 0; round < 3; ++round) {
+    ServerConfig scfg;
+    scfg.workers = 3;
+    scfg.queue_capacity = 16;
+    LoadgenConfig lcfg;
+    lcfg.requests = 120;
+    lcfg.clients = 8;
+    lcfg.max_extent = 6;
+    lcfg.seed = 100 + static_cast<std::uint64_t>(round);
+    const SoakResult r = soak(scfg, lcfg);
+    expect_invariants(r, lcfg);
+  }
+}
+
+}  // namespace
+}  // namespace ttlg::service

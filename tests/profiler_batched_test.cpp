@@ -75,6 +75,80 @@ TEST(BatchedPlanTest, EpilogueAndValidation) {
     ASSERT_DOUBLE_EQ(one[0].second[j], 3.0 * permuted.at(j));
 }
 
+// Regression for the batched counter aggregation: the batched result
+// must equal the member-wise sum of per-call counters — INCLUDING
+// grid_blocks, which LaunchCounters::operator+= historically skipped
+// (BatchedPlan compensated with a hand-written accumulation, so any
+// other += user silently under-counted).
+TEST(BatchedPlanTest, CountersEqualSumOfPerCallCounters) {
+  sim::Device dev;
+  const Shape shape({32, 24, 8});
+  const Permutation perm({2, 0, 1});
+  BatchedPlan batched(dev, shape, perm);
+
+  constexpr int kBatch = 3;
+  std::vector<Tensor<double>> hosts;
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      pairs;
+  for (int i = 0; i < kBatch; ++i) {
+    hosts.emplace_back(shape);
+    hosts.back().fill_random(static_cast<std::uint64_t>(100 + i));
+    pairs.emplace_back(dev.alloc_copy<double>(hosts.back().vec()),
+                       dev.alloc<double>(shape.volume()));
+  }
+  const auto batch_res = batched.execute<double>(pairs);
+
+  sim::LaunchCounters expected;
+  for (const auto& [in, out] : pairs)
+    expected += batched.plan().execute<double>(in, out).counters;
+
+  EXPECT_EQ(batch_res.counters.grid_blocks, expected.grid_blocks);
+  EXPECT_GT(batch_res.counters.grid_blocks, 0);
+  EXPECT_EQ(batch_res.counters.gld_transactions, expected.gld_transactions);
+  EXPECT_EQ(batch_res.counters.gst_transactions, expected.gst_transactions);
+  EXPECT_EQ(batch_res.counters.smem_bank_conflicts,
+            expected.smem_bank_conflicts);
+}
+
+TEST(BatchedPlanTest, TryExecuteReturnsValueOnSuccess) {
+  sim::Device dev;
+  const Shape shape({16, 16});
+  const Permutation perm({1, 0});
+  BatchedPlan batched(dev, shape, perm);
+  Tensor<double> host(shape);
+  host.fill_iota();
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      batch{{dev.alloc_copy<double>(host.vec()),
+             dev.alloc<double>(shape.volume())}};
+  const auto res = batched.try_execute<double>(batch);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res.status().is_ok());
+  EXPECT_GT(res->total_time_s, 0.0);
+  ASSERT_EQ(res->per_call_s.size(), 1u);
+  const Tensor<double> expected = host_transpose(host, perm);
+  for (Index j = 0; j < shape.volume(); ++j)
+    ASSERT_EQ(batch[0].second[j], expected.at(j));
+}
+
+TEST(BatchedPlanTest, TryExecuteClassifiesFailuresAsStatus) {
+  sim::Device dev;
+  const Shape shape({16, 16});
+  BatchedPlan batched(dev, shape, Permutation({1, 0}));
+  // A wrong-size member is a classified InvalidArgument: try_execute
+  // must return it as a Status, never unwind.
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      bad{{dev.alloc<double>(shape.volume()), dev.alloc<double>(8)}};
+  const auto res = batched.try_execute<double>(bad);
+  ASSERT_FALSE(res.has_value());
+  EXPECT_EQ(res.status().code(), ErrorCode::kInvalidArgument);
+  // An empty batch is equally classified.
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      empty;
+  const auto res2 = batched.try_execute<double>(empty);
+  ASSERT_FALSE(res2.has_value());
+  EXPECT_EQ(res2.status().code(), ErrorCode::kInvalidArgument);
+}
+
 TEST(DevicePresets, GenerationsAreOrdered) {
   const auto k40 = sim::DeviceProperties::tesla_k40c();
   const auto p100 = sim::DeviceProperties::pascal_p100();

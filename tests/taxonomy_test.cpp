@@ -87,6 +87,39 @@ TEST(Taxonomy, SelectKernelProducesValidConfigs) {
   }
 }
 
+// The error taxonomy is load-bearing API: the degradation ladder, the
+// serving retry policy and client backoff all branch on retryable().
+// Pin the NAME and the RETRYABILITY of every code so adding or
+// reclassifying one is a deliberate, test-visible decision.
+TEST(Taxonomy, ErrorCodeNamesAndRetryabilityArePinned) {
+  struct CodeSpec {
+    ErrorCode code;
+    const char* name;
+    bool retryable;
+  };
+  const CodeSpec specs[] = {
+      {ErrorCode::kInvalidArgument, "InvalidArgument", false},
+      {ErrorCode::kUnsupported, "Unsupported", true},
+      {ErrorCode::kResourceExhausted, "ResourceExhausted", true},
+      {ErrorCode::kDataLoss, "DataLoss", false},
+      {ErrorCode::kFaultInjected, "FaultInjected", true},
+      {ErrorCode::kInternal, "Internal", false},
+      // DeadlineExceeded is deliberately NOT retryable: a request whose
+      // deadline has passed gains nothing from another rung or retry.
+      {ErrorCode::kDeadlineExceeded, "DeadlineExceeded", false},
+      // Unavailable (shed / over-quota) is the retryable backpressure
+      // signal clients react to with backoff-and-resubmit.
+      {ErrorCode::kUnavailable, "Unavailable", true},
+  };
+  for (const auto& s : specs) {
+    EXPECT_STREQ(to_string(s.code), s.name);
+    EXPECT_EQ(retryable(s.code), s.retryable) << s.name;
+  }
+  // Exhaustiveness guard: if a new code is added, this count (and the
+  // table above) must be updated together.
+  EXPECT_EQ(static_cast<int>(ErrorCode::kUnavailable), 7);
+}
+
 TEST(Taxonomy, OdMaxSliceVolScalesWithVolume) {
   const auto props = sim::DeviceProperties::tesla_k40c();
   const auto small =

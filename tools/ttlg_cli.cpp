@@ -29,6 +29,8 @@
 #include "telemetry/prometheus.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "service/loadgen.hpp"
+#include "service/server.hpp"
 #include "ttgt/contraction.hpp"
 
 using namespace ttlg;
@@ -449,6 +451,79 @@ int cmd_stats(const Cli& cli) {
   return 0;
 }
 
+// Overload-hardened serving demo: stand up the multi-tenant transpose
+// service (docs/serving.md) and drive it with the deterministic
+// load generator. Combine with --faults / TTLG_FAULTS for a chaos run.
+int cmd_serve(const Cli& cli) {
+  sim::Device dev;
+  dev.set_num_threads(1);  // service workers are the parallel axis
+
+  service::ServerConfig scfg;
+  scfg.workers = static_cast<int>(cli.get_int("workers", 4));
+  scfg.queue_capacity =
+      static_cast<std::size_t>(cli.get_int("queue-cap", 256));
+  scfg.measured_planning = cli.get_bool("measure");
+  scfg.quota.rate_per_s = static_cast<double>(cli.get_int("quota-rps", 0));
+  scfg.quota.burst = static_cast<double>(cli.get_int("quota-burst", 8));
+  scfg.backoff.max_retries = static_cast<int>(cli.get_int("retries", 2));
+  scfg.plan = options_from(cli);
+
+  service::LoadgenConfig lcfg;
+  lcfg.requests = cli.get_int("requests", 1000);
+  lcfg.tenants = static_cast<int>(cli.get_int("tenants", 4));
+  lcfg.clients = static_cast<int>(cli.get_int("clients", 4));
+  lcfg.outstanding = static_cast<int>(cli.get_int("outstanding", 16));
+  lcfg.distinct_shapes = static_cast<int>(cli.get_int("shapes", 6));
+  lcfg.deadline_us = cli.get_int("deadline-us", 0);
+  lcfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  service::Server server(dev, scfg);
+  server.start();
+  const auto report = service::run_load(server, lcfg);
+  server.stop();
+  const auto counts = server.counts();
+  const auto cache = server.cache().stats();
+
+  std::printf("served %lld / %lld requests (%lld submits incl. %lld client"
+              " retries) in %.3f s\n",
+              static_cast<long long>(report.served),
+              static_cast<long long>(report.completed),
+              static_cast<long long>(report.issued),
+              static_cast<long long>(report.client_retries), report.wall_s);
+  std::printf("  outcomes: shed=%lld expired=%lld failed=%lld"
+              " mismatches=%lld\n",
+              static_cast<long long>(report.shed),
+              static_cast<long long>(report.expired),
+              static_cast<long long>(report.failed),
+              static_cast<long long>(report.mismatches));
+  std::printf("  server: admitted=%lld shed_queue=%lld shed_quota=%lld"
+              " expired(adm/q/exec)=%lld/%lld/%lld failed=%lld"
+              " retries=%lld\n",
+              static_cast<long long>(counts.admitted),
+              static_cast<long long>(counts.shed_queue_full),
+              static_cast<long long>(counts.shed_quota),
+              static_cast<long long>(counts.expired_admission),
+              static_cast<long long>(counts.expired_queue),
+              static_cast<long long>(counts.expired_exec),
+              static_cast<long long>(counts.failed),
+              static_cast<long long>(counts.retries));
+  std::printf("  plans: cache hits=%lld misses=%lld (%.1f plans/s)\n",
+              static_cast<long long>(cache.hits),
+              static_cast<long long>(cache.misses),
+              report.wall_s > 0
+                  ? static_cast<double>(cache.misses) / report.wall_s
+                  : 0.0);
+  std::printf("  latency p50/p95/p99: %lld / %lld / %lld us\n",
+              static_cast<long long>(report.latency_quantile_us(0.50)),
+              static_cast<long long>(report.latency_quantile_us(0.95)),
+              static_cast<long long>(report.latency_quantile_us(0.99)));
+  TTLG_CHECK(report.completed == lcfg.requests,
+             "every submitted request must terminate");
+  TTLG_CHECK(report.mismatches == 0,
+             "served outputs must match the host oracle");
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const Cli& cli) {
   if (cmd == "plan") return cmd_plan(cli);
   if (cmd == "run") return cmd_run(cli);
@@ -458,6 +533,7 @@ int dispatch(const std::string& cmd, const Cli& cli) {
   if (cmd == "fuzz") return cmd_fuzz(cli);
   if (cmd == "contract") return cmd_contract(cli);
   if (cmd == "stats") return cmd_stats(cli);
+  if (cmd == "serve") return cmd_serve(cli);
   std::printf(
       "ttlg <command> [flags]\n"
       "  plan     --dims d0,d1,... --perm p0,p1,...   show the chosen kernel\n"
@@ -468,6 +544,10 @@ int dispatch(const std::string& cmd, const Cli& cli) {
       "  fuzz     [--iters N] [--seed S]              fault-injection sweep\n"
       "  contract --spec \"iak,kbj->abij\" --a ... --b ...   TTGT demo\n"
       "  stats    [--from <snapshot.json>] [--prometheus]   metrics tables\n"
+      "  serve    [--requests N --tenants T --clients C --workers W\n"
+      "            --queue-cap Q --quota-rps R --quota-burst B\n"
+      "            --deadline-us D --retries K --outstanding O --shapes S\n"
+      "            --seed S --measure]       overload-hardened service demo\n"
       "Common flags: --float, --analytic, --no-coarsening, --csv,\n"
       "              --measure, --save <file> (plan), --load <file> (run),\n"
       "              --threads N (host threads; 0 = auto from TTLG_THREADS\n"
