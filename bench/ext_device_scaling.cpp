@@ -3,13 +3,19 @@
 // Pascal- and Volta-class device profiles. The analytic model drives
 // slice choice (the shipped regression coefficients are K40c-trained).
 //
-// Flags: --csv, --size N
+// A second, scale-OUT section shards the same problems across a fleet
+// of identical devices over an NVLink-class interconnect and reports
+// aggregate fleet bandwidth (payload / makespan) per shard count,
+// written to BENCH_device_scaling.json.
+//
+// Flags: --csv, --size N, --shards N (restrict the scale-out sweep)
 #include <iostream>
 
 #include "benchlib/report.hpp"
 #include "benchlib/runner.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "shard/sharded_executor.hpp"
 
 using namespace ttlg;
 
@@ -77,5 +83,66 @@ int main(int argc, char** argv) {
   std::cout << "\n# Expectation: bandwidth scales roughly with each\n"
                "# generation's effective DRAM bandwidth (220/550/790 GB/s)\n"
                "# since the kernels stay memory-bound.\n";
+
+  // ---- Scale-out: shard one transpose across a K40c fleet ----------
+  const int only_shards = cli.get_int("shards", 0);
+  std::vector<int> shard_counts = {1, 2, 4, 8};
+  if (only_shards > 0) shard_counts = {only_shards};
+
+  shard::LinkProperties link;
+  link.bandwidth_gbps = 150.0;  // NVLink-class: scaling stays compute-bound
+
+  std::cout << "\n# Extension: multi-device scale-out, 6D all-" << n
+            << " sharded over identical " << profiles[0].name
+            << " devices (" << link.bandwidth_gbps << " GB/s links)\n";
+
+  bench::BenchReport scale_report("device_scaling", profiles[0]);
+  scale_report.set_config("dim_size", n);
+  scale_report.set_config("link_gbps", link.bandwidth_gbps);
+  Table st({"perm", "shards", "schema", "agg_GBps", "makespan_ms"});
+
+  const char* scale_perms[] = {"0,2,5,1,4,3", "5,4,3,2,1,0"};
+  for (const char* ptext : scale_perms) {
+    const Permutation perm(parse_int_list(ptext));
+    for (int shards : shard_counts) {
+      shard::Fleet fleet =
+          shard::Fleet::homogeneous(shards, profiles[0], link);
+      shard::ShardOptions sopts;
+      sopts.num_shards = shards;
+      sopts.plan.model = ModelKind::kAnalytic;
+      sopts.sampling = 6;  // class-sampled counting, as above
+      shard::ShardedExecutor ex(fleet, sopts);
+      const auto res = ex.run_count_only(shape, perm, 8);
+      if (!res.has_value()) {
+        std::cerr << "scale-out case failed: " << res.status().message()
+                  << "\n";
+        return 1;
+      }
+      const double bw = res->aggregate_bandwidth_gbps(shape.volume(), 8);
+      st.add_row({perm.to_string(), std::to_string(shards),
+                  to_string(res->schema), Table::num(bw, 1),
+                  Table::num(res->makespan_s * 1e3, 3)});
+      auto c = telemetry::Json::object();
+      c["name"] = perm.to_string() + " x" + std::to_string(shards);
+      c["perm"] = perm.to_string();
+      c["shards"] = shards;
+      c["schema"] = to_string(res->schema);
+      c["kernel_ms"] = res->makespan_s * 1e3;
+      c["exec_ms"] = res->exec_s * 1e3;
+      c["transfer_bytes"] = res->transfer_bytes;
+      c["bw_gbps"] = bw;
+      scale_report.add_case_json(std::move(c));
+    }
+  }
+  if (cli.get_bool("csv")) {
+    st.print_csv(std::cout);
+  } else {
+    st.print(std::cout);
+  }
+  std::cout << "\nWrote machine-readable report: " << scale_report.write()
+            << "\n";
+  std::cout << "# Expectation: aggregate GB/s grows with the shard count\n"
+               "# until per-shard transfer latency and the shortest shard\n"
+               "# bound the makespan.\n";
   return 0;
 }

@@ -91,6 +91,10 @@ cmake -B build-tsan -S . -G Ninja -DTTLG_SANITIZE=thread \
 cmake --build build-tsan -j
 "build-tsan/tests/test_concurrency" --gtest_brief=1
 "build-tsan/tests/test_determinism" --gtest_brief=1
+# The sharded executor fans one transpose out over concurrent devices
+# through the shared thread pool; its differential battery must be
+# race-free too (byte-identical merges at every shard/thread count).
+"build-tsan/tests/test_shard_differential" --gtest_brief=1
 
 echo "== chaos soak: service battery under TSan with faults armed =="
 # The serving layer's keystone property — every request terminates with

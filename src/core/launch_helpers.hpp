@@ -8,6 +8,26 @@
 
 namespace ttlg {
 
+/// A contiguous block-id window of one logical grid. Default = the
+/// whole grid. The sharded executor runs disjoint windows of a single
+/// planned grid on different devices; block ids stay absolute, so a
+/// window executes exactly the blocks it would inside the full launch.
+struct LaunchWindow {
+  Index offset = 0;
+  Index count = -1;  ///< -1 = through the end of the grid
+  /// Optional per-launch texture-access capture (LaunchConfig::
+  /// tex_capture): recorded in block order for cross-window replay.
+  std::vector<std::int64_t>* tex_capture = nullptr;
+
+  /// Rewrites a full-grid LaunchConfig into this window (call after
+  /// cfg.grid_blocks has been set to the full grid size).
+  void apply(sim::LaunchConfig& cfg) const {
+    cfg.block_offset = offset;
+    cfg.grid_blocks = count >= 0 ? count : cfg.grid_blocks - offset;
+    cfg.tex_capture = tex_capture;
+  }
+};
+
 /// Classifier over the two chunked grid slots (slot 0 and slot 1):
 /// class = partial-A bit | partial-B bit. Called for every block of a
 /// sampled sweep, so the slot split is captured as FastDivs.
@@ -29,7 +49,7 @@ sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
                             sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
                             sim::DeviceBuffer<Index> in_offset,
                             sim::DeviceBuffer<Index> out_offset,
-                            Epilogue<T> epi = {}) {
+                            Epilogue<T> epi = {}, LaunchWindow win = {}) {
   sim::LaunchConfig cfg;
   cfg.elem_size = sizeof(T);
   cfg.grid_blocks = k.grid_blocks;
@@ -40,6 +60,7 @@ sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
   cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
                                       k.b_rem);
   cfg.num_classes = 4;
+  win.apply(cfg);
   return dev.launch(OdKernel<T>{k, in, out, in_offset, out_offset, epi},
                     cfg);
 }
@@ -50,7 +71,7 @@ sim::LaunchResult launch_oa(sim::Device& dev, const OaConfig& k,
                             sim::DeviceBuffer<Index> input_offset,
                             sim::DeviceBuffer<Index> output_offset,
                             sim::DeviceBuffer<Index> sm_out_offset,
-                            Epilogue<T> epi = {}) {
+                            Epilogue<T> epi = {}, LaunchWindow win = {}) {
   sim::LaunchConfig cfg;
   cfg.elem_size = sizeof(T);
   cfg.grid_blocks = k.grid_blocks;
@@ -61,6 +82,7 @@ sim::LaunchResult launch_oa(sim::Device& dev, const OaConfig& k,
   cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
                                       k.b_rem);
   cfg.num_classes = 4;
+  win.apply(cfg);
   return dev.launch(
       OaKernel<T>{k, in, out, input_offset, output_offset, sm_out_offset,
                   epi},
@@ -71,7 +93,7 @@ template <class T>
 sim::LaunchResult launch_fvi_small(sim::Device& dev, const FviSmallConfig& k,
                                    sim::DeviceBuffer<T> in,
                                    sim::DeviceBuffer<T> out,
-                                   Epilogue<T> epi = {}) {
+                                   Epilogue<T> epi = {}, LaunchWindow win = {}) {
   sim::LaunchConfig cfg;
   cfg.elem_size = sizeof(T);
   cfg.grid_blocks = k.grid_blocks;
@@ -81,6 +103,7 @@ sim::LaunchResult launch_fvi_small(sim::Device& dev, const FviSmallConfig& k,
   cfg.block_class = chunk_block_class(k.i1_chunks, k.i1_rem, k.ik_chunks,
                                       k.ik_rem);
   cfg.num_classes = 4;
+  win.apply(cfg);
   return dev.launch(FviSmallKernel<T>{k, in, out, epi}, cfg);
 }
 
@@ -88,7 +111,7 @@ template <class T>
 sim::LaunchResult launch_fvi_large(sim::Device& dev, const FviLargeConfig& k,
                                    sim::DeviceBuffer<T> in,
                                    sim::DeviceBuffer<T> out,
-                                   Epilogue<T> epi = {}) {
+                                   Epilogue<T> epi = {}, LaunchWindow win = {}) {
   sim::LaunchConfig cfg;
   cfg.elem_size = sizeof(T);
   cfg.grid_blocks = k.grid_blocks;
@@ -98,6 +121,7 @@ sim::LaunchResult launch_fvi_large(sim::Device& dev, const FviLargeConfig& k,
   cfg.block_class = chunk_block_class(k.segs, k.n0 % k.seg_len,
                                       k.batch_chunks, k.batch_rem);
   cfg.num_classes = 4;
+  win.apply(cfg);
   return dev.launch(FviLargeKernel<T>{k, in, out, epi}, cfg);
 }
 

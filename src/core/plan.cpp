@@ -90,6 +90,22 @@ void Plan::move_from(Plan& o) {
   o.fb_tex0_ = o.fb_tex1_ = o.fb_tex2_ = {};
 }
 
+Index Plan::grid_blocks() const {
+  TTLG_CHECK(valid(), "querying an empty plan");
+  switch (sel_.schema) {
+    case Schema::kCopy:
+    case Schema::kFviMatchLarge:
+      return sel_.fvi_large.grid_blocks;
+    case Schema::kFviMatchSmall:
+      return sel_.fvi_small.grid_blocks;
+    case Schema::kOrthogonalDistinct:
+      return sel_.od.grid_blocks;
+    case Schema::kOrthogonalArbitrary:
+      return sel_.oa.grid_blocks;
+  }
+  TTLG_ASSERT(false, "unreachable schema");
+}
+
 std::string Plan::describe() const {
   std::ostringstream os;
   os << to_string(sel_.schema) << " for " << problem_.shape.to_string()

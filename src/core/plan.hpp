@@ -63,6 +63,9 @@ class Plan {
   const KernelSelection& selection() const { return sel_; }
   /// Model-predicted kernel time (the §V queryable estimate).
   double predicted_time_s() const { return sel_.predicted_s; }
+  /// Grid size of the planned (rung-1) kernel — the block-id space that
+  /// execute_window() windows over. Valid plans only.
+  Index grid_blocks() const;
   /// Host wall-clock spent planning (selection + offset upload).
   double plan_wall_s() const { return plan_wall_s_; }
 
@@ -189,6 +192,59 @@ class Plan {
     return res;
   }
 
+  /// Run a contiguous block-id window [offset, offset + count) of the
+  /// PLANNED kernel's grid: the shard primitive. Block ids stay
+  /// absolute, so N disjoint windows covering [0, grid_blocks())
+  /// together perform exactly the blocks of one full execute() — the
+  /// invariant the sharded executor's counter roll-up rests on. Unlike
+  /// execute(), a window runs rung 1 only (no degradation ladder: the
+  /// OA/naive fallback grids do not map onto planned-grid windows —
+  /// shard-level failover owns retries), and degraded plans are
+  /// rejected as kUnsupported. `win.tex_capture` records texture
+  /// accesses for cross-window replay instead of counting local misses.
+  template <class T>
+  sim::LaunchResult execute_window(sim::DeviceBuffer<T> in,
+                                   sim::DeviceBuffer<T> out, LaunchWindow win,
+                                   T alpha = T{1}, T beta = T{0}) const {
+    TTLG_CHECK(valid(), "executing an empty plan");
+    TTLG_CHECK_CODE(path_ == ExecPath::kPlanned, ErrorCode::kUnsupported,
+                    "windowed execution requires an undegraded plan");
+    TTLG_CHECK(static_cast<int>(sizeof(T)) == problem_.elem_size,
+               "element type does not match the planned element size");
+    TTLG_CHECK(in.size() == problem_.volume() &&
+                   out.size() == problem_.volume(),
+               "buffer sizes must equal the tensor volume");
+    const Index nb = grid_blocks();
+    if (win.count < 0) win.count = nb - win.offset;
+    TTLG_CHECK(win.offset >= 0 && win.count > 0 &&
+                   win.offset + win.count <= nb,
+               "block window out of range for the planned grid");
+    validate_exec_buffers(in.base_addr(),
+                          in.size() * static_cast<Index>(sizeof(T)),
+                          in.valid(), out.base_addr(),
+                          out.size() * static_cast<Index>(sizeof(T)),
+                          out.valid());
+    sim::LaunchResult res =
+        launch_planned<T>(in, out, Epilogue<T>{alpha, beta}, win);
+    last_path_ = path_;
+    // No record_execution: the model predicted the FULL grid, so a
+    // window would pollute the accuracy residuals.
+    return res;
+  }
+
+  template <class T>
+  Expected<sim::LaunchResult> try_execute_window(sim::DeviceBuffer<T> in,
+                                                 sim::DeviceBuffer<T> out,
+                                                 LaunchWindow win,
+                                                 T alpha = T{1},
+                                                 T beta = T{0}) const {
+    auto res =
+        capture([&] { return execute_window<T>(in, out, win, alpha, beta); });
+    if (!res.has_value())
+      note_status_failure("plan.execute_window", res.status());
+    return res;
+  }
+
  private:
   friend Plan make_plan(sim::Device&, const Shape&, const Permutation&,
                         const PlanOptions&);
@@ -199,18 +255,19 @@ class Plan {
   template <class T>
   sim::LaunchResult launch_planned(sim::DeviceBuffer<T> in,
                                    sim::DeviceBuffer<T> out,
-                                   const Epilogue<T>& epi) const {
+                                   const Epilogue<T>& epi,
+                                   LaunchWindow win = {}) const {
     switch (sel_.schema) {
       case Schema::kCopy:
       case Schema::kFviMatchLarge:
-        return launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi);
+        return launch_fvi_large<T>(*dev_, sel_.fvi_large, in, out, epi, win);
       case Schema::kFviMatchSmall:
-        return launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi);
+        return launch_fvi_small<T>(*dev_, sel_.fvi_small, in, out, epi, win);
       case Schema::kOrthogonalDistinct:
-        return launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi);
+        return launch_od<T>(*dev_, sel_.od, in, out, tex0_, tex1_, epi, win);
       case Schema::kOrthogonalArbitrary:
         return launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_,
-                            epi);
+                            epi, win);
     }
     TTLG_ASSERT(false, "unreachable schema");
   }

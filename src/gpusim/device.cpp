@@ -23,7 +23,12 @@ void check_injected_alloc_fault(std::int64_t bytes) {
 
 }  // namespace
 
-Device::Device(DeviceProperties props) : props_(std::move(props)) {}
+Device::Device(DeviceProperties props) : props_(std::move(props)) {
+  // An inconsistent descriptor (e.g. a per-block shared-memory limit
+  // above the per-SM capacity) would silently corrupt every timing and
+  // occupancy computation downstream — reject it at construction.
+  props_.validate();
+}
 
 bool Device::default_pattern_cache() {
   static const bool on = [] {
@@ -99,6 +104,7 @@ void Device::free_all() {
 
 void Device::validate(const LaunchConfig& cfg) const {
   TTLG_CHECK(cfg.grid_blocks > 0, "grid must have at least one block");
+  TTLG_CHECK(cfg.block_offset >= 0, "negative block window offset");
   TTLG_CHECK(cfg.block_threads > 0 &&
                  cfg.block_threads <= props_.max_threads_per_block,
              "block size out of range for device '" + props_.name + "'");

@@ -35,6 +35,12 @@ namespace ttlg::sim {
 
 struct LaunchConfig {
   std::int64_t grid_blocks = 1;
+  /// First block id executed by this launch. Non-zero for windowed
+  /// launches (the sharded executor runs contiguous block-id ranges of
+  /// one logical grid on different devices); block ids handed to the
+  /// kernel are ABSOLUTE, so a window executes exactly the same blocks
+  /// it would inside the full launch.
+  std::int64_t block_offset = 0;
   int block_threads = 256;
   /// Shared memory per block, in elements of size `elem_size`.
   std::int64_t shared_elems = 0;
@@ -49,6 +55,13 @@ struct LaunchConfig {
   /// Kernel binds texture offset arrays (OD/OA); gates the `tex`
   /// fault-injection site so texture faults only hit texture users.
   bool uses_texture = false;
+  /// When set, texture accesses are RECORDED (appended in block order as
+  /// byte addresses) instead of probed against this launch's cache, and
+  /// tex_misses stays 0 in the returned counters. A cross-launch owner
+  /// (the sharded executor) replays the logs of all windows of one
+  /// logical grid through a single TextureCache, which reproduces the
+  /// unsharded miss count exactly. Ignored by sampled counting.
+  std::vector<std::int64_t>* tex_capture = nullptr;
 };
 
 struct LaunchResult {
@@ -172,9 +185,11 @@ class Device {
       run_parallel(kernel, cfg, res, tex, nthreads);
     } else {
       const PatternCachePool::Lease pc = pattern_pool_.acquire(pattern_cache_);
-      for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
+      for (std::int64_t b = cfg.block_offset;
+           b < cfg.block_offset + cfg.grid_blocks; ++b) {
         BlockCtx blk(b, cfg.block_threads, mode_, props_, res.counters,
-                     smem.data(), cfg.shared_elems, tex, nullptr, pc.get());
+                     smem.data(), cfg.shared_elems, tex, cfg.tex_capture,
+                     pc.get());
         kernel(blk);
       }
     }
@@ -225,8 +240,8 @@ class Device {
     std::vector<Shard> shards(static_cast<std::size_t>(nchunks));
     ThreadPool::global().run_indexed(
         nchunks, nthreads, [&](std::int64_t c) {
-          const std::int64_t lo = nb * c / nchunks;
-          const std::int64_t hi = nb * (c + 1) / nchunks;
+          const std::int64_t lo = cfg.block_offset + nb * c / nchunks;
+          const std::int64_t hi = cfg.block_offset + nb * (c + 1) / nchunks;
           std::vector<std::byte> smem(
               static_cast<std::size_t>(cfg.shared_elems * cfg.elem_size));
           // One pattern-cache lease per chunk: no sharing between host
@@ -244,8 +259,16 @@ class Device {
         });
     for (const Shard& sh : shards) {
       res.counters += sh.ctr;
-      for (const std::int64_t addr : sh.tex_log) {
-        if (!tex.access(addr)) ++res.counters.tex_misses;
+      if (cfg.tex_capture != nullptr) {
+        // Capture mode: hand the block-ordered log to the caller
+        // instead of replaying it; the caller owns the cross-window
+        // replay (and the misses it produces).
+        cfg.tex_capture->insert(cfg.tex_capture->end(), sh.tex_log.begin(),
+                                sh.tex_log.end());
+      } else {
+        for (const std::int64_t addr : sh.tex_log) {
+          if (!tex.access(addr)) ++res.counters.tex_misses;
+        }
       }
     }
   }
@@ -257,8 +280,9 @@ class Device {
     const PatternCachePool::Lease pc = pattern_pool_.acquire(pattern_cache_);
     PatternCache* pcp = pc.get();
     const std::int64_t nc = cfg.num_classes;
+    const std::int64_t b_end = cfg.block_offset + cfg.grid_blocks;
     std::vector<std::int64_t> counts(static_cast<std::size_t>(nc), 0);
-    for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
+    for (std::int64_t b = cfg.block_offset; b < b_end; ++b) {
       const std::int64_t c = cfg.block_class(b);
       TTLG_ASSERT(c >= 0 && c < nc, "block class out of range");
       ++counts[static_cast<std::size_t>(c)];
@@ -276,8 +300,8 @@ class Device {
       std::int64_t occurrence = 0;
       std::size_t next = 0;
       bool warmed = false;
-      for (std::int64_t b = 0; b < cfg.grid_blocks && next < targets.size();
-           ++b) {
+      for (std::int64_t b = cfg.block_offset;
+           b < b_end && next < targets.size(); ++b) {
         if (cfg.block_class(b) != c) continue;
         if (occurrence++ != targets[next]) continue;
         ++next;

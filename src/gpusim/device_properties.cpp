@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/error.hpp"
+
 namespace ttlg::sim {
 
 DeviceProperties DeviceProperties::pascal_p100() {
@@ -28,6 +30,57 @@ DeviceProperties DeviceProperties::volta_v100() {
   p.dp_fma_per_cycle_per_sm = 32.0;
   p.warps_to_saturate = 1500.0;
   return p;
+}
+
+void DeviceProperties::validate() const {
+  const auto fail = [this](const std::string& what) {
+    TTLG_RAISE(ErrorCode::kInvalidArgument,
+               "inconsistent device descriptor '" + name + "': " + what);
+  };
+  if (num_sms <= 0) fail("num_sms must be positive");
+  if (warp_size <= 0) fail("warp_size must be positive");
+  if (clock_ghz <= 0.0) fail("clock_ghz must be positive");
+  if (shared_mem_per_sm_bytes <= 0)
+    fail("shared_mem_per_sm_bytes must be positive");
+  if (shared_mem_per_block_bytes <= 0)
+    fail("shared_mem_per_block_bytes must be positive");
+  if (shared_mem_per_block_bytes > shared_mem_per_sm_bytes)
+    fail("shared_mem_per_block_bytes (" +
+         std::to_string(shared_mem_per_block_bytes) +
+         ") exceeds shared_mem_per_sm_bytes (" +
+         std::to_string(shared_mem_per_sm_bytes) + ")");
+  if (shared_banks <= 0) fail("shared_banks must be positive");
+  if (max_threads_per_block < warp_size ||
+      max_threads_per_block % warp_size != 0)
+    fail("max_threads_per_block must be a positive multiple of warp_size");
+  if (max_blocks_per_sm <= 0) fail("max_blocks_per_sm must be positive");
+  if (max_warps_per_sm <= 0) fail("max_warps_per_sm must be positive");
+  if (static_cast<std::int64_t>(max_warps_per_sm) * warp_size <
+      max_threads_per_block)
+    fail("max_threads_per_block exceeds the per-SM warp budget");
+  if (dram_transaction_bytes <= 0)
+    fail("dram_transaction_bytes must be positive");
+  if (tex_line_bytes <= 0) fail("tex_line_bytes must be positive");
+  if (tex_cache_lines <= 0) fail("tex_cache_lines must be positive");
+  if (peak_bandwidth_gbps <= 0.0) fail("peak_bandwidth_gbps must be positive");
+  if (effective_bandwidth_gbps <= 0.0 ||
+      effective_bandwidth_gbps > peak_bandwidth_gbps)
+    fail("effective_bandwidth_gbps must be in (0, peak_bandwidth_gbps]");
+  if (launch_overhead_s < 0.0 || wave_overhead_s < 0.0)
+    fail("launch/wave overheads must be non-negative");
+  if (smem_cycles_per_op <= 0.0) fail("smem_cycles_per_op must be positive");
+  if (special_op_cycles < 0.0) fail("special_op_cycles must be non-negative");
+  if (dp_fma_per_cycle_per_sm <= 0.0)
+    fail("dp_fma_per_cycle_per_sm must be positive");
+  // The saturation point is a device-WIDE resident-warp count, so it
+  // must be achievable: derivable from num_sms and bounded by the
+  // per-SM occupancy limit summed over the chip.
+  const double max_resident_warps =
+      static_cast<double>(max_warps_per_sm) * num_sms;
+  if (warps_to_saturate <= 0.0 || warps_to_saturate > max_resident_warps)
+    fail("warps_to_saturate (" + std::to_string(warps_to_saturate) +
+         ") must be in (0, max_warps_per_sm * num_sms = " +
+         std::to_string(max_resident_warps) + "]");
 }
 
 std::string DeviceProperties::to_string() const {

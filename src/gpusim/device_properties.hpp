@@ -53,6 +53,17 @@ struct DeviceProperties {
   /// Volta-generation profile (V100-like).
   static DeviceProperties volta_v100();
 
+  /// Consistency check over the descriptor, throwing kInvalidArgument
+  /// on the first violated invariant. sim::Device calls this at
+  /// construction, so an inconsistent profile can never reach the
+  /// timing model. Invariants include: positive SM/clock/warp/cache
+  /// geometry, shared_mem_per_block_bytes <= shared_mem_per_sm_bytes,
+  /// max_threads_per_block a warp multiple within the per-SM warp
+  /// budget, effective bandwidth <= peak, and warps_to_saturate within
+  /// the device-wide resident-warp capacity (max_warps_per_sm *
+  /// num_sms — the sense in which it must stay derivable from num_sms).
+  void validate() const;
+
   std::string to_string() const;
 };
 

@@ -84,6 +84,9 @@ struct Response {
   /// Ladder rung the serving execution ran on (kServed only).
   ExecPath exec_path = ExecPath::kPlanned;
   bool plan_cache_hit = false;
+  /// Served through the multi-device sharded executor (ServerConfig
+  /// fleet routing) instead of the single serving device.
+  bool sharded = false;
   int attempts = 0;       ///< execution attempts (>=1 when work started)
   std::int64_t latency_us = 0;     ///< submit -> terminal, service clock
   std::int64_t queue_wait_us = 0;  ///< submit -> dequeue (0 if shed)

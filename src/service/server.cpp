@@ -7,6 +7,7 @@
 #include "common/deadline.hpp"
 #include "core/plan.hpp"
 #include "gpusim/thread_pool.hpp"
+#include "shard/sharded_executor.hpp"
 #include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
@@ -282,32 +283,55 @@ void Server::process(Request req) {
     res.attempts = attempt;
     Status st;
     try {
-      bool hit = false;
-      std::shared_ptr<const Plan> plan = resolve_plan(req, headroom_us, &hit);
-      res.plan_cache_hit = hit;
       const std::int64_t volume = req.shape.volume();
       TTLG_CHECK(req.input && static_cast<std::int64_t>(req.input->size()) ==
                                   volume,
                  "request input must hold shape.volume() elements");
-      auto in = dev_.alloc_copy<double>(
-          std::span<const double>(req.input->data(), req.input->size()));
-      sim::DeviceBuffer<double> out;
-      try {
-        out = dev_.alloc<double>(volume);
-      } catch (...) {
+      if (cfg_.fleet != nullptr && volume >= cfg_.shard_min_volume) {
+        // Scale-out route: the request is big enough to amortize the
+        // cross-device transfers, so it fans out over the fleet
+        // (sharded failover included) instead of the serving device.
+        std::vector<double> out(req.input->size(), 0.0);
+        shard::ShardOptions sopts;
+        sopts.plan = cfg_.plan;
+        shard::ShardedExecutor ex(*cfg_.fleet, sopts);
+        auto run = ex.run<double>(
+            req.shape, req.perm,
+            std::span<const double>(req.input->data(), req.input->size()),
+            std::span<double>(out.data(), out.size()), req.alpha, req.beta);
+        if (run.has_value()) {
+          res.output = std::move(out);
+          res.sharded = true;
+          res.sim_time_s = run->makespan_s;
+          bump("service.sharded");
+          observe("service.exec_us", run->makespan_s * 1e6);
+        }
+        st = run.status();
+      } else {
+        bool hit = false;
+        std::shared_ptr<const Plan> plan =
+            resolve_plan(req, headroom_us, &hit);
+        res.plan_cache_hit = hit;
+        auto in = dev_.alloc_copy<double>(
+            std::span<const double>(req.input->data(), req.input->size()));
+        sim::DeviceBuffer<double> out;
+        try {
+          out = dev_.alloc<double>(volume);
+        } catch (...) {
+          dev_.try_free(in);
+          throw;
+        }
+        auto exec = plan->try_execute<double>(in, out, req.alpha, req.beta);
+        if (exec.has_value()) {
+          res.output.assign(out.data(), out.data() + out.size());
+          res.exec_path = plan->last_exec_path();
+          res.sim_time_s = exec->time_s;
+          observe("service.exec_us", exec->time_s * 1e6);
+        }
         dev_.try_free(in);
-        throw;
+        dev_.try_free(out);
+        st = exec.status();
       }
-      auto exec = plan->try_execute<double>(in, out, req.alpha, req.beta);
-      if (exec.has_value()) {
-        res.output.assign(out.data(), out.data() + out.size());
-        res.exec_path = plan->last_exec_path();
-        res.sim_time_s = exec->time_s;
-        observe("service.exec_us", exec->time_s * 1e6);
-      }
-      dev_.try_free(in);
-      dev_.try_free(out);
-      st = exec.status();
     } catch (const Error& e) {
       // Classified failures outside try_execute (plan build, buffer
       // allocation) join the same retry/classify path.

@@ -34,9 +34,20 @@
 #include "service/quota.hpp"
 #include "service/request.hpp"
 
+namespace ttlg::shard {
+class Fleet;
+}  // namespace ttlg::shard
+
 namespace ttlg::service {
 
 struct ServerConfig {
+  /// Optional multi-device scale-out: requests whose volume reaches
+  /// shard_min_volume are routed through a ShardedExecutor over this
+  /// fleet instead of the single serving device (src/shard/,
+  /// docs/sharding.md). The fleet must outlive the Server; nullptr
+  /// keeps every request on the serving device.
+  shard::Fleet* fleet = nullptr;
+  Index shard_min_volume = Index{1} << 20;
   int workers = 4;
   std::size_t queue_capacity = 256;
   /// Queue depth above which admission forces heuristic-only planning

@@ -1,0 +1,81 @@
+// A fleet of simulated devices plus the cross-device interconnect: the
+// execution substrate of the sharded executor. Heterogeneous fleets
+// (e.g. 2x K40c + 2x V100) are first-class — each Device carries its
+// own DeviceProperties, validated at construction.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_properties.hpp"
+
+namespace ttlg::shard {
+
+/// Cross-device link model: moving `bytes` over the interconnect costs
+/// latency_s + bytes / bandwidth. Defaults approximate a PCIe-class
+/// host-staged link; NVLink-class fleets override bandwidth_gbps.
+struct LinkProperties {
+  double latency_s = 5.0e-6;
+  double bandwidth_gbps = 16.0;
+
+  double transfer_s(std::int64_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / (bandwidth_gbps * 1e9);
+  }
+};
+
+class Fleet {
+ public:
+  /// One Device per descriptor, in order. Descriptor 0 is the
+  /// REFERENCE device: the uniform shard policy pins its kernel
+  /// selection (docs/sharding.md).
+  explicit Fleet(std::vector<sim::DeviceProperties> descriptors,
+                 LinkProperties link = {})
+      : link_(link) {
+    TTLG_CHECK(!descriptors.empty(), "a fleet needs at least one device");
+    devices_.reserve(descriptors.size());
+    for (auto& d : descriptors)
+      devices_.push_back(std::make_unique<sim::Device>(std::move(d)));
+  }
+
+  static Fleet homogeneous(int n, sim::DeviceProperties props =
+                                      sim::DeviceProperties::tesla_k40c(),
+                           LinkProperties link = {}) {
+    TTLG_CHECK(n >= 1, "a fleet needs at least one device");
+    return Fleet(std::vector<sim::DeviceProperties>(
+                     static_cast<std::size_t>(n), props),
+                 link);
+  }
+
+  int size() const { return static_cast<int>(devices_.size()); }
+  sim::Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+  const sim::Device& device(int i) const {
+    return *devices_.at(static_cast<std::size_t>(i));
+  }
+  const LinkProperties& link() const { return link_; }
+
+  /// Forward the host-thread knob to every device (TTLG_THREADS analog
+  /// for fleet-wide runs; outputs/counters are bit-identical at any
+  /// setting, as on a single device).
+  void set_num_threads(int n) {
+    for (auto& d : devices_) d->set_num_threads(n);
+  }
+
+  /// Release every allocation on every device (between bench cases).
+  void free_all() {
+    for (auto& d : devices_) d->free_all();
+  }
+
+  /// Serializes sharded runs over this fleet: one run owns all devices
+  /// (their execution modes and allocation sequences) for its duration.
+  std::mutex& run_mutex() { return run_mu_; }
+
+ private:
+  LinkProperties link_;
+  std::vector<std::unique_ptr<sim::Device>> devices_;
+  std::mutex run_mu_;
+};
+
+}  // namespace ttlg::shard

@@ -1,0 +1,29 @@
+// Per-shard hardware-counter roll-up. In the uniform shard policy the
+// shards execute disjoint block windows of ONE planned grid, so the
+// fold of per-shard LaunchCounters (in shard order, via operator+=,
+// which sums every additive field including grid_blocks) equals the
+// unsharded launch's counters exactly — the property test's invariant.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/counters.hpp"
+
+namespace ttlg::shard {
+
+struct ShardCounters {
+  std::vector<sim::LaunchCounters> per_shard;
+
+  /// Shard-order fold. Structure fields (block_threads,
+  /// shared_bytes_per_block) come from shard 0, matching operator+=
+  /// semantics for multi-launch accumulation.
+  sim::LaunchCounters total() const {
+    sim::LaunchCounters sum;
+    if (per_shard.empty()) return sum;
+    sum = per_shard.front();
+    for (std::size_t i = 1; i < per_shard.size(); ++i) sum += per_shard[i];
+    return sum;
+  }
+};
+
+}  // namespace ttlg::shard

@@ -1,0 +1,93 @@
+// DeviceProperties::validate(): the shipped descriptor profiles must
+// be internally consistent (the sharded executor plans against
+// arbitrary per-device descriptors, so a malformed one must fail fast
+// at Device construction, not corrupt a simulation).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_properties.hpp"
+
+namespace ttlg::sim {
+namespace {
+
+template <class F>
+ErrorCode code_of(F&& f) {
+  try {
+    f();
+  } catch (const Error& e) {
+    return e.code();
+  }
+  return ErrorCode::kInternal;  // no throw observed
+}
+
+TEST(DevicePropertiesValidate, ShippedProfilesAreConsistent) {
+  for (const DeviceProperties& p :
+       {DeviceProperties::tesla_k40c(), DeviceProperties::pascal_p100(),
+        DeviceProperties::volta_v100()}) {
+    EXPECT_NO_THROW(p.validate()) << p.name;
+    // The invariants the sharded perf model leans on, pinned
+    // explicitly per profile.
+    EXPECT_LE(p.shared_mem_per_block_bytes, p.shared_mem_per_sm_bytes)
+        << p.name;
+    EXPECT_EQ(p.max_threads_per_block % p.warp_size, 0) << p.name;
+    EXPECT_GT(p.warps_to_saturate, 0) << p.name;
+    EXPECT_LE(p.warps_to_saturate,
+              static_cast<double>(p.max_warps_per_sm) * p.num_sms)
+        << p.name << ": warps_to_saturate must be reachable on the chip";
+    EXPECT_LE(p.effective_bandwidth_gbps, p.peak_bandwidth_gbps) << p.name;
+  }
+}
+
+TEST(DevicePropertiesValidate, RejectsInconsistentDescriptors) {
+  const auto broken = [](auto mutate) {
+    DeviceProperties p = DeviceProperties::tesla_k40c();
+    mutate(p);
+    return p;
+  };
+  const std::vector<DeviceProperties> bad = {
+      broken([](DeviceProperties& p) { p.num_sms = 0; }),
+      broken([](DeviceProperties& p) { p.warp_size = 0; }),
+      broken([](DeviceProperties& p) {
+        p.shared_mem_per_block_bytes = p.shared_mem_per_sm_bytes + 1;
+      }),
+      broken([](DeviceProperties& p) { p.max_threads_per_block = 33; }),
+      broken([](DeviceProperties& p) { p.max_threads_per_block = 0; }),
+      broken([](DeviceProperties& p) { p.tex_cache_lines = 0; }),
+      broken([](DeviceProperties& p) {
+        p.effective_bandwidth_gbps = p.peak_bandwidth_gbps * 2;
+      }),
+      broken([](DeviceProperties& p) { p.peak_bandwidth_gbps = -1.0; }),
+      broken([](DeviceProperties& p) { p.warps_to_saturate = 0.0; }),
+      broken([](DeviceProperties& p) {
+        p.warps_to_saturate =
+            static_cast<double>(p.max_warps_per_sm) * p.num_sms + 1;
+      }),
+      broken([](DeviceProperties& p) { p.clock_ghz = 0.0; }),
+      broken([](DeviceProperties& p) { p.dram_transaction_bytes = 0; }),
+  };
+  for (const auto& p : bad)
+    EXPECT_EQ(code_of([&] { p.validate(); }), ErrorCode::kInvalidArgument);
+}
+
+TEST(DevicePropertiesValidate, DeviceConstructorValidates) {
+  DeviceProperties p = DeviceProperties::tesla_k40c();
+  p.shared_mem_per_block_bytes = p.shared_mem_per_sm_bytes + 1;
+  EXPECT_EQ(code_of([&] { Device dev(p); }), ErrorCode::kInvalidArgument);
+  EXPECT_NO_THROW(Device ok(DeviceProperties::volta_v100()));
+}
+
+TEST(DevicePropertiesValidate, ErrorNamesTheDescriptor) {
+  DeviceProperties p = DeviceProperties::pascal_p100();
+  p.num_sms = -4;
+  try {
+    p.validate();
+    FAIL() << "expected kInvalidArgument";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(p.name), std::string::npos)
+        << "message should identify the offending descriptor";
+  }
+}
+
+}  // namespace
+}  // namespace ttlg::sim

@@ -17,6 +17,7 @@
 #include "service/loadgen.hpp"
 #include "service/quota.hpp"
 #include "service/server.hpp"
+#include "shard/fleet.hpp"
 #include "tensor/host_transpose.hpp"
 #include "tensor/tensor.hpp"
 
@@ -193,6 +194,33 @@ TEST(Server, ServesAndVerifiesBitIdenticalOutput) {
   const auto counts = server.counts();
   EXPECT_EQ(counts.served, 1);
   EXPECT_EQ(counts.terminal(), counts.submitted);
+}
+
+TEST(Server, RoutesLargeRequestsThroughTheFleet) {
+  // With a fleet configured, requests at or above shard_min_volume go
+  // through the sharded executor (and say so in the response); smaller
+  // ones stay on the serving device. Outputs match either way.
+  Fixture fx;
+  sim::Device dev;
+  shard::Fleet fleet = shard::Fleet::homogeneous(3);
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.fleet = &fleet;
+  cfg.shard_min_volume = fx.shape.volume();  // fixture exactly qualifies
+  Server server(dev, cfg);
+  server.start();
+  const Response big = server.submit(fx.request()).get();
+  Request small_req = fx.request();
+  small_req.shape = Shape(Extents{4, 4});
+  small_req.perm = Permutation(std::vector<Index>{1, 0});
+  small_req.input = std::make_shared<std::vector<double>>(16, 1.5);
+  const Response small = server.submit(small_req).get();
+  server.stop();
+  EXPECT_EQ(big.outcome, Outcome::kServed);
+  EXPECT_TRUE(big.sharded);
+  EXPECT_EQ(big.output, fx.expected);
+  EXPECT_EQ(small.outcome, Outcome::kServed);
+  EXPECT_FALSE(small.sharded);
 }
 
 TEST(Server, AlreadyExpiredDeadlineRejectedWithoutTouchingPlanner) {

@@ -1,0 +1,260 @@
+// Differential battery for multi-device sharded execution: randomized
+// (shape, permutation, element size, shard count) tuples where the
+// sharded run's output must be BYTE-IDENTICAL to both the
+// single-device planned execution and the host reference transpose —
+// at every shard count, under host-thread-count variation, for both
+// shard policies, on homogeneous and heterogeneous fleets, and with
+// non-trivial epilogues.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ttlg.hpp"
+#include "shard/sharded_executor.hpp"
+
+namespace ttlg::shard {
+namespace {
+
+template <class T>
+void fill_random_elems(Rng& rng, std::vector<T>& v) {
+  // Integer elements take raw random bits (mismatches cannot hide
+  // behind rounding); floating-point elements take finite uniform
+  // values so == / memcmp comparison is exact.
+  if constexpr (std::is_integral_v<T>) {
+    for (auto& x : v) x = static_cast<T>(rng());
+  } else {
+    for (auto& x : v) x = static_cast<T>(rng.uniform01() * 2048.0 - 1024.0);
+  }
+}
+
+std::vector<Index> random_perm(Rng& rng, Index rank) {
+  std::vector<Index> p(static_cast<std::size_t>(rank));
+  for (Index i = 0; i < rank; ++i) p[static_cast<std::size_t>(i)] = i;
+  for (Index i = rank - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::uint64_t>(i)));
+    std::swap(p[static_cast<std::size_t>(i)], p[j]);
+  }
+  return p;
+}
+
+struct CaseConfig {
+  int num_shards = 1;
+  ShardPolicy policy = ShardPolicy::kUniform;
+  int fleet_threads = 0;  ///< 0 = leave device default
+  bool heterogeneous = false;
+  double alpha = 1.0, beta = 0.0;
+};
+
+/// Run one case through (a) a fresh single device, (b) the sharded
+/// executor, and (c) host_transpose; all three must agree exactly.
+/// Returns the schema the sharded run selected.
+template <class T>
+Schema run_case(std::uint64_t seed, const Shape& shape,
+                const Permutation& perm, const CaseConfig& cfg) {
+  Rng rng(seed);
+  const Index volume = shape.volume();
+  Tensor<T> host(shape);
+  fill_random_elems(rng, host.vec());
+  std::vector<T> prev(static_cast<std::size_t>(volume));
+  fill_random_elems(rng, prev);
+  const T alpha = static_cast<T>(cfg.alpha);
+  const T beta = static_cast<T>(cfg.beta);
+
+  // (a) Single-device reference execution with the same epilogue.
+  sim::Device ref;
+  auto ref_in = ref.alloc_copy<T>(host.vec());
+  auto ref_out =
+      ref.alloc_copy<T>(std::span<const T>(prev.data(), prev.size()));
+  PlanOptions popts;
+  popts.elem_size = static_cast<int>(sizeof(T));
+  Plan ref_plan = make_plan(ref, shape, perm, popts);
+  ref_plan.execute<T>(ref_in, ref_out, alpha, beta);
+
+  // (b) Sharded execution.
+  std::vector<sim::DeviceProperties> descriptors;
+  for (int i = 0; i < cfg.num_shards; ++i) {
+    descriptors.push_back(cfg.heterogeneous && i % 2 == 1
+                              ? sim::DeviceProperties::volta_v100()
+                              : sim::DeviceProperties::tesla_k40c());
+  }
+  Fleet fleet(descriptors);
+  if (cfg.fleet_threads > 0) fleet.set_num_threads(cfg.fleet_threads);
+  ShardOptions sopts;
+  sopts.num_shards = cfg.num_shards;
+  sopts.policy = cfg.policy;
+  ShardedExecutor ex(fleet, sopts);
+  std::vector<T> out = prev;
+  auto res = ex.run<T>(shape, perm,
+                       std::span<const T>(host.vec().data(),
+                                          host.vec().size()),
+                       std::span<T>(out.data(), out.size()), alpha, beta);
+  EXPECT_TRUE(res.has_value()) << res.status().message();
+  if (!res.has_value()) return Schema::kCopy;
+  EXPECT_LE(static_cast<int>(res->shards.size()), cfg.num_shards);
+  EXPECT_GE(res->shards.size(), 1u);
+
+  // Sharded == single-device, byte for byte.
+  EXPECT_EQ(0, std::memcmp(out.data(), ref_out.data(),
+                           static_cast<std::size_t>(volume) * sizeof(T)))
+      << shape.to_string() << perm.to_string() << " elem " << sizeof(T)
+      << " shards " << cfg.num_shards << " policy "
+      << to_string(cfg.policy);
+
+  // Sharded == host reference (plain transpose cases only; epilogue
+  // correctness is pinned by the single-device comparison above).
+  if (alpha == T{1} && beta == T{0}) {
+    const Tensor<T> expected = host_transpose(host, perm);
+    EXPECT_EQ(0, std::memcmp(out.data(), expected.data(),
+                             static_cast<std::size_t>(volume) * sizeof(T)))
+        << shape.to_string() << perm.to_string() << " vs host reference";
+  }
+  return res->schema;
+}
+
+Schema run_case_sized(std::uint64_t seed, const Shape& shape,
+                      const Permutation& perm, int elem_size,
+                      const CaseConfig& cfg) {
+  switch (elem_size) {
+    case 1:
+      return run_case<std::uint8_t>(seed, shape, perm, cfg);
+    case 2:
+      return run_case<std::uint16_t>(seed, shape, perm, cfg);
+    case 4:
+      return run_case<float>(seed, shape, perm, cfg);
+    default:
+      return run_case<double>(seed, shape, perm, cfg);
+  }
+}
+
+// The directed per-schema problems from the single-device differential
+// battery (one per taxonomy schema).
+const std::vector<std::pair<Extents, std::vector<Index>>>& schema_cases() {
+  static const std::vector<std::pair<Extents, std::vector<Index>>> cases = {
+      {{64, 64}, {0, 1}},                    // Copy
+      {{64, 16, 16}, {0, 2, 1}},             // FVI-Match-Large
+      {{16, 8, 24}, {0, 2, 1}},              // FVI-Match-Small
+      {{40, 9, 40}, {2, 1, 0}},              // Orthogonal-Distinct
+      {{8, 2, 24, 24, 24}, {2, 1, 3, 0, 4}}  // Orthogonal-Arbitrary
+  };
+  return cases;
+}
+
+TEST(ShardDifferential, DirectedSchemaCoverageAtEveryShardCount) {
+  std::set<Schema> seen;
+  std::uint64_t seed = 1;
+  for (const auto& [ext, perm_v] : schema_cases()) {
+    for (int n : {1, 2, 3, 4, 7}) {
+      CaseConfig cfg;
+      cfg.num_shards = n;
+      seen.insert(run_case_sized(seed++, Shape(ext), Permutation(perm_v), 8,
+                                 cfg));
+    }
+  }
+  EXPECT_EQ(seen.size(), 5u) << "directed cases must span all schemas";
+}
+
+TEST(ShardDifferential, RandomizedSweep) {
+  // ~200 randomized (shape, permutation, elem_size, shard count)
+  // tuples: rank 2-5, extents 1-9 (volume-capped), all four element
+  // sizes, shard counts including a prime that rarely divides the
+  // split extent evenly.
+  Rng rng(20260807);
+  const int shard_counts[] = {1, 2, 3, 4, 7};
+  const int elem_sizes[] = {1, 2, 4, 8};
+  int cases = 0;
+  for (int iter = 0; cases < 200; ++iter) {
+    ASSERT_LT(iter, 4000) << "sweep failed to generate enough cases";
+    const Index rank = static_cast<Index>(rng.uniform(2, 5));
+    Extents ext(static_cast<std::size_t>(rank));
+    Index volume = 1;
+    for (auto& e : ext) {
+      e = static_cast<Index>(rng.uniform(1, 9));
+      volume *= e;
+    }
+    if (volume > 40000) continue;
+    const Shape shape(ext);
+    const Permutation perm(random_perm(rng, rank));
+    CaseConfig cfg;
+    cfg.num_shards = shard_counts[rng.uniform(0, 4)];
+    run_case_sized(rng(), shape, perm, elem_sizes[rng.uniform(0, 3)], cfg);
+    ++cases;
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+TEST(ShardDifferential, HostThreadCountDoesNotChangeOutput) {
+  // The fleet-wide TTLG_THREADS analog: per-device host parallelism
+  // must not perturb sharded results (the engine's bit-identical
+  // parallel execution guarantee extended across devices).
+  std::uint64_t seed = 77;
+  for (const auto& [ext, perm_v] : schema_cases()) {
+    for (int threads : {1, 3}) {
+      CaseConfig cfg;
+      cfg.num_shards = 3;
+      cfg.fleet_threads = threads;
+      run_case_sized(seed, Shape(ext), Permutation(perm_v), 4, cfg);
+    }
+    ++seed;
+  }
+}
+
+TEST(ShardDifferential, PerDevicePolicyMatchesOnHeterogeneousFleet) {
+  // 2x K40c + 2x V100: per-device re-planning may pick different
+  // kernels per slab, but the merged bytes must still match exactly.
+  std::uint64_t seed = 301;
+  for (const auto& [ext, perm_v] : schema_cases()) {
+    CaseConfig cfg;
+    cfg.num_shards = 4;
+    cfg.policy = ShardPolicy::kPerDevice;
+    cfg.heterogeneous = true;
+    run_case_sized(seed++, Shape(ext), Permutation(perm_v), 8, cfg);
+  }
+}
+
+TEST(ShardDifferential, UniformPolicyOnHeterogeneousFleet) {
+  // The pinned-selection policy must also hold on a mixed fleet (the
+  // selection comes from the reference device; outputs are
+  // device-independent).
+  std::uint64_t seed = 401;
+  for (const auto& [ext, perm_v] : schema_cases()) {
+    CaseConfig cfg;
+    cfg.num_shards = 4;
+    cfg.heterogeneous = true;
+    run_case_sized(seed++, Shape(ext), Permutation(perm_v), 4, cfg);
+  }
+}
+
+TEST(ShardDifferential, EpilogueAlphaBeta) {
+  std::uint64_t seed = 501;
+  for (const auto& [ext, perm_v] : schema_cases()) {
+    for (ShardPolicy policy :
+         {ShardPolicy::kUniform, ShardPolicy::kPerDevice}) {
+      CaseConfig cfg;
+      cfg.num_shards = 3;
+      cfg.policy = policy;
+      cfg.alpha = 2.0;
+      cfg.beta = -0.5;
+      run_case_sized(seed, Shape(ext), Permutation(perm_v), 8, cfg);
+      run_case_sized(seed, Shape(ext), Permutation(perm_v), 4, cfg);
+      ++seed;
+    }
+  }
+}
+
+TEST(ShardDifferential, MoreShardsThanAxisRunsDegraded) {
+  // A shape whose split axis is tiny: requesting 7 shards must clamp,
+  // not break.
+  CaseConfig cfg;
+  cfg.num_shards = 7;
+  run_case<double>(601, Shape({64, 64, 2}), Permutation({2, 1, 0}), cfg);
+  run_case<double>(602, Shape({1, 1, 5}), Permutation({2, 0, 1}), cfg);
+  run_case<double>(603, Shape({1, 1, 1}), Permutation({0, 2, 1}), cfg);
+}
+
+}  // namespace
+}  // namespace ttlg::shard
