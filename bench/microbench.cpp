@@ -13,6 +13,7 @@
 // so CI can verify the gate actually trips on an injected slowdown.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -141,14 +142,17 @@ const HotPath& fvi_large_case() {
   return c;
 }
 
-void run_functional(benchmark::State& state, const HotPath& hp) {
+void run_functional(benchmark::State& state, const HotPath& hp,
+                    bool specialize = true) {
   const Shape shape(hp.ext);
   const Permutation perm(hp.perm);
   sim::Device dev;
   dev.set_num_threads(1);
   auto in = dev.alloc<double>(shape.volume());
   auto out = dev.alloc<double>(shape.volume());
-  Plan plan = make_plan(dev, shape, perm);
+  PlanOptions opts;
+  opts.specialize = specialize;
+  Plan plan = make_plan(dev, shape, perm, opts);
   if (plan.schema() != hp.schema) {
     state.SkipWithError(("expected schema " + to_string(hp.schema) +
                          ", planner chose " + to_string(plan.schema()))
@@ -162,14 +166,17 @@ void run_functional(benchmark::State& state, const HotPath& hp) {
                           shape.volume() * 16);
 }
 
-void run_count_only(benchmark::State& state, const HotPath& hp) {
+void run_count_only(benchmark::State& state, const HotPath& hp,
+                    bool specialize = true) {
   const Shape shape(hp.ext);
   const Permutation perm(hp.perm);
   sim::Device dev;
   dev.set_num_threads(1);
   auto in = dev.alloc_virtual<double>(shape.volume());
   auto out = dev.alloc_virtual<double>(shape.volume());
-  Plan plan = make_plan(dev, shape, perm);
+  PlanOptions opts;
+  opts.specialize = specialize;
+  Plan plan = make_plan(dev, shape, perm, opts);
   if (plan.schema() != hp.schema) {
     state.SkipWithError(("expected schema " + to_string(hp.schema) +
                          ", planner chose " + to_string(plan.schema()))
@@ -211,6 +218,44 @@ void BM_ExecuteFviLarge_CountOnly(benchmark::State& state) {
   run_count_only(state, fvi_large_case());
 }
 BENCHMARK(BM_ExecuteFviLarge_CountOnly);
+
+// ---------------------------------------------------------------------------
+// Specialization ablation (BM_Ablate*): the same hot paths planned with
+// plan-time specialization disabled, so the generic kernels carry the
+// launch. The report pairs each BM_Execute case with its BM_Ablate
+// twin and emits the specialized-vs-generic speedup as an explicit
+// column. Deliberately OUTSIDE the kGatePrefix set: the ablation
+// quantifies the optimization, the gate polices the optimized path.
+
+void BM_AblateOD_Functional(benchmark::State& state) {
+  run_functional(state, od_case(), /*specialize=*/false);
+}
+BENCHMARK(BM_AblateOD_Functional);
+
+void BM_AblateOD_CountOnly(benchmark::State& state) {
+  run_count_only(state, od_case(), /*specialize=*/false);
+}
+BENCHMARK(BM_AblateOD_CountOnly);
+
+void BM_AblateOA_Functional(benchmark::State& state) {
+  run_functional(state, oa_case(), /*specialize=*/false);
+}
+BENCHMARK(BM_AblateOA_Functional);
+
+void BM_AblateOA_CountOnly(benchmark::State& state) {
+  run_count_only(state, oa_case(), /*specialize=*/false);
+}
+BENCHMARK(BM_AblateOA_CountOnly);
+
+void BM_AblateFviSmall_CountOnly(benchmark::State& state) {
+  run_count_only(state, fvi_small_case(), /*specialize=*/false);
+}
+BENCHMARK(BM_AblateFviSmall_CountOnly);
+
+void BM_AblateFviLarge_CountOnly(benchmark::State& state) {
+  run_count_only(state, fvi_large_case(), /*specialize=*/false);
+}
+BENCHMARK(BM_AblateFviLarge_CountOnly);
 
 // Telemetry overhead guard for the Fig. 12 repeated-use hot path: a
 // cached plan executed in count-only mode, with telemetry off (Arg 0)
@@ -334,14 +379,37 @@ int main(int argc, char** argv) {
   if (baseline_path && *baseline_path)
     doc["config"]["baseline"] = baseline_path;
 
+  // Pair each gated hot-path case with its specialization-ablation twin
+  // (BM_ExecuteX_Y <-> BM_AblateX_Y, the latter planned with
+  // opts.specialize = false) so the report carries the speedup
+  // attributable to plan-time specialization as its own column.
+  const auto ablation_twin = [&](const std::string& name) -> const CaseTime* {
+    if (!starts_with(name, kGatePrefix)) return nullptr;
+    const std::string twin =
+        "BM_Ablate" + name.substr(std::string(kGatePrefix).size());
+    for (const CaseTime& c : reporter.cases)
+      if (c.name == twin) return &c;
+    return nullptr;
+  };
+
   telemetry::Json jcases = telemetry::Json::array();
   std::vector<std::string> regressions;
   double min_hotpath_speedup = 0;
+  double ablation_log_sum = 0;
+  int ablation_n = 0;
   for (const CaseTime& c : reporter.cases) {
     telemetry::Json jc = telemetry::Json::object();
     jc["name"] = c.name;
     jc["real_time_ns"] = c.real_time_ns;
     jc["iterations"] = c.iterations;
+    if (const CaseTime* twin = ablation_twin(c.name);
+        twin != nullptr && c.real_time_ns > 0 && twin->real_time_ns > 0) {
+      jc["generic_real_time_ns"] = twin->real_time_ns;
+      const double speedup = twin->real_time_ns / c.real_time_ns;
+      jc["specialization_speedup"] = speedup;
+      ablation_log_sum += std::log(speedup);
+      ++ablation_n;
+    }
     if (const double* base = find_baseline(c.name)) {
       const double measured = c.real_time_ns * scale;
       jc["baseline_real_time_ns"] = *base;
@@ -362,6 +430,12 @@ int main(int argc, char** argv) {
     jcases.push_back(std::move(jc));
   }
   doc["cases"] = std::move(jcases);
+  if (ablation_n > 0) {
+    const double geomean = std::exp(ablation_log_sum / ablation_n);
+    doc["specialization_geomean_speedup"] = geomean;
+    std::cout << "specialization ablation: geomean speedup vs generic "
+              << geomean << "x over " << ablation_n << " hot path(s)\n";
+  }
   if (!baseline.empty() && min_hotpath_speedup > 0)
     doc["min_hotpath_speedup_vs_baseline"] = min_hotpath_speedup;
   if (!regressions.empty()) {

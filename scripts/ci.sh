@@ -61,6 +61,22 @@ if build/tools/perfdiff --scale 1.5 results results >/dev/null 2>&1; then
 fi
 echo "perfdiff: schema check, self-diff and slowdown rejection all pass"
 
+echo "== perfdiff: specialization speedup gate vs archived baseline =="
+# Plan-time kernel specialization must keep the committed BM_Execute*
+# hot paths at least 1.5x faster (geomean) than the pre-specialization
+# baseline archived under results/baselines/. The second invocation is
+# the polarity self-test: with a huge injected slowdown the improvement
+# gate must FAIL, proving it can.
+build/tools/perfdiff --filter BM_Execute --min-geomean-speedup 1.5 \
+  results/baselines/BENCH_microbench.json results/BENCH_microbench.json
+if build/tools/perfdiff --filter BM_Execute --min-geomean-speedup 1.5 \
+   --scale 1e6 results/baselines/BENCH_microbench.json \
+   results/BENCH_microbench.json >/dev/null 2>&1; then
+  echo "specialization gate did NOT fail on an injected slowdown" >&2
+  exit 1
+fi
+echo "specialization gate: >=1.5x geomean holds and polarity self-test trips"
+
 echo "== sanitizer pass: -DTTLG_SANITIZE=address =="
 cmake -B build-asan -S . -G Ninja -DTTLG_SANITIZE=address \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DTTLG_BUILD_BENCH=OFF \

@@ -139,10 +139,14 @@ Expected<BenchFile> try_load_bench_file(const std::string& path) {
 DiffReport diff_benches(const std::vector<BenchFile>& base,
                         const std::vector<BenchFile>& candidate,
                         const DiffOptions& opts) {
+  const auto passes_filter = [&](const std::string& key) {
+    return opts.filter.empty() || key.find(opts.filter) != std::string::npos;
+  };
   std::map<std::pair<std::string, std::string>, double> base_times;
   for (const BenchFile& f : base)
     for (const PerfCase& c : f.cases)
-      base_times.emplace(std::make_pair(f.bench, c.key), c.time_ns);
+      if (passes_filter(c.key))
+        base_times.emplace(std::make_pair(f.bench, c.key), c.time_ns);
 
   DiffReport report;
   std::map<std::pair<std::string, std::string>, bool> matched;
@@ -151,6 +155,7 @@ DiffReport diff_benches(const std::vector<BenchFile>& base,
 
   for (const BenchFile& f : candidate) {
     for (const PerfCase& c : f.cases) {
+      if (!passes_filter(c.key)) continue;
       const auto key = std::make_pair(f.bench, c.key);
       const auto it = base_times.find(key);
       if (it == base_times.end()) {
@@ -196,6 +201,10 @@ DiffReport diff_benches(const std::vector<BenchFile>& base,
   if (log_speedup_n > 0)
     report.geomean_speedup =
         std::exp(log_speedup_sum / static_cast<double>(log_speedup_n));
+  report.required_geomean = opts.min_geomean_speedup;
+  if (opts.min_geomean_speedup > 0)
+    report.geomean_met = !report.cases.empty() &&
+                         report.geomean_speedup >= opts.min_geomean_speedup;
   return report;
 }
 
@@ -227,6 +236,10 @@ std::string render_report(const DiffReport& report, bool csv) {
     os << report.only_new.size()
        << " case(s) only in the candidate (first: " << report.only_new.front()
        << ")\n";
+  if (report.required_geomean > 0)
+    os << "geomean gate: require >= " << Table::num(report.required_geomean, 3)
+       << "x, measured " << Table::num(report.geomean_speedup, 3) << "x -> "
+       << (report.geomean_met ? "OK" : "FAILED") << '\n';
   return os.str();
 }
 

@@ -64,6 +64,15 @@ struct DiffOptions {
   /// Multiplier applied to every candidate time before comparison —
   /// the CI gate's self-test injects a synthetic slowdown with it.
   double scale = 1.0;
+  /// When non-empty, only cases whose key contains this substring take
+  /// part in the diff at all — non-matching rows are dropped from both
+  /// sides (they do not even count as only_base/only_new).
+  std::string filter;
+  /// When > 0 the diff becomes an IMPROVEMENT gate: it fails unless the
+  /// geomean speedup over matched cases reaches this factor. An empty
+  /// matched set fails too — a filter that matches nothing must not
+  /// pass vacuously.
+  double min_geomean_speedup = 0;
 };
 
 struct CaseDiff {
@@ -82,8 +91,12 @@ struct DiffReport {
   int regressions = 0;
   int improvements = 0;
   double geomean_speedup = 1.0;  ///< over matched cases (1.0 when none)
+  /// Echo of DiffOptions::min_geomean_speedup; geomean_met records
+  /// whether the improvement gate (when requested) was satisfied.
+  double required_geomean = 0;
+  bool geomean_met = true;
 
-  bool has_regression() const { return regressions > 0; }
+  bool has_regression() const { return regressions > 0 || !geomean_met; }
 };
 
 /// Match cases by (bench, key) across the two file sets and score each

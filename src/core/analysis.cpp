@@ -44,6 +44,15 @@ Index txns_for_run(Index elems, int elem_size, Index txn_bytes) {
   return ceil_div(elems * elem_size, txn_bytes);
 }
 
+Index txns_for_run_at_phase(Index phase, Index elems, int elem_size,
+                            Index txn_bytes) {
+  // With the run starting at byte S + phase (S a segment boundary), the
+  // last touched byte is S + phase + elems*elem_size - 1, so the span
+  // covers floor((phase + elems*elem_size - 1) / txn_bytes) + 1
+  // segments — the closed form of the coalescer's (b1/txn - b0/txn + 1).
+  return (phase + elems * elem_size - 1) / txn_bytes + 1;
+}
+
 sim::LaunchCounters analyze_od(const TransposeProblem& p, const OdConfig& c) {
   sim::LaunchCounters ctr;
   const Index outer =

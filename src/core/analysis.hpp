@@ -18,6 +18,15 @@ namespace ttlg {
 /// bound, the paper's ceil(n/32) with 32 = floats per transaction).
 Index txns_for_run(Index elems, int elem_size, Index txn_bytes = 128);
 
+/// Exact alignment-aware refinement of txns_for_run: transactions for a
+/// run of `elems` consecutive elements whose first byte lands `phase`
+/// bytes into its transaction segment (phase = start_byte % txn_bytes).
+/// The affine whole-tile specialization path tabulates this over all
+/// txn_bytes phases so a block's transactions become one table lookup on
+/// its base address (see core/stride_program.hpp). Requires elems >= 1.
+Index txns_for_run_at_phase(Index phase, Index elems, int elem_size,
+                            Index txn_bytes = 128);
+
 /// Analytic counter estimates, per kernel. `payload_bytes` and launch
 /// geometry are filled in so the estimates can be fed straight into
 /// sim::kernel_timing.

@@ -21,9 +21,19 @@
 
 namespace ttlg {
 
-/// Block-table size cap: 65536 entries x 32 B = 2 MB per plan. Grids
-/// beyond this use the FastDiv fallback path.
+/// Default block-table size cap: 65536 entries x 32 B = 2 MB per plan.
+/// Grids beyond the cap use the FastDiv fallback path. The effective
+/// cap is runtime-tunable via TTLG_GRID_TABLE_MAX (positive integer;
+/// anything unparsable or non-positive falls back to this default), and
+/// every init() outcome is exported as grid_decode.table_built /
+/// grid_decode.table_capped counters so the table hit rate is
+/// observable instead of a silent compile-time constant.
 inline constexpr Index kGridTableMaxBlocks = Index{1} << 16;
+
+/// The cap init() applies right now: TTLG_GRID_TABLE_MAX when set and
+/// valid, kGridTableMaxBlocks otherwise. Re-read on every call so tests
+/// and long-lived services can retune without rebuilding.
+Index grid_table_max_blocks();
 
 /// One precomputed block decode: the decode() + compute_base() pair
 /// collapsed. Kernels only consume the two base offsets and the first
@@ -52,6 +62,11 @@ class GridDecoder {
   Index slots() const { return static_cast<Index>(divs_.size()); }
   bool has_table() const { return !table_.empty(); }
 
+  /// Extent of grid slot i (the FastDiv divisor). The specialization
+  /// builder cross-checks these against the kernel's chunk classifier
+  /// before trusting idx0/idx1-based block classes.
+  Index slot_extent(std::size_t i) const { return divs_[i].divisor(); }
+
   GridEntry decode(Index block_id) const {
     if (!table_.empty()) return table_[static_cast<std::size_t>(block_id)];
     return decode_fastdiv(block_id);
@@ -69,6 +84,25 @@ class GridDecoder {
       if (i == 1) e.idx1 = dm.rem;
       e.in_base += dm.rem * in_strides_[i];
       e.out_base += dm.rem * out_strides_[i];
+    }
+    return e;
+  }
+
+  /// Fixed-rank decode for the specialization dispatch table's
+  /// rank-bucketed kernel variants: same arithmetic as decode_fastdiv
+  /// with a compile-time trip count the compiler fully unrolls.
+  /// Requires slots() == Slots.
+  template <int Slots>
+  GridEntry decode_fixed(Index block_id) const {
+    GridEntry e;
+    Index rest = block_id;
+    for (int i = 0; i < Slots; ++i) {
+      const DivMod dm = divs_[static_cast<std::size_t>(i)].divmod(rest);
+      rest = dm.quot;
+      if (i == 0) e.idx0 = dm.rem;
+      if (i == 1) e.idx1 = dm.rem;
+      e.in_base += dm.rem * in_strides_[static_cast<std::size_t>(i)];
+      e.out_base += dm.rem * out_strides_[static_cast<std::size_t>(i)];
     }
     return e;
   }

@@ -29,9 +29,11 @@ struct Epilogue {
 };
 
 /// Apply the epilogue and store: fetches old output values only when
-/// beta demands them.
-template <class T>
-inline void store_with_epilogue(sim::BlockCtx& blk, sim::DeviceBuffer<T> out,
+/// beta demands them. Templated on the execution context so the same
+/// kernel source runs against sim::BlockCtx (simulation) or the stride
+/// program recorder (plan-time specialization, core/stride_program.cpp).
+template <class Ctx, class T>
+inline void store_with_epilogue(Ctx& blk, sim::DeviceBuffer<T> out,
                                 const sim::LaneArray& ga,
                                 sim::LaneValues<T>& v,
                                 const Epilogue<T>& epi) {
@@ -56,9 +58,41 @@ inline void store_with_epilogue(sim::BlockCtx& blk, sim::DeviceBuffer<T> out,
 /// FastDiv, see GridDecoder), but the SIMULATED cost is unchanged: the
 /// modeled kernel still pays one mod/div pair per grid slot, so the
 /// special-instruction charge is identical to the reference decode.
-inline GridEntry decode_block(sim::BlockCtx& blk, const GridDecoder& dec) {
+template <class Ctx>
+inline GridEntry decode_block(Ctx& blk, const GridDecoder& dec) {
   blk.count_special(2 * dec.slots());
   return dec.decode(blk.block_id());
+}
+
+// ---------------------------------------------------------------------
+// Specialization dispatch key (plan-time kernel specialization)
+// ---------------------------------------------------------------------
+
+/// Rank bucket for the specialization dispatch table: the number of
+/// grid-decode slots a specialized kernel variant is instantiated for.
+/// Programs whose decode rank exceeds the largest bucket still run, but
+/// through the generic stride-program interpreter (tier kStrideProgram)
+/// instead of a templated variant (see core/spec_exec.hpp).
+inline constexpr int kSpecMaxRankBucket = 4;
+
+/// Buckets 1..kSpecMaxRankBucket hold exact slot counts (slot count 0 —
+/// a single-block grid — shares bucket 1); larger ranks return 0, which
+/// no dispatch entry matches.
+inline int spec_rank_bucket(Index decode_slots) {
+  if (decode_slots > kSpecMaxRankBucket) return 0;
+  return decode_slots < 1 ? 1 : static_cast<int>(decode_slots);
+}
+
+/// Element-width leg of the dispatch key: index of width 1/2/4/8 in the
+/// instantiated variant set, -1 for widths with no variant.
+inline int spec_width_index(int elem_size) {
+  switch (elem_size) {
+    case 1: return 0;
+    case 2: return 1;
+    case 4: return 2;
+    case 8: return 3;
+    default: return -1;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -73,7 +107,8 @@ struct OdKernel {
   sim::DeviceBuffer<Index> out_offset;  // texture: size a_vol
   Epilogue<T> epi{};
 
-  void operator()(sim::BlockCtx& blk) const {
+  template <class Ctx>
+  void operator()(Ctx& blk) const {
     const GridEntry dec = decode_block(blk, cfg.decoder);
     const Index A = cfg.a_eff(dec.idx0);
     const Index B = cfg.b_eff(dec.idx1);
@@ -151,7 +186,8 @@ struct OaKernel {
   sim::DeviceBuffer<Index> sm_out_offset;   // texture: size slice_vol
   Epilogue<T> epi{};
 
-  void operator()(sim::BlockCtx& blk) const {
+  template <class Ctx>
+  void operator()(Ctx& blk) const {
     const GridEntry dec = decode_block(blk, cfg.decoder);
     const Index c_eff = cfg.c_eff(dec.idx0);
     const Index r_eff = cfg.r_eff(dec.idx1);
@@ -280,7 +316,8 @@ struct FviSmallKernel {
   sim::DeviceBuffer<T> out;
   Epilogue<T> epi{};
 
-  void operator()(sim::BlockCtx& blk) const {
+  template <class Ctx>
+  void operator()(Ctx& blk) const {
     const GridEntry dec = decode_block(blk, cfg.decoder);
     const Index i1_eff =
         (cfg.i1_rem != 0 && dec.idx0 == cfg.i1_chunks - 1) ? cfg.i1_rem
@@ -354,7 +391,8 @@ struct FviLargeKernel {
   sim::DeviceBuffer<T> out;
   Epilogue<T> epi{};
 
-  void operator()(sim::BlockCtx& blk) const {
+  template <class Ctx>
+  void operator()(Ctx& blk) const {
     const GridEntry dec = decode_block(blk, cfg.decoder);
     const Index seg = dec.idx0;
     const Index len =

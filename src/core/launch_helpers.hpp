@@ -44,14 +44,15 @@ inline std::function<std::int64_t(std::int64_t)> chunk_block_class(
   };
 }
 
-template <class T>
-sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
-                            sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
-                            sim::DeviceBuffer<Index> in_offset,
-                            sim::DeviceBuffer<Index> out_offset,
-                            Epilogue<T> epi = {}, LaunchWindow win = {}) {
+// Full-grid LaunchConfig builders, one per kernel. Shared between the
+// generic launchers below and the specialized dispatch path
+// (core/spec_exec.hpp): both paths MUST present the identical config —
+// same grid, block geometry, shared size, kernel name, classifier —
+// so fault injection, sampling, windowing and telemetry behave the same
+// regardless of which kernel body runs.
+inline sim::LaunchConfig make_od_cfg(const OdConfig& k, int elem_size) {
   sim::LaunchConfig cfg;
-  cfg.elem_size = sizeof(T);
+  cfg.elem_size = elem_size;
   cfg.grid_blocks = k.grid_blocks;
   cfg.block_threads = k.block_threads;
   cfg.shared_elems = 32 * k.tile_pitch;
@@ -60,6 +61,58 @@ sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
   cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
                                       k.b_rem);
   cfg.num_classes = 4;
+  return cfg;
+}
+
+inline sim::LaunchConfig make_oa_cfg(const OaConfig& k, int elem_size) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = elem_size;
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = k.smem_elems();
+  cfg.kernel_name = "orthogonal_arbitrary";
+  cfg.uses_texture = true;
+  cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
+                                      k.b_rem);
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+inline sim::LaunchConfig make_fvi_small_cfg(const FviSmallConfig& k,
+                                            int elem_size) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = elem_size;
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = k.smem_elems;
+  cfg.kernel_name = "fvi_match_small";
+  cfg.block_class = chunk_block_class(k.i1_chunks, k.i1_rem, k.ik_chunks,
+                                      k.ik_rem);
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+inline sim::LaunchConfig make_fvi_large_cfg(const FviLargeConfig& k,
+                                            int elem_size) {
+  sim::LaunchConfig cfg;
+  cfg.elem_size = elem_size;
+  cfg.grid_blocks = k.grid_blocks;
+  cfg.block_threads = k.block_threads;
+  cfg.shared_elems = 0;
+  cfg.kernel_name = "fvi_match_large";
+  cfg.block_class = chunk_block_class(k.segs, k.n0 % k.seg_len,
+                                      k.batch_chunks, k.batch_rem);
+  cfg.num_classes = 4;
+  return cfg;
+}
+
+template <class T>
+sim::LaunchResult launch_od(sim::Device& dev, const OdConfig& k,
+                            sim::DeviceBuffer<T> in, sim::DeviceBuffer<T> out,
+                            sim::DeviceBuffer<Index> in_offset,
+                            sim::DeviceBuffer<Index> out_offset,
+                            Epilogue<T> epi = {}, LaunchWindow win = {}) {
+  sim::LaunchConfig cfg = make_od_cfg(k, sizeof(T));
   win.apply(cfg);
   return dev.launch(OdKernel<T>{k, in, out, in_offset, out_offset, epi},
                     cfg);
@@ -72,16 +125,7 @@ sim::LaunchResult launch_oa(sim::Device& dev, const OaConfig& k,
                             sim::DeviceBuffer<Index> output_offset,
                             sim::DeviceBuffer<Index> sm_out_offset,
                             Epilogue<T> epi = {}, LaunchWindow win = {}) {
-  sim::LaunchConfig cfg;
-  cfg.elem_size = sizeof(T);
-  cfg.grid_blocks = k.grid_blocks;
-  cfg.block_threads = k.block_threads;
-  cfg.shared_elems = k.smem_elems();
-  cfg.kernel_name = "orthogonal_arbitrary";
-  cfg.uses_texture = true;
-  cfg.block_class = chunk_block_class(k.a_chunks, k.a_rem, k.b_chunks,
-                                      k.b_rem);
-  cfg.num_classes = 4;
+  sim::LaunchConfig cfg = make_oa_cfg(k, sizeof(T));
   win.apply(cfg);
   return dev.launch(
       OaKernel<T>{k, in, out, input_offset, output_offset, sm_out_offset,
@@ -94,15 +138,7 @@ sim::LaunchResult launch_fvi_small(sim::Device& dev, const FviSmallConfig& k,
                                    sim::DeviceBuffer<T> in,
                                    sim::DeviceBuffer<T> out,
                                    Epilogue<T> epi = {}, LaunchWindow win = {}) {
-  sim::LaunchConfig cfg;
-  cfg.elem_size = sizeof(T);
-  cfg.grid_blocks = k.grid_blocks;
-  cfg.block_threads = k.block_threads;
-  cfg.shared_elems = k.smem_elems;
-  cfg.kernel_name = "fvi_match_small";
-  cfg.block_class = chunk_block_class(k.i1_chunks, k.i1_rem, k.ik_chunks,
-                                      k.ik_rem);
-  cfg.num_classes = 4;
+  sim::LaunchConfig cfg = make_fvi_small_cfg(k, sizeof(T));
   win.apply(cfg);
   return dev.launch(FviSmallKernel<T>{k, in, out, epi}, cfg);
 }
@@ -112,15 +148,7 @@ sim::LaunchResult launch_fvi_large(sim::Device& dev, const FviLargeConfig& k,
                                    sim::DeviceBuffer<T> in,
                                    sim::DeviceBuffer<T> out,
                                    Epilogue<T> epi = {}, LaunchWindow win = {}) {
-  sim::LaunchConfig cfg;
-  cfg.elem_size = sizeof(T);
-  cfg.grid_blocks = k.grid_blocks;
-  cfg.block_threads = k.block_threads;
-  cfg.shared_elems = 0;
-  cfg.kernel_name = "fvi_match_large";
-  cfg.block_class = chunk_block_class(k.segs, k.n0 % k.seg_len,
-                                      k.batch_chunks, k.batch_rem);
-  cfg.num_classes = 4;
+  sim::LaunchConfig cfg = make_fvi_large_cfg(k, sizeof(T));
   win.apply(cfg);
   return dev.launch(FviLargeKernel<T>{k, in, out, epi}, cfg);
 }

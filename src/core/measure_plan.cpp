@@ -153,7 +153,10 @@ Plan make_plan_measured(sim::Device& dev, const Shape& shape,
   }
   TTLG_ASSERT(best_t >= 0, "at least one candidate always exists");
   if (stats) *stats = local;
-  return Plan::from_selection(dev, std::move(problem), std::move(best));
+  Plan plan = Plan::from_selection(dev, std::move(problem), std::move(best));
+  plan.finalize_specialization(opts.specialize &&
+                               specialization_enabled_by_env());
+  return plan;
 }
 
 }  // namespace ttlg

@@ -80,6 +80,7 @@ void Plan::move_from(Plan& o) {
   max_exec_retries_ = o.max_exec_retries_;
   last_path_.store(o.last_path_.load());
   exec_mu_ = std::move(o.exec_mu_);
+  spec_ = std::move(o.spec_);
   fb_oa_ = std::move(o.fb_oa_);
   fb_tex0_ = o.fb_tex0_;
   fb_tex1_ = o.fb_tex1_;
@@ -128,8 +129,48 @@ std::string Plan::describe() const {
       break;
   }
   os << ", predicted " << sel_.predicted_s * 1e6 << " us";
+  os << ", specialization=" << to_string(specialization_tier());
   if (degraded()) os << ", degraded[" << to_string(path_) << "]";
   return os.str();
+}
+
+void Plan::finalize_specialization(bool enabled) {
+  spec_.reset();
+  if (enabled && valid() && path_ == ExecPath::kPlanned) {
+    telemetry::TraceSpan span("plan.specialize", "planner");
+    SpecBuildInput in;
+    in.problem = &problem_;
+    in.sel = &sel_;
+    in.props = &dev_->props();
+    in.tex_base[0] = tex0_.base_addr();
+    in.tex_base[1] = tex1_.base_addr();
+    in.tex_base[2] = tex2_.base_addr();
+    spec_ = build_spec_program(in);
+  }
+  const SpecTier tier = specialization_tier();
+  // Tier counters are always on (robustness-class): whether the fleet
+  // actually runs specialized is a dashboard query, not a debug flag.
+  telemetry::MetricsRegistry::global()
+      .counter(std::string("plan.specialization_tier.") + to_string(tier))
+      .inc();
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kInfo)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kInfo, "planner",
+                           "plan.specialized");
+    ev.field("tier", to_string(tier))
+        .field("schema", to_string(sel_.schema))
+        .field("enabled", enabled ? "1" : "0");
+    if (spec_)
+      ev.field("program_bytes",
+               static_cast<double>(spec_->footprint_bytes()));
+    ev.detail(std::string("tier=") + to_string(tier) + " " +
+              to_string(sel_.schema));
+  }
+  if (telemetry::recorder_enabled()) {
+    telemetry::FlightRecorder::global().note(
+        telemetry::LogLevel::kInfo, "planner", "plan.specialized",
+        std::string("tier=") + to_string(tier) + " schema=" +
+            to_string(sel_.schema));
+  }
 }
 
 void Plan::record_execution(const sim::LaunchResult& res,
@@ -304,6 +345,11 @@ Plan make_plan(sim::Device& dev, const Shape& shape, const Permutation& perm,
   }
   plan.fallback_enabled_ = opts.enable_fallback;
   plan.max_exec_retries_ = opts.max_exec_retries;
+  // Compile the stride program AFTER the ladder settles (degraded plans
+  // stay generic) and inside the plan-wall clock: specialization is
+  // plan-time work the repeated-use split is supposed to amortize.
+  plan.finalize_specialization(opts.specialize &&
+                               specialization_enabled_by_env());
   plan.plan_wall_s_ = timer.seconds();
   if (telemetry::counters_enabled()) {
     auto& reg = telemetry::MetricsRegistry::global();

@@ -22,6 +22,7 @@
 #include "core/launch_helpers.hpp"
 #include "core/naive_fallback.hpp"
 #include "core/planner.hpp"
+#include "core/spec_exec.hpp"
 #include "gpusim/device.hpp"
 
 namespace ttlg {
@@ -80,6 +81,23 @@ class Plan {
   /// plan cache refuses to retain degraded plans (the pressure that
   /// caused the degradation may be transient).
   bool degraded() const { return path_ != ExecPath::kPlanned; }
+
+  /// The specialization tier this plan executes at (kGeneric when no
+  /// stride program was compiled — disabled, degraded, rejected by the
+  /// amortization cap, or failed verification).
+  SpecTier specialization_tier() const {
+    return spec_ ? spec_->tier : SpecTier::kGeneric;
+  }
+
+  /// (Re)run plan-time specialization: compile, verify and install the
+  /// stride program for the current selection, or drop back to the
+  /// generic path when `enabled` is false or compilation rejects the
+  /// plan. Called by make_plan / make_plan_measured / load_plan after
+  /// the selection is final; exported publicly so callers that assemble
+  /// plans via from_selection can opt in too. Emits the
+  /// plan.specialization_tier.* counter, a plan.specialized log event
+  /// and a flight-recorder note.
+  void finalize_specialization(bool enabled);
 
   std::string describe() const;
 
@@ -257,6 +275,13 @@ class Plan {
                                    sim::DeviceBuffer<T> out,
                                    const Epilogue<T>& epi,
                                    LaunchWindow win = {}) const {
+    // Specialized fast path: bit-identical to the generic kernels in
+    // outputs, counters and simulated times (enforced at build time by
+    // the program verifier). Epilogues read/scale data the compiled
+    // copy tables move verbatim, so only identity launches qualify.
+    if (spec_ && epi.is_identity()) {
+      return launch_specialized<T>(*dev_, *spec_, sel_, in, out, win);
+    }
     switch (sel_.schema) {
       case Schema::kCopy:
       case Schema::kFviMatchLarge:
@@ -298,6 +323,10 @@ class Plan {
   // OD uses tex0 = in_offset, tex1 = out_offset;
   // OA uses tex0 = input_offset, tex1 = output_offset, tex2 = sm_out.
   sim::DeviceBuffer<Index> tex0_, tex1_, tex2_;
+  // Compiled stride program (plan-time specialization); null = generic.
+  // Shared so moved-from plans and copies of the launch path never
+  // dangle; the program itself stores no pointers into sel_.
+  std::shared_ptr<const SpecProgram> spec_;
   double plan_wall_s_ = 0;
 
   ExecPath path_ = ExecPath::kPlanned;

@@ -14,8 +14,11 @@ namespace {
 
 constexpr const char* kMagic = "ttlg-plan";
 // Version 2 appended the integrity checksum record; version-1 files are
-// rejected (they carry no corruption protection).
-constexpr int kVersion = 2;
+// rejected (they carry no corruption protection). Version 3 appended
+// the specialization-tier record (core/stride_program.hpp): the tier is
+// persisted rather than re-decided so a loaded plan provably executes
+// on the same path it was planned (and benchmarked) on.
+constexpr int kVersion = 3;
 
 /// FNV-1a 64-bit over the serialized payload. Not cryptographic — it
 /// guards against truncation, bit flips and partial writes, not
@@ -65,7 +68,8 @@ std::istringstream next_record(std::istream& is, const std::string& want) {
 /// folds them into kDataLoss (a checksummed file whose body still fails
 /// to parse was corrupted before the checksum was computed, or
 /// hand-edited).
-std::pair<TransposeProblem, KernelSelection> parse_body(std::istream& is) {
+std::pair<TransposeProblem, KernelSelection> parse_body(std::istream& is,
+                                                        int* spec_tier) {
   auto shape_line = next_record(is, "shape");
   const Shape shape(read_vec(shape_line));
   auto perm_line = next_record(is, "perm");
@@ -123,6 +127,16 @@ std::pair<TransposeProblem, KernelSelection> parse_body(std::istream& is) {
                  "unknown schema id " + std::to_string(schema_int));
   }
   next_record(is, "predicted") >> sel.predicted_s;
+  auto spec_line = next_record(is, "spec");
+  TTLG_CHECK_CODE(static_cast<bool>(spec_line >> *spec_tier),
+                  ErrorCode::kDataLoss,
+                  "plan file specialization tier is unreadable");
+  TTLG_CHECK_CODE(
+      *spec_tier >= static_cast<int>(SpecTier::kGeneric) &&
+          *spec_tier <= static_cast<int>(SpecTier::kAffineBulk),
+      ErrorCode::kDataLoss,
+      "plan file specialization tier out of range: " +
+          std::to_string(*spec_tier));
   return {std::move(problem), std::move(sel)};
 }
 
@@ -162,6 +176,7 @@ void save_plan(std::ostream& os, const Plan& plan) {
   }
   body << "predicted " << std::setprecision(17) << plan.predicted_time_s()
        << '\n';
+  body << "spec " << static_cast<int>(plan.specialization_tier()) << '\n';
   // The checksum record must be the last line and covers every byte
   // before it (including the final newline of the payload).
   const std::string payload = body.str();
@@ -193,7 +208,8 @@ Plan load_plan(sim::Device& dev, std::istream& is) {
         version == kVersion, ErrorCode::kUnsupported,
         "unsupported plan file version " + std::to_string(version) +
             " (this library reads version " + std::to_string(kVersion) +
-            "; version 2 added an integrity checksum — re-save the plan)");
+            "; version 3 added the specialization tier — re-save the "
+            "plan)");
   }
 
   // Verify the trailing checksum before trusting any of the body.
@@ -219,11 +235,12 @@ Plan load_plan(sim::Device& dev, std::istream& is) {
   // means the file content is unusable: classify as data loss rather
   // than leaking implementation-detail errors (or worse, crashing).
   std::pair<TransposeProblem, KernelSelection> parsed;
+  int spec_tier = 0;
   try {
     std::istringstream body(payload);
     std::string skip_header;
     std::getline(body, skip_header);
-    parsed = parse_body(body);
+    parsed = parse_body(body, &spec_tier);
   } catch (const Error& e) {
     TTLG_RAISE(ErrorCode::kDataLoss,
                std::string("plan file body is corrupt: ") + e.what());
@@ -241,8 +258,27 @@ Plan load_plan(sim::Device& dev, std::istream& is) {
   // Outside the catch: a device-side failure while uploading offset
   // arrays is a resource problem, not data loss, and must keep its own
   // classification (it is retryable; data loss is not).
-  return Plan::from_selection(dev, std::move(parsed.first),
-                              std::move(parsed.second));
+  Plan plan = Plan::from_selection(dev, std::move(parsed.first),
+                                   std::move(parsed.second));
+
+  // Re-derive the stride program and hold it against the persisted
+  // tier: compilation is deterministic given (selection, device), so a
+  // divergence means the file does not describe this plan — data loss,
+  // not a soft downgrade. A stored tier of 0 skips compilation (the
+  // saving process ran generic — e.g. TTLG_SPECIALIZE=0 — and restoring
+  // it bit-exactly means staying generic); with specialization disabled
+  // here the check is moot, the plan simply runs generic.
+  const bool enabled = specialization_enabled_by_env();
+  plan.finalize_specialization(enabled && spec_tier != 0);
+  if (enabled && spec_tier != 0) {
+    TTLG_CHECK_CODE(
+        static_cast<int>(plan.specialization_tier()) == spec_tier,
+        ErrorCode::kDataLoss,
+        "plan file specialization tier mismatch: stored " +
+            std::to_string(spec_tier) + ", re-derived " +
+            std::to_string(static_cast<int>(plan.specialization_tier())));
+  }
+  return plan;
 }
 
 Expected<Plan> try_load_plan(sim::Device& dev, std::istream& is) {

@@ -35,6 +35,14 @@ struct PlanOptions {
   /// gpusim/fault_injector.hpp), installed for the duration of
   /// make_plan. nullopt = leave the process-global injector alone.
   std::optional<std::string> faults;
+  /// Plan-time kernel specialization (core/stride_program.hpp): compile
+  /// each kernel's inner address/copy loops into a per-plan stride
+  /// program and execute through width-templated variants / the affine
+  /// whole-tile path. Bit-identical to the generic path in outputs,
+  /// counters and simulated times; plans fall back to generic whenever
+  /// the program would not amortize or fails verification. ANDed with
+  /// the TTLG_SPECIALIZE env switch ("0" disables globally).
+  bool specialize = true;
   /// Host threads for measurement-based planning (make_plan_measured):
   /// candidates are measured concurrently on independent device
   /// clones. 0 = auto (TTLG_THREADS when set, else

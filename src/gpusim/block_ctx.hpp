@@ -65,6 +65,7 @@ class BlockCtx {
   int block_dim() const { return block_threads_; }
   int num_warps() const { return block_threads_ / props_.warp_size; }
   const DeviceProperties& props() const { return props_; }
+  ExecMode mode() const { return mode_; }
 
   /// __syncthreads analog (functional no-op under sequential warps).
   void sync() { ++ctr_.barriers; }
@@ -74,6 +75,34 @@ class BlockCtx {
 
   /// Charge n fused multiply-adds (compute kernels).
   void count_fma(std::int64_t n) { ctr_.fma_ops += n; }
+
+  /// Bulk-charge a precomputed per-block counter delta (the plan-time
+  /// specialization fast path, see core/stride_program.hpp). Launch
+  /// geometry fields of `d` must be zero; only event counters may be set.
+  void bulk_charge(const LaunchCounters& d) { ctr_ += d; }
+
+  /// Bulk-charge global load/store transactions whose count was solved
+  /// in closed form (affine whole-tile path) or replayed from a compiled
+  /// stride program instead of per-lane analysis.
+  void add_gld_transactions(std::int64_t n) { ctr_.gld_transactions += n; }
+  void add_gst_transactions(std::int64_t n) { ctr_.gst_transactions += n; }
+
+  /// Replay precomputed texture-line touches (absolute line ids, in the
+  /// first-touch order collect_tex_lines would have produced). Honors
+  /// the same record-and-replay switch as tld(): with a log attached the
+  /// byte addresses are appended for deferred replay, otherwise the
+  /// shared cache is probed directly and misses are charged. The
+  /// tex_transactions charge itself belongs to the caller's bulk delta.
+  void touch_tex_lines(const std::int64_t* lines, std::int64_t n) {
+    if (tex_log_) {
+      for (std::int64_t s = 0; s < n; ++s)
+        tex_log_->push_back(lines[s] * tex_.line_bytes());
+    } else {
+      for (std::int64_t s = 0; s < n; ++s) {
+        if (!tex_.access_line(lines[s])) ++ctr_.tex_misses;
+      }
+    }
+  }
 
   /// Warp-collective global (DRAM) load through the L1/L2 path.
   template <class T>

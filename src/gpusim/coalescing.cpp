@@ -167,4 +167,34 @@ int collect_tex_lines(const LaneArray& lanes, std::int64_t base_addr,
   return nlines;
 }
 
+std::int64_t count_run_transactions(std::int64_t byte0, std::int64_t n,
+                                    int elem_size, std::int64_t txn_bytes) {
+  const std::int64_t b1 = byte0 + n * elem_size - 1;
+  if (pow2(txn_bytes)) {
+    const int sh = shift_of(txn_bytes);
+    return (b1 >> sh) - (byte0 >> sh) + 1;
+  }
+  return b1 / txn_bytes - byte0 / txn_bytes + 1;
+}
+
+std::int64_t count_sorted_offset_transactions(std::int64_t base_addr,
+                                              const std::int64_t* deltas,
+                                              std::int64_t n,
+                                              std::int64_t txn_bytes) {
+  const bool p2 = pow2(txn_bytes);
+  const int sh = p2 ? shift_of(txn_bytes) : 0;
+  std::int64_t addr = base_addr + deltas[0];
+  std::int64_t prev = p2 ? addr >> sh : addr / txn_bytes;
+  std::int64_t count = 1;
+  for (std::int64_t i = 1; i < n; ++i) {
+    addr = base_addr + deltas[i];
+    const std::int64_t seg = p2 ? addr >> sh : addr / txn_bytes;
+    if (seg != prev) {
+      ++count;
+      prev = seg;
+    }
+  }
+  return count;
+}
+
 }  // namespace ttlg::sim

@@ -32,4 +32,24 @@ int collect_tex_lines(const LaneArray& lanes, std::int64_t base_addr,
                       int elem_size, std::int64_t line_bytes,
                       std::int64_t* lines_out);
 
+/// Closed-form equivalent of count_transactions for a consecutive run
+/// of `n` elements whose first element starts at byte address `byte0`:
+/// the number of txn_bytes segments the byte range [byte0,
+/// byte0 + n*elem_size) spans. Exactly what the run fast path above
+/// computes, exposed so compiled stride programs can charge a recorded
+/// run without rebuilding its LaneArray. Requires n >= 1.
+std::int64_t count_run_transactions(std::int64_t byte0, std::int64_t n,
+                                    int elem_size, std::int64_t txn_bytes);
+
+/// count_transactions for a scattered warp access whose per-lane byte
+/// offsets relative to `base_addr` were precomputed, deduplicated and
+/// sorted ascending (a compiled stride program's delta table). Sorting
+/// makes every distinct segment a contiguous range of the table, so one
+/// linear scan counts exactly the distinct segments the generic
+/// first-touch dedup loop would find. Requires n >= 1.
+std::int64_t count_sorted_offset_transactions(std::int64_t base_addr,
+                                              const std::int64_t* deltas,
+                                              std::int64_t n,
+                                              std::int64_t txn_bytes);
+
 }  // namespace ttlg::sim

@@ -133,6 +133,46 @@ TEST(DiffBenches, UnmatchedCasesAreReportedNotScored) {
   EXPECT_FALSE(report.has_regression());
 }
 
+TEST(DiffBenches, FilterRestrictsTheComparedSet) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  DiffOptions opts;
+  opts.filter = "transpose_2d_small";
+  const auto report = bench::diff_benches(base, base, opts);
+  ASSERT_EQ(report.cases.size(), 1u);
+  EXPECT_EQ(report.cases[0].key, "transpose_2d_small");
+  // Filtered-out rows vanish entirely — they are not "unmatched".
+  EXPECT_TRUE(report.only_base.empty());
+  EXPECT_TRUE(report.only_new.empty());
+}
+
+TEST(DiffBenches, MinGeomeanSpeedupIsAnImprovementGate) {
+  const std::vector<BenchFile> base = {
+      bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};
+  // Identical times: geomean 1.0 fails a 1.5x requirement...
+  DiffOptions gate;
+  gate.min_geomean_speedup = 1.5;
+  const auto fail = bench::diff_benches(base, base, gate);
+  EXPECT_EQ(fail.regressions, 0);
+  EXPECT_FALSE(fail.geomean_met);
+  EXPECT_TRUE(fail.has_regression());
+  EXPECT_NE(bench::render_report(fail).find("FAILED"), std::string::npos);
+  // ...a 2x-faster candidate passes it (scale 0.5 halves the times).
+  DiffOptions ok = gate;
+  ok.scale = 0.5;
+  const auto pass = bench::diff_benches(base, base, ok);
+  EXPECT_TRUE(pass.geomean_met);
+  EXPECT_FALSE(pass.has_regression());
+  EXPECT_NE(bench::render_report(pass).find("geomean gate"),
+            std::string::npos);
+  // A filter matching nothing must FAIL the gate, not pass vacuously.
+  DiffOptions vacuous = ok;
+  vacuous.filter = "no_such_case";
+  const auto empty = bench::diff_benches(base, base, vacuous);
+  EXPECT_FALSE(empty.geomean_met);
+  EXPECT_TRUE(empty.has_regression());
+}
+
 TEST(RenderReport, NamesTheRegressionsAndSummarizes) {
   const std::vector<BenchFile> base = {
       bench::load_bench_file(fixture("BENCH_perfdiff_base.json"))};

@@ -30,7 +30,8 @@ constexpr int kExitError = 2;
 void usage(std::FILE* to) {
   std::fprintf(
       to,
-      "usage: perfdiff [--tolerance FRAC] [--scale MULT] [--csv] OLD NEW\n"
+      "usage: perfdiff [--tolerance FRAC] [--scale MULT] [--filter SUB]\n"
+      "                [--min-geomean-speedup X] [--csv] OLD NEW\n"
       "       perfdiff --check PATH...\n"
       "\n"
       "OLD/NEW/PATH are BENCH_*.json files or directories of them.\n"
@@ -38,9 +39,13 @@ void usage(std::FILE* to) {
       "(default 0.10)\n"
       "  --scale MULT      multiply NEW times before comparing "
       "(gate self-test)\n"
+      "  --filter SUB      only diff cases whose key contains SUB\n"
+      "  --min-geomean-speedup X\n"
+      "                    fail unless the geomean speedup over matched\n"
+      "                    cases is at least X (improvement gate)\n"
       "  --csv             emit the per-case table as CSV\n"
       "  --check           schema-validate only; no baseline needed\n"
-      "exit: 0 = ok, 1 = regression, 2 = bad input\n");
+      "exit: 0 = ok, 1 = regression/unmet gate, 2 = bad input\n");
 }
 
 /// A file argument is taken as-is; a directory contributes every
@@ -110,6 +115,16 @@ int main(int argc, char** argv) {
       opts.scale = std::atof(next_value("--scale"));
       if (opts.scale <= 0) {
         std::fprintf(stderr, "perfdiff: --scale must be > 0\n");
+        return kExitError;
+      }
+    } else if (arg == "--filter") {
+      opts.filter = next_value("--filter");
+    } else if (arg == "--min-geomean-speedup") {
+      opts.min_geomean_speedup =
+          std::atof(next_value("--min-geomean-speedup"));
+      if (opts.min_geomean_speedup <= 0) {
+        std::fprintf(stderr,
+                     "perfdiff: --min-geomean-speedup must be > 0\n");
         return kExitError;
       }
     } else if (arg == "--csv") {
