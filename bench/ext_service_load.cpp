@@ -8,6 +8,9 @@
 //               control and load shedding do their job
 //   faulty    — baseline topology with the fault injector armed: the
 //               retry/backoff path and degradation ladder under load
+//   batched   — bursty coalescible traffic (runs of identical
+//               problems): the drain-loop coalescer must fuse >= 2
+//               compatible requests per launch (asserted non-zero)
 //
 // Every served output is verified against the host oracle; the run
 // aborts non-zero on any mismatch or lost request. Emits
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
-  std::vector<Scenario> scenarios(3);
+  std::vector<Scenario> scenarios(4);
   for (auto& s : scenarios) {
     s.server.workers = workers;
     s.load.requests = requests;
@@ -67,6 +70,10 @@ int main(int argc, char** argv) {
   scenarios[1].load.deadline_us = 200000;
   scenarios[2].name = "faulty";
   scenarios[2].faults = "seed=11,alloc.p=0.02,launch.p=0.02,tex.p=0.02";
+  scenarios[3].name = "batched";
+  scenarios[3].load.burst = 16;         // runs of 16 identical problems
+  scenarios[3].load.distinct_shapes = 4;
+  scenarios[3].load.outstanding = 16;   // keep the backlog populated
 
   telemetry::Json doc = telemetry::Json::object();
   doc["bench"] = "service_load";
@@ -77,8 +84,8 @@ int main(int argc, char** argv) {
   doc["config"]["workers"] = workers;
   telemetry::Json cases = telemetry::Json::array();
 
-  Table t({"scenario", "served", "shed", "expired", "failed", "p50_us",
-           "p95_us", "p99_us", "plans_per_s", "req_per_s"});
+  Table t({"scenario", "served", "coalesced", "shed", "expired", "failed",
+           "p50_us", "p95_us", "p99_us", "plans_per_s", "req_per_s"});
   bool ok = true;
   for (const auto& sc : scenarios) {
     std::optional<sim::ScopedFaults> faults;
@@ -96,6 +103,11 @@ int main(int argc, char** argv) {
     const bool lost = report.completed != sc.load.requests;
     ok = ok && !lost && report.mismatches == 0 &&
          counts.terminal() == counts.submitted;
+    // The batched scenario exists to prove the coalescer fires: at
+    // least one fused launch serving >= 2 compatible requests.
+    if (std::string(sc.name) == "batched")
+      ok = ok && counts.coalesced_launches >= 1 &&
+           counts.coalesced_members >= 2 * counts.coalesced_launches;
 
     const double mean_ms =
         report.latencies_us.empty()
@@ -114,7 +126,8 @@ int main(int argc, char** argv) {
         report.wall_s > 0 ? static_cast<double>(report.served) / report.wall_s
                           : 0.0;
 
-    t.add_row({sc.name, Table::num(report.served), Table::num(report.shed),
+    t.add_row({sc.name, Table::num(report.served),
+               Table::num(report.coalesced), Table::num(report.shed),
                Table::num(report.expired), Table::num(report.failed),
                Table::num(report.latency_quantile_us(0.50)),
                Table::num(report.latency_quantile_us(0.95)),
@@ -136,6 +149,9 @@ int main(int argc, char** argv) {
     jcase["server_retries"] = counts.retries;
     jcase["shed_queue_full"] = counts.shed_queue_full;
     jcase["shed_quota"] = counts.shed_quota;
+    jcase["coalesced"] = report.coalesced;
+    jcase["coalesced_launches"] = counts.coalesced_launches;
+    jcase["coalesced_members"] = counts.coalesced_members;
     jcase["plan_cache_hits"] = cache.hits;
     jcase["plan_cache_misses"] = cache.misses;
     jcase["plans_per_s"] = plans_per_s;

@@ -1,0 +1,67 @@
+#include "core/batched_plan.hpp"
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace ttlg::detail {
+
+void note_batched(std::size_t members, bool fused) {
+  if (telemetry::counters_enabled()) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.counter(fused ? "plan.batch.fused_launches"
+                      : "plan.batch.loop_launches")
+        .inc();
+    reg.counter("plan.batch.members")
+        .inc(static_cast<std::int64_t>(members));
+    if (fused)
+      reg.histogram("plan.batch.members_per_fuse",
+                    {2, 4, 8, 16, 32, 64, 128, 256})
+          .observe(static_cast<double>(members));
+  }
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kDebug, "plan",
+                           "plan.batched");
+    ev.field("members", static_cast<double>(members))
+        .field("fused", fused ? "1" : "0");
+    ev.detail(std::to_string(members) + " member(s) " +
+              (fused ? "fused" : "looped"));
+  }
+}
+
+// Fallbacks and member failures are robustness-class events: rare, so
+// the cost is nil, and the counters are the primary post-mortem signal.
+void note_batched_fallback(const Error& cause) {
+  telemetry::MetricsRegistry::global().counter("plan.batch.fallback").inc();
+  if (telemetry::log_site_enabled(telemetry::LogLevel::kWarn)) {
+    telemetry::LogEvent ev(telemetry::LogLevel::kWarn, "plan",
+                           "plan.batch.fallback");
+    ev.field("code", to_string(cause.code()))
+        .field("cause", std::string(cause.what()));
+    ev.detail(std::string("fused -> loop on ") + to_string(cause.code()));
+  }
+  if (telemetry::recorder_enabled()) {
+    telemetry::FlightRecorder::global().note(
+        telemetry::LogLevel::kWarn, "plan", "plan.batch.fallback",
+        std::string("fused -> loop on ") + to_string(cause.code()) + ": " +
+            cause.what());
+  }
+}
+
+void note_member_failure(std::size_t failed_index, std::size_t total,
+                         const Error& cause) {
+  telemetry::MetricsRegistry::global()
+      .counter("plan.batch.member_failure")
+      .inc();
+  if (telemetry::recorder_enabled()) {
+    telemetry::FlightRecorder::global().note(
+        telemetry::LogLevel::kError, "plan", "plan.batch.member_failed",
+        "member " + std::to_string(failed_index) + "/" +
+            std::to_string(total) + " failed after " +
+            std::to_string(failed_index) + " completed, " +
+            to_string(cause.code()) + ": " + cause.what());
+  }
+}
+
+}  // namespace ttlg::detail

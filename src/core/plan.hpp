@@ -15,7 +15,10 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/deadline.hpp"
 #include "common/status.hpp"
@@ -250,6 +253,50 @@ class Plan {
     return res;
   }
 
+  /// Fused batched execution: the planned kernel applied to every
+  /// (in, out) member pair through ONE super-grid thread-pool dispatch
+  /// (sim::Device::launch_batched) instead of members.size() separate
+  /// executes — the launch-overhead fix for small repeated tensors.
+  /// Per-member LaunchResults (counters, times, outputs) are
+  /// bit-identical to individual execute() calls at every thread
+  /// count. Like execute_window this is a rung-1-only primitive:
+  /// degraded plans are rejected as kUnsupported (retryable), and the
+  /// caller — the BatchedPlan engine or the server coalescer — owns
+  /// the fallback to the per-member loop with its full ladder.
+  template <class T>
+  std::vector<sim::LaunchResult> execute_batched(
+      std::span<const std::pair<sim::DeviceBuffer<T>, sim::DeviceBuffer<T>>>
+          members,
+      T alpha = T{1}, T beta = T{0}) const {
+    TTLG_CHECK(valid(), "executing an empty plan");
+    TTLG_CHECK(!members.empty(), "empty batch");
+    TTLG_CHECK_CODE(path_ == ExecPath::kPlanned, ErrorCode::kUnsupported,
+                    "fused batched execution requires an undegraded plan");
+    TTLG_CHECK(static_cast<int>(sizeof(T)) == problem_.elem_size,
+               "element type does not match the planned element size");
+    for (const auto& [in, out] : members) {
+      TTLG_CHECK(in.size() == problem_.volume() &&
+                     out.size() == problem_.volume(),
+                 "buffer sizes must equal the tensor volume");
+      validate_exec_buffers(in.base_addr(),
+                            in.size() * static_cast<Index>(sizeof(T)),
+                            in.valid(), out.base_addr(),
+                            out.size() * static_cast<Index>(sizeof(T)),
+                            out.valid());
+    }
+    const Epilogue<T> epi{alpha, beta};
+    std::vector<sim::LaunchResult> res;
+    if (spec_ && epi.is_identity()) {
+      res = launch_specialized_batched<T>(*dev_, *spec_, sel_, members);
+    } else {
+      res = launch_generic_batched<T>(members, epi);
+    }
+    last_path_ = path_;
+    for (const sim::LaunchResult& r : res)
+      record_execution(r, /*planned_kernel=*/true);
+    return res;
+  }
+
   template <class T>
   Expected<sim::LaunchResult> try_execute_window(sim::DeviceBuffer<T> in,
                                                  sim::DeviceBuffer<T> out,
@@ -293,6 +340,51 @@ class Plan {
       case Schema::kOrthogonalArbitrary:
         return launch_oa<T>(*dev_, sel_.oa, in, out, tex0_, tex1_, tex2_,
                             epi, win);
+    }
+    TTLG_ASSERT(false, "unreachable schema");
+  }
+
+  /// Generic-kernel batched dispatch (the non-specialized half of
+  /// execute_batched): the schema's kernel body per member, launch
+  /// config from the shared make_*_cfg builders — identical geometry
+  /// to the single-member launches it replaces.
+  template <class T>
+  std::vector<sim::LaunchResult> launch_generic_batched(
+      std::span<const std::pair<sim::DeviceBuffer<T>, sim::DeviceBuffer<T>>>
+          members,
+      const Epilogue<T>& epi) const {
+    const int es = problem_.elem_size;
+    const std::int64_t n = static_cast<std::int64_t>(members.size());
+    switch (sel_.schema) {
+      case Schema::kCopy:
+      case Schema::kFviMatchLarge:
+        return dev_->launch_batched(
+            [&](std::int64_t m) {
+              const auto& [in, out] = members[static_cast<std::size_t>(m)];
+              return FviLargeKernel<T>{sel_.fvi_large, in, out, epi};
+            },
+            make_fvi_large_cfg(sel_.fvi_large, es), n);
+      case Schema::kFviMatchSmall:
+        return dev_->launch_batched(
+            [&](std::int64_t m) {
+              const auto& [in, out] = members[static_cast<std::size_t>(m)];
+              return FviSmallKernel<T>{sel_.fvi_small, in, out, epi};
+            },
+            make_fvi_small_cfg(sel_.fvi_small, es), n);
+      case Schema::kOrthogonalDistinct:
+        return dev_->launch_batched(
+            [&](std::int64_t m) {
+              const auto& [in, out] = members[static_cast<std::size_t>(m)];
+              return OdKernel<T>{sel_.od, in, out, tex0_, tex1_, epi};
+            },
+            make_od_cfg(sel_.od, es), n);
+      case Schema::kOrthogonalArbitrary:
+        return dev_->launch_batched(
+            [&](std::int64_t m) {
+              const auto& [in, out] = members[static_cast<std::size_t>(m)];
+              return OaKernel<T>{sel_.oa, in, out, tex0_, tex1_, tex2_, epi};
+            },
+            make_oa_cfg(sel_.oa, es), n);
     }
     TTLG_ASSERT(false, "unreachable schema");
   }

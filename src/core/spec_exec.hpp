@@ -16,6 +16,9 @@
 #pragma once
 
 #include <array>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "core/launch_helpers.hpp"
 #include "core/stride_program.hpp"
@@ -139,10 +142,36 @@ sim::LaunchResult run_spec_variant(sim::Device& dev, const SpecProgram& prog,
                     c);
 }
 
+/// Per-member (input, output) buffer table of a fused batched launch.
+template <class T>
+using SpecMemberSpan =
+    std::span<const std::pair<sim::DeviceBuffer<T>, sim::DeviceBuffer<T>>>;
+
+template <class T>
+using SpecBatchedFn = std::vector<sim::LaunchResult> (*)(
+    sim::Device&, const SpecProgram&, const GridDecoder&,
+    const sim::LaunchConfig&, SpecMemberSpan<T>);
+
+/// Batched twin of run_spec_variant: the same width-templated kernel
+/// body per member, folded into one super-grid dispatch
+/// (Device::launch_batched). The kernel factory rebinds only the
+/// member's buffer pair — program and decoder are batch-invariant.
+template <class T, bool Affine, int Slots>
+std::vector<sim::LaunchResult> run_spec_variant_batched(
+    sim::Device& dev, const SpecProgram& prog, const GridDecoder& dec,
+    const sim::LaunchConfig& cfg, SpecMemberSpan<T> members) {
+  return dev.launch_batched(
+      [&](std::int64_t m) {
+        const auto& [in, out] = members[static_cast<std::size_t>(m)];
+        return SpecializedKernel<T, Affine, Slots>{&prog, &dec, in, out};
+      },
+      cfg, static_cast<std::int64_t>(members.size()));
+}
+
 /// One dispatch-table row: the pre-instantiated launch entry points for
 /// a (schema, rank bucket, element width) key — the stride-program
 /// variant (tier kTemplated) and the affine whole-tile variant (tier
-/// kAffineBulk).
+/// kAffineBulk), each in single-launch and fused-batched form.
 template <class T>
 struct SpecDispatchRow {
   Schema schema;
@@ -150,6 +179,8 @@ struct SpecDispatchRow {
   int width;
   SpecLaunchFn<T> stride_fn;
   SpecLaunchFn<T> affine_fn;
+  SpecBatchedFn<T> stride_batched;
+  SpecBatchedFn<T> affine_batched;
 };
 
 /// Plan-time-resolved dispatch table. Compiled programs are
@@ -170,12 +201,24 @@ const SpecDispatchRow<T>* find_spec_dispatch(Schema schema, int rank_bucket,
     constexpr SpecLaunchFn<T> kAffineFns[kSpecMaxRankBucket] = {
         &run_spec_variant<T, true, 1>, &run_spec_variant<T, true, 2>,
         &run_spec_variant<T, true, 3>, &run_spec_variant<T, true, 4>};
+    constexpr SpecBatchedFn<T> kStrideBatchedFns[kSpecMaxRankBucket] = {
+        &run_spec_variant_batched<T, false, 1>,
+        &run_spec_variant_batched<T, false, 2>,
+        &run_spec_variant_batched<T, false, 3>,
+        &run_spec_variant_batched<T, false, 4>};
+    constexpr SpecBatchedFn<T> kAffineBatchedFns[kSpecMaxRankBucket] = {
+        &run_spec_variant_batched<T, true, 1>,
+        &run_spec_variant_batched<T, true, 2>,
+        &run_spec_variant_batched<T, true, 3>,
+        &run_spec_variant_batched<T, true, 4>};
     std::array<SpecDispatchRow<T>, 20> t{};
     std::size_t i = 0;
     for (Schema s : kSchemas) {
       for (int b = 1; b <= kSpecMaxRankBucket; ++b) {
         t[i++] = SpecDispatchRow<T>{s, b, static_cast<int>(sizeof(T)),
-                                    kStrideFns[b - 1], kAffineFns[b - 1]};
+                                    kStrideFns[b - 1], kAffineFns[b - 1],
+                                    kStrideBatchedFns[b - 1],
+                                    kAffineBatchedFns[b - 1]};
       }
     }
     return t;
@@ -215,6 +258,36 @@ sim::LaunchResult launch_specialized(sim::Device& dev, const SpecProgram& prog,
   return (prog.tier == SpecTier::kAffineBulk ? row->affine_fn
                                              : row->stride_fn)(
       dev, prog, dec, cfg, in, out);
+}
+
+/// Fused batched twin of launch_specialized: the same tier/bucket
+/// dispatch, resolving to the batched entry points. No window — a
+/// fused launch always covers whole member grids.
+template <class T>
+std::vector<sim::LaunchResult> launch_specialized_batched(
+    sim::Device& dev, const SpecProgram& prog, const KernelSelection& sel,
+    SpecMemberSpan<T> members) {
+  TTLG_ASSERT(prog.tier != SpecTier::kGeneric,
+              "generic plans carry no stride program");
+  TTLG_ASSERT(prog.elem_size == static_cast<int>(sizeof(T)),
+              "stride program element width mismatch");
+  const sim::LaunchConfig cfg =
+      spec_launch_config(sel, static_cast<int>(sizeof(T)));
+  const GridDecoder& dec = spec_decoder_for(sel);
+  if (prog.tier == SpecTier::kStrideProgram ||
+      dec.slots() != spec_rank_bucket(dec.slots())) {
+    return run_spec_variant_batched<T, false, 0>(dev, prog, dec, cfg,
+                                                 members);
+  }
+  const SpecDispatchRow<T>* row = find_spec_dispatch<T>(
+      sel.schema, spec_rank_bucket(dec.slots()), static_cast<int>(sizeof(T)));
+  if (row == nullptr) {
+    return run_spec_variant_batched<T, false, 0>(dev, prog, dec, cfg,
+                                                 members);
+  }
+  return (prog.tier == SpecTier::kAffineBulk ? row->affine_batched
+                                             : row->stride_batched)(
+      dev, prog, dec, cfg, members);
 }
 
 }  // namespace ttlg

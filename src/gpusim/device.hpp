@@ -203,6 +203,94 @@ class Device {
     return res;
   }
 
+  /// Fused batched launch: execute `make_kernel(m)` for every member m
+  /// in [0, num_members) over ONE super-grid of num_members *
+  /// cfg.grid_blocks blocks — a single thread-pool dispatch instead of
+  /// num_members separate launches (the launch-overhead regime where
+  /// small tensors lose). `cfg` describes one member's launch: a whole
+  /// grid (zero block offset) with no texture capture; the block ids
+  /// handed to each member's kernel are the member-LOCAL ids it would
+  /// see in its own launch, so kernels need no batching awareness.
+  ///
+  /// The returned per-member LaunchResults — counters, timing and
+  /// simulated times, texture misses included — are bit-identical to
+  /// num_members individual launch() calls at every thread count:
+  /// chunk workers stream across member boundaries with per-segment
+  /// counter shards reduced in chunk-index (= block) order, and each
+  /// member's block-ordered texture log is replayed through its own
+  /// fresh TextureCache — exactly the cold cache an individual launch
+  /// starts from. Fault-injection sites fire once, BEFORE any block
+  /// runs, so a failed fused launch has no side effects.
+  template <class KernelFactory>
+  std::vector<LaunchResult> launch_batched(KernelFactory&& make_kernel,
+                                           const LaunchConfig& cfg,
+                                           std::int64_t num_members) {
+    TTLG_CHECK(num_members > 0, "batched launch needs at least one member");
+    TTLG_CHECK(cfg.block_offset == 0 && cfg.tex_capture == nullptr,
+               "batched launches take whole-grid member configs");
+    validate(cfg);
+    if (FaultInjector::global().armed()) check_injected_launch_faults(cfg);
+
+    std::vector<LaunchResult> results(static_cast<std::size_t>(num_members));
+    // Sampled counting scales representative blocks per class; its
+    // cache-warming protocol is per-launch state, so the members run
+    // through the unfused path (bit-identity is the contract, and a
+    // sampled sweep is not the launch-overhead regime fusion targets).
+    if (mode_ == ExecMode::kCountOnly && sampling_ > 0 && cfg.block_class &&
+        cfg.num_classes >= 1) {
+      for (std::int64_t m = 0; m < num_members; ++m)
+        results[static_cast<std::size_t>(m)] = launch(make_kernel(m), cfg);
+      return results;
+    }
+
+    const bool telem = telemetry::counters_enabled();
+    const double telem_start_us = telem ? telemetry_now_us() : 0.0;
+    for (LaunchResult& r : results) {
+      r.counters.grid_blocks = cfg.grid_blocks;
+      r.counters.block_threads = cfg.block_threads;
+      r.counters.shared_bytes_per_block = cfg.shared_elems * cfg.elem_size;
+    }
+    const std::int64_t total = cfg.grid_blocks * num_members;
+    if (const int nthreads = launch_parallelism(total); nthreads > 1) {
+      run_batched_parallel(make_kernel, cfg, results, nthreads);
+    } else {
+      const PatternCachePool::Lease pc = pattern_pool_.acquire(pattern_cache_);
+      std::vector<std::byte> smem(
+          static_cast<std::size_t>(cfg.shared_elems * cfg.elem_size));
+      for (std::int64_t m = 0; m < num_members; ++m) {
+        LaunchResult& r = results[static_cast<std::size_t>(m)];
+        // Fresh cache per member: an individual launch starts cold.
+        TextureCache tex(props_.tex_cache_lines, props_.tex_line_bytes);
+        auto kernel = make_kernel(m);
+        for (std::int64_t b = 0; b < cfg.grid_blocks; ++b) {
+          BlockCtx blk(b, cfg.block_threads, mode_, props_, r.counters,
+                       smem.data(), cfg.shared_elems, tex, nullptr, pc.get());
+          kernel(blk);
+        }
+      }
+    }
+    LaunchResult agg;
+    for (LaunchResult& r : results) {
+      r.timing = kernel_timing(props_, r.counters);
+      r.time_s = r.timing.total_s;
+      agg.counters += r.counters;
+      agg.time_s += r.time_s;
+    }
+    agg.counters.block_threads = cfg.block_threads;
+    agg.counters.shared_bytes_per_block = cfg.shared_elems * cfg.elem_size;
+    agg.timing = kernel_timing(props_, agg.counters);
+    // One telemetry record for the whole fused launch (sim.launches
+    // counts dispatches, which is exactly what fusion reduces).
+    LaunchConfig fused = cfg;
+    fused.grid_blocks = total;
+    fused.kernel_name += "+batched";
+    if (telem)
+      record_launch_telemetry(fused, agg, telem_start_us);
+    else if (telemetry::log_site_enabled(telemetry::LogLevel::kDebug))
+      log_launch(fused, agg);
+    return results;
+  }
+
  private:
   /// How many host threads this launch should use: 1 (serial) unless
   /// the grid is big enough to amortize the fan-out and the resolved
@@ -269,6 +357,77 @@ class Device {
         for (const std::int64_t addr : sh.tex_log) {
           if (!tex.access(addr)) ++res.counters.tex_misses;
         }
+      }
+    }
+  }
+
+  /// Parallel engine for launch_batched: one run_indexed dispatch over
+  /// the super-grid [0, num_members * cfg.grid_blocks). A chunk whose
+  /// block range crosses a member boundary opens a new SEGMENT (member
+  /// id, counter shard, texture log) and keeps streaming — no return to
+  /// the dispatcher between members. Segments of one member appear in
+  /// ascending chunk order and cover its blocks in ascending order, so
+  /// the chunk-order reduction and the per-member fresh-cache replay
+  /// reproduce the individual launches' totals exactly.
+  template <class KernelFactory>
+  void run_batched_parallel(const KernelFactory& make_kernel,
+                            const LaunchConfig& cfg,
+                            std::vector<LaunchResult>& results,
+                            int nthreads) {
+    const std::int64_t bpm = cfg.grid_blocks;
+    const std::int64_t num_members =
+        static_cast<std::int64_t>(results.size());
+    const std::int64_t total = bpm * num_members;
+    const std::int64_t nchunks = std::min<std::int64_t>(
+        total, static_cast<std::int64_t>(nthreads) * 4);
+    struct Segment {
+      std::int64_t member = 0;
+      LaunchCounters ctr;
+      std::vector<std::int64_t> tex_log;
+    };
+    std::vector<std::vector<Segment>> chunks(
+        static_cast<std::size_t>(nchunks));
+    // Shared across chunks but never probed: every BlockCtx below
+    // carries a texture log, which records instead of accessing.
+    TextureCache tex(props_.tex_cache_lines, props_.tex_line_bytes);
+    ThreadPool::global().run_indexed(
+        nchunks, nthreads, [&](std::int64_t c) {
+          const std::int64_t lo = total * c / nchunks;
+          const std::int64_t hi = total * (c + 1) / nchunks;
+          std::vector<std::byte> smem(
+              static_cast<std::size_t>(cfg.shared_elems * cfg.elem_size));
+          const PatternCachePool::Lease pc =
+              pattern_pool_.acquire(pattern_cache_);
+          std::vector<Segment>& segs = chunks[static_cast<std::size_t>(c)];
+          std::int64_t b = lo;
+          while (b < hi) {
+            const std::int64_t m = b / bpm;
+            const std::int64_t base = m * bpm;
+            const std::int64_t seg_hi = std::min(hi, base + bpm);
+            Segment& sg = segs.emplace_back();
+            sg.member = m;
+            auto kernel = make_kernel(m);
+            for (; b < seg_hi; ++b) {
+              BlockCtx blk(b - base, cfg.block_threads, mode_, props_,
+                           sg.ctr, smem.data(), cfg.shared_elems, tex,
+                           &sg.tex_log, pc.get());
+              kernel(blk);
+            }
+          }
+        });
+    std::vector<std::vector<std::int64_t>> logs(
+        static_cast<std::size_t>(num_members));
+    for (const std::vector<Segment>& segs : chunks) {
+      for (const Segment& sg : segs) {
+        const std::size_t m = static_cast<std::size_t>(sg.member);
+        results[m].counters += sg.ctr;
+        logs[m].insert(logs[m].end(), sg.tex_log.begin(), sg.tex_log.end());
+      }
+    }
+    for (std::size_t m = 0; m < logs.size(); ++m) {
+      TextureCache member_tex(props_.tex_cache_lines, props_.tex_line_bytes);
+      for (const std::int64_t addr : logs[m]) {
+        if (!member_tex.access(addr)) ++results[m].counters.tex_misses;
       }
     }
   }

@@ -5,12 +5,14 @@
 // wakeup. Strict priority between classes, FIFO within a class.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "service/request.hpp"
 
@@ -42,6 +44,54 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lk(mu_);
     cv_.wait(lk, [this] { return size_ > 0 || closed_; });
     return pop_locked();
+  }
+
+  /// Coalescing scan: remove and return up to `max_n` queued requests
+  /// matching `pred`, chosen DEADLINE-FIRST — earliest absolute
+  /// deadline first, deadline-free (kNoDeadline) last, ties broken by
+  /// priority class then FIFO position. A worker that just popped a
+  /// coalescible leader calls this to assemble the fused batch; the
+  /// untouched remainder keeps its lanes and FIFO order. Returns fewer
+  /// than max_n (possibly none) when the backlog holds fewer matches.
+  template <class Pred>
+  std::vector<Request> extract_compatible(const Pred& pred,
+                                          std::size_t max_n) {
+    std::vector<Request> out;
+    if (max_n == 0) return out;
+    std::lock_guard<std::mutex> lk(mu_);
+    struct Hit {
+      int lane;
+      std::size_t pos;
+      std::int64_t deadline_us;
+    };
+    std::vector<Hit> hits;
+    for (int lane = 0; lane < kNumPriorities; ++lane) {
+      for (std::size_t i = 0; i < lanes_[lane].size(); ++i) {
+        if (pred(lanes_[lane][i]))
+          hits.push_back(Hit{lane, i, lanes_[lane][i].deadline_us});
+      }
+    }
+    // kNoDeadline is int64 max, so deadline-free requests sort last for
+    // free; stable sort preserves the lane-then-FIFO collection order
+    // among equal deadlines.
+    std::stable_sort(hits.begin(), hits.end(),
+                     [](const Hit& a, const Hit& b) {
+                       return a.deadline_us < b.deadline_us;
+                     });
+    if (hits.size() > max_n) hits.resize(max_n);
+    out.reserve(hits.size());
+    for (const Hit& h : hits)
+      out.push_back(std::move(lanes_[h.lane][h.pos]));
+    // Erase the moved-from husks back-to-front per lane so earlier
+    // positions stay valid.
+    std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+      return a.lane != b.lane ? a.lane < b.lane : a.pos > b.pos;
+    });
+    for (const Hit& h : hits)
+      lanes_[h.lane].erase(lanes_[h.lane].begin() +
+                           static_cast<std::ptrdiff_t>(h.pos));
+    size_ -= out.size();
+    return out;
   }
 
   /// Close the queue: pending items still drain, new pushes shed,

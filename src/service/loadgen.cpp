@@ -59,6 +59,15 @@ std::vector<ProblemMix> build_mix(const LoadgenConfig& cfg) {
   return mix;
 }
 
+/// Which mix entry request index `r` uses: bursts of cfg.burst
+/// consecutive indices share one problem (must match between
+/// make_request and the oracle lookup in settle).
+std::size_t problem_index(const LoadgenConfig& cfg, std::int64_t r,
+                          std::size_t mix_size) {
+  const std::int64_t burst = std::max(cfg.burst, 1);
+  return static_cast<std::size_t>(r / burst) % mix_size;
+}
+
 struct SharedTally {
   std::mutex mu;
   LoadgenReport report;
@@ -89,7 +98,7 @@ LoadgenReport run_load(Server& server, const LoadgenConfig& cfg) {
   const int window = std::max(cfg.outstanding, 1);
 
   auto make_request = [&](std::int64_t r) {
-    const ProblemMix& m = mix[static_cast<std::size_t>(r) % mix.size()];
+    const ProblemMix& m = mix[problem_index(cfg, r, mix.size())];
     Request req;
     req.tenant = "tenant-" + std::to_string(r % std::max(cfg.tenants, 1));
     req.priority = static_cast<Priority>(r % kNumPriorities);
@@ -130,10 +139,11 @@ LoadgenReport run_load(Server& server, const LoadgenConfig& cfg) {
           ++local.failed;
         } else {
           ++local.served;
+          if (res.coalesced) ++local.coalesced;
           local.latencies_us.push_back(res.latency_us);
           local.sim_time_s += res.sim_time_s;
           const ProblemMix& m =
-              mix[static_cast<std::size_t>(fl.request_index) % mix.size()];
+              mix[problem_index(cfg, fl.request_index, mix.size())];
           if (res.output != m.expected) ++local.mismatches;
         }
         ++local.completed;
@@ -166,6 +176,7 @@ LoadgenReport run_load(Server& server, const LoadgenConfig& cfg) {
     g.expired += local.expired;
     g.failed += local.failed;
     g.client_retries += local.client_retries;
+    g.coalesced += local.coalesced;
     g.mismatches += local.mismatches;
     g.sim_time_s += local.sim_time_s;
     g.latencies_us.insert(g.latencies_us.end(), local.latencies_us.begin(),

@@ -26,6 +26,12 @@ struct LoadgenConfig {
   /// Relative deadline assigned to each request (us on the server's
   /// clock, from submit). 0 = no deadline.
   std::int64_t deadline_us = 0;
+  /// Coalescible-burst length: consecutive request indices share one
+  /// problem (shape, permutation, input) in runs of this size, so the
+  /// round-robin clients land compatible requests in the server's
+  /// backlog together — the pattern the drain-loop coalescer fuses.
+  /// 1 (default) keeps the original fully-interleaved mix.
+  int burst = 1;
   /// Client-side resubmits after a kUnavailable rejection, each
   /// preceded by the deterministic backoff wait.
   int client_max_retries = 3;
@@ -41,6 +47,9 @@ struct LoadgenReport {
   std::int64_t expired = 0;
   std::int64_t failed = 0;
   std::int64_t client_retries = 0;
+  /// Served requests that rode a coalesced fused launch
+  /// (Response::coalesced) — the server-side batching observable.
+  std::int64_t coalesced = 0;
   /// Served outputs that did NOT match the host oracle (must be 0 —
   /// the chaos soak's bit-identity property).
   std::int64_t mismatches = 0;

@@ -87,6 +87,12 @@ struct Response {
   /// Served through the multi-device sharded executor (ServerConfig
   /// fleet routing) instead of the single serving device.
   bool sharded = false;
+  /// Served as a member of a coalesced fused batched launch (the
+  /// drain-loop coalescer grouped this request with compatible queued
+  /// ones into one super-grid dispatch; docs/serving.md).
+  bool coalesced = false;
+  /// Members of the fused launch that served this request (1 = solo).
+  int batch_members = 1;
   int attempts = 0;       ///< execution attempts (>=1 when work started)
   std::int64_t latency_us = 0;     ///< submit -> terminal, service clock
   std::int64_t queue_wait_us = 0;  ///< submit -> dequeue (0 if shed)

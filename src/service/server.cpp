@@ -51,6 +51,16 @@ void log_terminal(const Request& req, const Response& res) {
             req.tenant);
 }
 
+/// Two requests may share one fused launch iff they resolve to the
+/// same plan and epilogue: shape, permutation and alpha/beta must
+/// match (elem width and PlanOptions are server-wide constants).
+/// Priority and deadline intentionally do NOT gate compatibility —
+/// the fused group adopts the earliest member deadline.
+bool coalescible(const Request& a, const Request& b) {
+  return a.shape == b.shape && a.perm == b.perm && a.alpha == b.alpha &&
+         a.beta == b.beta;
+}
+
 }  // namespace
 
 Server::Server(sim::Device& dev, ServerConfig cfg)
@@ -195,8 +205,200 @@ void Server::finish(const Request& req, Response res) {
 void Server::worker_loop() {
   while (auto req = queue_.pop()) {
     set_queue_depth(queue_.size());
-    process(std::move(*req));
+    if (cfg_.coalesce.enabled && cfg_.coalesce.max_batch > 1)
+      process_coalesced(std::move(*req));
+    else
+      process(std::move(*req));
   }
+}
+
+void Server::process_coalesced(Request leader) {
+  // Shard-eligible requests keep their scale-OUT route: fusion is the
+  // small-tensor launch-overhead fix, sharding the large-tensor one.
+  if (cfg_.fleet != nullptr &&
+      leader.shape.volume() >= cfg_.shard_min_volume) {
+    process(std::move(leader));
+    return;
+  }
+  const std::size_t want =
+      static_cast<std::size_t>(cfg_.coalesce.max_batch) - 1;
+  const auto pred = [&leader](const Request& r) {
+    return coalescible(leader, r);
+  };
+  std::vector<Request> members = queue_.extract_compatible(pred, want);
+
+  // Bounded coalesce window: hold the worker for more compatible
+  // arrivals, but only while EVERY participant keeps deadline headroom
+  // beyond the window's end (a coalescer must never expire a request
+  // it is trying to amortize).
+  if (cfg_.coalesce.window_us > 0 && members.size() < want) {
+    const std::int64_t window_end =
+        clock_.now_us() + cfg_.coalesce.window_us;
+    const std::size_t before = members.size();
+    for (;;) {
+      if (members.size() >= want || clock_.now_us() >= window_end) break;
+      std::int64_t earliest = leader.deadline_us;
+      for (const Request& r : members)
+        earliest = std::min(earliest, r.deadline_us);
+      if (earliest != kNoDeadline &&
+          earliest <= window_end + cfg_.coalesce.window_us)
+        break;
+      clock_.sleep_us(std::max<std::int64_t>(cfg_.coalesce.window_poll_us, 1));
+      auto more = queue_.extract_compatible(pred, want - members.size());
+      for (auto& r : more) members.push_back(std::move(r));
+    }
+    bump(members.size() > before ? "service.coalesce.window_hit"
+                                 : "service.coalesce.window_miss");
+  }
+
+  if (members.empty()) {
+    process(std::move(leader));
+    return;
+  }
+  set_queue_depth(queue_.size());
+  std::vector<Request> group;
+  group.reserve(members.size() + 1);
+  group.push_back(std::move(leader));
+  for (auto& r : members) group.push_back(std::move(r));
+  process_batch(std::move(group));
+}
+
+void Server::process_batch(std::vector<Request> reqs) {
+  // Dequeue-time deadline triage, same rule as process(): a member that
+  // died waiting finishes individually and drops out of the group.
+  const std::int64_t dequeue_us = clock_.now_us();
+  std::vector<Request> live;
+  live.reserve(reqs.size());
+  for (Request& req : reqs) {
+    if (req.deadline_us != kNoDeadline && dequeue_us >= req.deadline_us) {
+      n_.expired_queue.fetch_add(1, std::memory_order_relaxed);
+      bump("service.expired.queue");
+      Response res;
+      res.id = req.id;
+      res.tenant = req.tenant;
+      res.outcome = Outcome::kExpired;
+      res.status = Status::error(ErrorCode::kDeadlineExceeded,
+                                 "deadline expired while queued");
+      finish(req, std::move(res));
+    } else {
+      live.push_back(std::move(req));
+    }
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    process(std::move(live.front()));
+    return;
+  }
+
+  // The fused launch runs under the TIGHTEST member deadline: one
+  // launch serves all members, so the group must respect its most
+  // urgent participant.
+  std::int64_t earliest_us = kNoDeadline;
+  for (const Request& r : live)
+    earliest_us = std::min(earliest_us, r.deadline_us);
+  Clock& clock = clock_;
+  const DeadlineCheck check = [earliest_us, &clock] {
+    return earliest_us != kNoDeadline && clock.now_us() >= earliest_us;
+  };
+  ScopedDeadline scoped(check);
+  const std::int64_t headroom_us =
+      earliest_us == kNoDeadline ? kNoDeadline : earliest_us - dequeue_us;
+
+  Status st = Status::ok();
+  bool cache_hit = false;
+  ExecPath exec_path = ExecPath::kPlanned;
+  std::vector<sim::LaunchResult> runs;
+  std::vector<std::pair<sim::DeviceBuffer<double>, sim::DeviceBuffer<double>>>
+      pairs;
+  auto free_pairs = [&] {
+    for (auto& [in, out] : pairs) {
+      dev_.try_free(in);
+      dev_.try_free(out);
+    }
+    pairs.clear();
+  };
+  try {
+    const std::int64_t volume = live.front().shape.volume();
+    for (const Request& r : live)
+      TTLG_CHECK(r.input && static_cast<std::int64_t>(r.input->size()) ==
+                                volume,
+                 "request input must hold shape.volume() elements");
+    std::shared_ptr<const Plan> plan =
+        resolve_plan(live.front(), headroom_us, &cache_hit);
+    pairs.reserve(live.size());
+    for (const Request& r : live) {
+      auto in = dev_.alloc_copy<double>(
+          std::span<const double>(r.input->data(), r.input->size()));
+      sim::DeviceBuffer<double> out;
+      try {
+        out = dev_.alloc<double>(volume);
+      } catch (...) {
+        dev_.try_free(in);
+        throw;
+      }
+      pairs.emplace_back(in, out);
+    }
+    runs = plan->execute_batched<double>(
+        std::span<const std::pair<sim::DeviceBuffer<double>,
+                                  sim::DeviceBuffer<double>>>(pairs),
+        live.front().alpha, live.front().beta);
+    exec_path = plan->last_exec_path();
+  } catch (const Error& e) {
+    st = Status::from(e);
+  }
+
+  if (!st.is_ok()) {
+    // Classified partial-failure semantics: the fused attempt is
+    // all-or-nothing (no member output was published), so every member
+    // re-runs individually through process() — each terminates with
+    // its own classified status and a failing member fails only its
+    // request. The fused failure itself is a robustness-class event.
+    free_pairs();
+    telemetry::MetricsRegistry::global()
+        .counter("service.coalesce.fallback")
+        .inc();
+    note_status_failure("service.process_batch", st);
+    for (Request& r : live) process(std::move(r));
+    return;
+  }
+
+  n_.coalesced_launches.fetch_add(1, std::memory_order_relaxed);
+  n_.coalesced_members.fetch_add(static_cast<std::int64_t>(live.size()),
+                                 std::memory_order_relaxed);
+  bump("service.coalesce.fused");
+  if (telemetry::counters_enabled())
+    telemetry::MetricsRegistry::global()
+        .histogram("service.coalesce.members", {2, 4, 8, 16, 32, 64, 128, 256})
+        .observe(static_cast<double>(live.size()));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const Request& req = live[i];
+    Response res;
+    res.id = req.id;
+    res.tenant = req.tenant;
+    res.queue_wait_us = 0;  // fixed up in finish-side lookup below
+    {
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      auto it = pending_.find(req.id);
+      if (it != pending_.end())
+        res.queue_wait_us = dequeue_us - it->second.submit_us;
+    }
+    observe("service.queue_wait_us", static_cast<double>(res.queue_wait_us));
+    res.outcome = Outcome::kServed;
+    res.status = Status::ok();
+    res.output.assign(pairs[i].second.data(),
+                      pairs[i].second.data() + pairs[i].second.size());
+    res.exec_path = exec_path;
+    res.plan_cache_hit = cache_hit;
+    res.coalesced = true;
+    res.batch_members = static_cast<int>(live.size());
+    res.attempts = 1;
+    res.sim_time_s = runs[i].time_s;
+    observe("service.exec_us", runs[i].time_s * 1e6);
+    n_.served.fetch_add(1, std::memory_order_relaxed);
+    bump("service.served");
+    finish(req, std::move(res));
+  }
+  free_pairs();
 }
 
 std::shared_ptr<const Plan> Server::resolve_plan(const Request& req,
@@ -381,6 +583,9 @@ Server::Counts Server::counts() const {
   c.failed = n_.failed.load(std::memory_order_relaxed);
   c.retries = n_.retries.load(std::memory_order_relaxed);
   c.heuristic_forced = n_.heuristic_forced.load(std::memory_order_relaxed);
+  c.coalesced_launches =
+      n_.coalesced_launches.load(std::memory_order_relaxed);
+  c.coalesced_members = n_.coalesced_members.load(std::memory_order_relaxed);
   return c;
 }
 

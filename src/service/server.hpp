@@ -4,9 +4,11 @@
 // submitted Request terminates with a classified Response:
 //
 //   submit ──deadline?──quota?──queue?──► queued ──► worker:
-//     dequeue-deadline? ──► plan (cache; measured below the
+//     coalesce compatible backlog (deadline-ordered, bounded window)
+//     ──► dequeue-deadline? ──► plan (cache; measured below the
 //     high-watermark, heuristic above it) ──► execute under a
-//     ScopedDeadline, with bounded deterministic-backoff retry on
+//     ScopedDeadline — one fused batched launch for a coalesced group,
+//     with per-member fan-out; bounded deterministic-backoff retry on
 //     retryable failures ──► served | expired | failed
 //
 // Shed and expired requests resolve their futures immediately at
@@ -64,6 +66,29 @@ struct ServerConfig {
   QuotaConfig quota;
   BackoffPolicy backoff;
   PlanOptions plan;    ///< planner knobs shared by all requests
+  /// Server-side request coalescing: a worker that dequeues a request
+  /// scans the backlog for compatible ones — same shape, permutation
+  /// and alpha/beta (elem width and PlanOptions are server-wide, so
+  /// compatible requests share one cached plan) — and serves up to
+  /// max_batch of them through ONE fused batched launch
+  /// (Plan::execute_batched), fanning per-member Responses back out.
+  /// Member selection is deadline-ordered (BoundedQueue::
+  /// extract_compatible); any fused-path failure re-processes every
+  /// member individually, so a failing member fails only its request.
+  struct CoalesceConfig {
+    bool enabled = true;
+    /// Largest fused batch, leader included.
+    int max_batch = 64;
+    /// How long a leader may hold the worker waiting for more
+    /// compatible arrivals (service-clock µs). 0 (default) fuses only
+    /// what is already queued — zero added latency. The window closes
+    /// early when any participant's deadline headroom stops covering
+    /// the remaining wait with margin.
+    std::int64_t window_us = 0;
+    /// Poll interval while the window is open.
+    std::int64_t window_poll_us = 50;
+  };
+  CoalesceConfig coalesce;
   /// Time source for deadlines, quota refill and backoff sleeps.
   /// nullptr = SteadyClock::global(). Must outlive the Server.
   Clock* clock = nullptr;
@@ -104,6 +129,8 @@ class Server {
     std::int64_t failed = 0;
     std::int64_t retries = 0;           ///< execution re-attempts
     std::int64_t heuristic_forced = 0;  ///< measured planning suppressed
+    std::int64_t coalesced_launches = 0;  ///< fused multi-request launches
+    std::int64_t coalesced_members = 0;   ///< requests served fused (>=2 each)
     std::int64_t terminal() const {
       return served + shed_queue_full + shed_quota + expired_admission +
              expired_queue + expired_exec + failed;
@@ -124,6 +151,16 @@ class Server {
 
   void worker_loop();
   void process(Request req);
+  /// Coalescing stage of the drain loop: gather compatible queued
+  /// requests behind `leader` (bounded window, deadline-ordered) and
+  /// route the group through process_batch, or fall through to
+  /// process() when nothing coalesced.
+  void process_coalesced(Request leader);
+  /// Serve 2+ compatible requests through one fused batched launch;
+  /// per-member Responses fan back out. Any fused-path failure
+  /// re-processes every member individually (classified per-request
+  /// partial-failure semantics).
+  void process_batch(std::vector<Request> reqs);
   Response reject(const Request& req, Outcome outcome, Status st,
                   std::int64_t submit_us);
   void finish(const Request& req, Response res);
@@ -153,7 +190,7 @@ class Server {
     std::atomic<std::int64_t> submitted{0}, admitted{0}, served{0},
         shed_queue_full{0}, shed_quota{0}, expired_admission{0},
         expired_queue{0}, expired_exec{0}, failed{0}, retries{0},
-        heuristic_forced{0};
+        heuristic_forced{0}, coalesced_launches{0}, coalesced_members{0};
   };
   mutable AtomicCounts n_;
 };

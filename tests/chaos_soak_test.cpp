@@ -125,6 +125,41 @@ TEST(ChaosSoak, StarvedQuotaShedsButNeverLoses) {
   EXPECT_GT(r.counts.served, 0) << "backpressure must not starve everyone";
 }
 
+TEST(ChaosSoak, BatchableBurstsCoalesceUnderChaos) {
+  // Bursty coalescible traffic (runs of identical problems) with the
+  // injector armed: the fused batched path and its per-member fan-out
+  // fallback must preserve all three soak invariants — and the
+  // coalescer must actually fire (a soak that never fuses proves
+  // nothing about the fused path).
+  sim::ScopedFaults faults("seed=19,launch.p=0.04,tex.p=0.04");
+
+  ServerConfig scfg;
+  scfg.workers = 4;
+  scfg.queue_capacity = 96;
+  scfg.backoff.max_retries = 2;
+  scfg.backoff.base_us = 50;
+  scfg.backoff.cap_us = 1000;
+
+  LoadgenConfig lcfg;
+  lcfg.requests = 480;
+  lcfg.clients = 8;
+  lcfg.tenants = 4;
+  lcfg.outstanding = 16;       // deep windows keep the backlog populated
+  lcfg.distinct_shapes = 4;
+  lcfg.max_extent = 8;
+  lcfg.burst = 16;             // runs of 16 identical problems
+  lcfg.client_max_retries = 2;
+  lcfg.client_backoff.base_us = 50;
+  lcfg.client_backoff.cap_us = 500;
+  lcfg.seed = 91;
+
+  const SoakResult r = soak(scfg, lcfg);
+  expect_invariants(r, lcfg);
+  EXPECT_GT(r.counts.coalesced_launches, 0) << "burst mix never fused";
+  EXPECT_GE(r.counts.coalesced_members, 2 * r.counts.coalesced_launches);
+  EXPECT_EQ(r.report.coalesced, r.counts.coalesced_members);
+}
+
 // Repeated identical soaks must never lose requests either — this is
 // the regression net for shutdown races (promise resolution vs queue
 // close vs worker teardown).

@@ -1,0 +1,343 @@
+// Server-side request coalescing (Server::process_coalesced /
+// process_batch + BoundedQueue::extract_compatible), all on the seeded
+// ManualClock: compatible backlog fuses into one batched launch with
+// per-member fan-out, incompatible requests pass through untouched,
+// member selection is deadline-ordered under max_batch pressure, the
+// coalesce window expires on simulated (never wall) time, and a fused
+// failure re-processes every member individually — a failing group
+// never fails a request that would have succeeded alone.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gpusim/fault_injector.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/server.hpp"
+#include "tensor/host_transpose.hpp"
+
+namespace ttlg::service {
+namespace {
+
+struct Problem {
+  Shape shape;
+  Permutation perm;
+  std::shared_ptr<std::vector<double>> input;
+  std::vector<double> expected;
+
+  Problem(Extents ext, std::vector<Index> p, double seed)
+      : shape(ext), perm(std::move(p)) {
+    input = std::make_shared<std::vector<double>>(
+        static_cast<std::size_t>(shape.volume()));
+    for (std::size_t i = 0; i < input->size(); ++i)
+      (*input)[i] = seed + static_cast<double>(i) * 0.5;
+    expected.resize(input->size());
+    host_transpose(std::span<const double>(*input),
+                   std::span<double>(expected), shape, perm);
+  }
+
+  Request request(std::int64_t deadline_us = kNoDeadline) const {
+    Request req;
+    req.tenant = "t0";
+    req.shape = shape;
+    req.perm = perm;
+    req.input = input;
+    req.deadline_us = deadline_us;
+    return req;
+  }
+};
+
+// ------------------------------------------------- extract_compatible
+
+TEST(ExtractCompatible, DeadlineOrderedAcrossLanesAndBounded) {
+  BoundedQueue q(16);
+  auto push = [&](std::uint64_t id, Priority prio, std::int64_t deadline) {
+    Request r;
+    r.id = id;
+    r.priority = prio;
+    r.deadline_us = deadline;
+    ASSERT_TRUE(q.try_push(std::move(r)));
+  };
+  push(1, Priority::kBatch, 9000);
+  push(2, Priority::kHigh, kNoDeadline);
+  push(3, Priority::kNormal, 3000);
+  push(4, Priority::kHigh, 5000);
+  push(5, Priority::kNormal, kNoDeadline);
+
+  auto all = [](const Request&) { return true; };
+  auto got = q.extract_compatible(all, 3);
+  ASSERT_EQ(got.size(), 3u);
+  // Earliest deadlines first; deadline-free requests only if room.
+  EXPECT_EQ(got[0].id, 3u);
+  EXPECT_EQ(got[1].id, 4u);
+  EXPECT_EQ(got[2].id, 1u);
+  EXPECT_EQ(q.size(), 2u);
+  // The untouched remainder keeps strict priority drain order.
+  q.close();
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 5u);
+}
+
+TEST(ExtractCompatible, PredicateFiltersAndZeroIsNoop) {
+  BoundedQueue q(8);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    Request r;
+    r.id = id;
+    ASSERT_TRUE(q.try_push(std::move(r)));
+  }
+  auto odd = [](const Request& r) { return r.id % 2 == 1; };
+  EXPECT_TRUE(q.extract_compatible(odd, 0).empty());
+  EXPECT_EQ(q.size(), 4u);
+  auto got = q.extract_compatible(odd, 8);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].id, 1u);
+  EXPECT_EQ(got[1].id, 3u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+// ---------------------------------------------------------- coalescing
+
+TEST(Coalesce, FusesQueuedCompatibleRequests) {
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ManualClock clock(0);
+  ServerConfig cfg;
+  cfg.clock = &clock;
+  cfg.workers = 1;
+  Server server(dev, cfg);  // not started: the backlog builds first
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(p.request()));
+  server.start();
+  server.stop();
+  for (auto& f : futures) {
+    const Response res = f.get();
+    EXPECT_EQ(res.outcome, Outcome::kServed);
+    EXPECT_TRUE(res.coalesced);
+    EXPECT_EQ(res.batch_members, 4);
+    EXPECT_EQ(res.output, p.expected);
+    EXPECT_EQ(res.attempts, 1);
+  }
+  const auto counts = server.counts();
+  EXPECT_EQ(counts.served, 4);
+  EXPECT_EQ(counts.coalesced_launches, 1);
+  EXPECT_EQ(counts.coalesced_members, 4);
+  EXPECT_EQ(counts.terminal(), counts.submitted);
+}
+
+TEST(Coalesce, IncompatibleRequestsPassThroughUnfused) {
+  Problem a(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  Problem b(Extents{5, 7}, {1, 0}, 2.0);
+  sim::Device dev;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(dev, cfg);
+  auto fa = server.submit(a.request());
+  auto fb = server.submit(b.request());
+  server.start();
+  server.stop();
+  const Response ra = fa.get();
+  const Response rb = fb.get();
+  EXPECT_EQ(ra.outcome, Outcome::kServed);
+  EXPECT_EQ(rb.outcome, Outcome::kServed);
+  EXPECT_FALSE(ra.coalesced);
+  EXPECT_FALSE(rb.coalesced);
+  EXPECT_EQ(ra.output, a.expected);
+  EXPECT_EQ(rb.output, b.expected);
+  EXPECT_EQ(server.counts().coalesced_launches, 0);
+}
+
+TEST(Coalesce, AlphaBetaMismatchIsIncompatible) {
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(dev, cfg);
+  Request scaled = p.request();
+  scaled.alpha = 2.0;
+  auto fa = server.submit(p.request());
+  auto fb = server.submit(std::move(scaled));
+  server.start();
+  server.stop();
+  EXPECT_FALSE(fa.get().coalesced);
+  const Response rb = fb.get();
+  EXPECT_FALSE(rb.coalesced);
+  for (std::size_t i = 0; i < p.expected.size(); ++i)
+    ASSERT_EQ(rb.output[i], 2.0 * p.expected[i]);
+  EXPECT_EQ(server.counts().coalesced_launches, 0);
+}
+
+TEST(Coalesce, MaxBatchBoundsEachFuse) {
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.coalesce.max_batch = 3;
+  Server server(dev, cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(server.submit(p.request()));
+  server.start();
+  server.stop();
+  for (auto& f : futures) {
+    const Response res = f.get();
+    EXPECT_EQ(res.outcome, Outcome::kServed);
+    EXPECT_TRUE(res.coalesced);
+    EXPECT_LE(res.batch_members, 3);
+  }
+  const auto counts = server.counts();
+  EXPECT_EQ(counts.coalesced_launches, 2);  // 3 + 2
+  EXPECT_EQ(counts.coalesced_members, 5);
+}
+
+TEST(Coalesce, MemberSelectionIsDeadlineOrdered) {
+  // Backlog after the leader: {no deadline, 10ms, no deadline, 5ms}.
+  // With room for two members the fuse must take the 5ms then the 10ms
+  // request; the deadline-free stragglers coalesce separately.
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ManualClock clock(0);
+  ServerConfig cfg;
+  cfg.clock = &clock;
+  cfg.workers = 1;
+  cfg.coalesce.max_batch = 3;
+  Server server(dev, cfg);
+  auto leader = server.submit(p.request());
+  auto free1 = server.submit(p.request());
+  auto late = server.submit(p.request(10000));
+  auto free2 = server.submit(p.request());
+  auto urgent = server.submit(p.request(5000));
+  server.start();
+  server.stop();
+  EXPECT_EQ(leader.get().batch_members, 3);
+  EXPECT_EQ(urgent.get().batch_members, 3);
+  EXPECT_EQ(late.get().batch_members, 3);
+  EXPECT_EQ(free1.get().batch_members, 2);
+  EXPECT_EQ(free2.get().batch_members, 2);
+  EXPECT_EQ(server.counts().coalesced_launches, 2);
+}
+
+TEST(Coalesce, ExpiredMemberDropsOutOfTheGroup) {
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ManualClock clock(0);
+  ServerConfig cfg;
+  cfg.clock = &clock;
+  cfg.workers = 1;
+  Server server(dev, cfg);
+  auto alive1 = server.submit(p.request());
+  auto doomed = server.submit(p.request(1000));
+  auto alive2 = server.submit(p.request());
+  clock.advance_us(2000);  // the middle request dies in the queue
+  server.start();
+  server.stop();
+  const Response dead = doomed.get();
+  EXPECT_EQ(dead.outcome, Outcome::kExpired);
+  EXPECT_EQ(dead.status.code(), ErrorCode::kDeadlineExceeded);
+  for (auto* f : {&alive1, &alive2}) {
+    const Response res = f->get();
+    EXPECT_EQ(res.outcome, Outcome::kServed);
+    EXPECT_TRUE(res.coalesced);
+    EXPECT_EQ(res.batch_members, 2);
+    EXPECT_EQ(res.output, p.expected);
+  }
+  const auto counts = server.counts();
+  EXPECT_EQ(counts.expired_queue, 1);
+  EXPECT_EQ(counts.coalesced_members, 2);
+  EXPECT_EQ(counts.terminal(), counts.submitted);
+}
+
+TEST(Coalesce, WindowExpiresOnSimulatedTimeOnly) {
+  // A lone request with an open window: the worker polls until the
+  // window closes, advancing ONLY the manual clock, then serves the
+  // leader unfused. No wall-time dependence, no lost request.
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ManualClock clock(0);
+  ServerConfig cfg;
+  cfg.clock = &clock;
+  cfg.workers = 1;
+  cfg.coalesce.window_us = 1000;
+  cfg.coalesce.window_poll_us = 100;
+  Server server(dev, cfg);
+  auto fut = server.submit(p.request());
+  server.start();
+  server.stop();
+  const Response res = fut.get();
+  EXPECT_EQ(res.outcome, Outcome::kServed);
+  EXPECT_FALSE(res.coalesced);
+  EXPECT_EQ(res.output, p.expected);
+  EXPECT_GE(clock.now_us(), 1000) << "window must have been held open";
+}
+
+TEST(Coalesce, WindowClosesEarlyForTightDeadlines) {
+  // A leader whose deadline cannot cover the window with margin must
+  // not be parked: the window closes immediately and the request is
+  // served well before its deadline.
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ManualClock clock(0);
+  ServerConfig cfg;
+  cfg.clock = &clock;
+  cfg.workers = 1;
+  cfg.coalesce.window_us = 1000;
+  cfg.coalesce.window_poll_us = 100;
+  Server server(dev, cfg);
+  auto fut = server.submit(p.request(1500));
+  server.start();
+  server.stop();
+  const Response res = fut.get();
+  EXPECT_EQ(res.outcome, Outcome::kServed);
+  EXPECT_EQ(clock.now_us(), 0) << "no window poll may fire";
+}
+
+TEST(Coalesce, FusedFailureFansOutToIndividualProcessing) {
+  // launch.nth=1 fails the fused batched launch; every member must
+  // then terminate through its own process() ladder — all served,
+  // none coalesced, exact outcome accounting intact.
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.plan.specialize = false;  // keep the launch-site query sequence flat
+  Server server(dev, cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(server.submit(p.request()));
+  sim::ScopedFaults faults("launch.nth=1");
+  server.start();
+  server.stop();
+  for (auto& f : futures) {
+    const Response res = f.get();
+    EXPECT_EQ(res.outcome, Outcome::kServed);
+    EXPECT_FALSE(res.coalesced);
+    EXPECT_EQ(res.output, p.expected);
+  }
+  const auto counts = server.counts();
+  EXPECT_EQ(counts.served, 3);
+  EXPECT_EQ(counts.coalesced_launches, 0);
+  EXPECT_EQ(counts.terminal(), counts.submitted);
+}
+
+TEST(Coalesce, DisabledConfigNeverFuses) {
+  Problem p(Extents{8, 4, 6}, {2, 0, 1}, 1.0);
+  sim::Device dev;
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.coalesce.enabled = false;
+  Server server(dev, cfg);
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(server.submit(p.request()));
+  server.start();
+  server.stop();
+  for (auto& f : futures) {
+    const Response res = f.get();
+    EXPECT_EQ(res.outcome, Outcome::kServed);
+    EXPECT_FALSE(res.coalesced);
+    EXPECT_EQ(res.batch_members, 1);
+  }
+  EXPECT_EQ(server.counts().coalesced_launches, 0);
+}
+
+}  // namespace
+}  // namespace ttlg::service
